@@ -1,0 +1,212 @@
+// Command loftexp regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index) and prints them as text
+// tables. -quick trades fidelity for speed; -exp selects one experiment.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"loft/internal/analysis"
+	"loft/internal/config"
+	"loft/internal/core"
+	"loft/internal/exp"
+)
+
+func main() {
+	var (
+		which    = flag.String("exp", "all", "experiment: fig6, fig10, fig11a, fig11b, fig12, fig13, table2, bounds, areapower, all")
+		quick    = flag.Bool("quick", false, "reduced cycle counts and sweep densities")
+		seed     = flag.Uint64("seed", 1, "deterministic traffic seed")
+		jsonPath = flag.String("json", "", "also write all results as JSON to this file")
+	)
+	flag.Parse()
+	o := exp.Options{Seed: *seed, Quick: *quick}
+	report := map[string]any{}
+
+	runners := []struct {
+		name string
+		fn   func(exp.Options) (any, error)
+	}{
+		{"fig6", fig6},
+		{"fig10", fig10},
+		{"fig11a", func(o exp.Options) (any, error) { return fig11("uniform", o) }},
+		{"fig11b", func(o exp.Options) (any, error) { return fig11("hotspot", o) }},
+		{"fig12", fig12},
+		{"fig13", fig13},
+		{"table2", func(exp.Options) (any, error) { return table2() }},
+		{"bounds", bounds},
+		{"areapower", func(exp.Options) (any, error) { return areaPower() }},
+	}
+	ran := false
+	for _, r := range runners {
+		if *which != "all" && *which != r.name {
+			continue
+		}
+		ran = true
+		fmt.Printf("==== %s ====\n", r.name)
+		data, err := r.fn(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		report[r.name] = data
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
+		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, blob, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote JSON report to %s\n", *jsonPath)
+	}
+}
+
+func fig6(exp.Options) (any, error) {
+	fmt.Println("Fig 6: flow-control comparison (4 packets x 4 flits over one link,")
+	fmt.Println("4-flit downstream buffer close to full, 1-cycle credit turn-around)")
+	rows := exp.Fig6FlowControl()
+	for _, r := range rows {
+		fmt.Printf("  %s\n", r)
+	}
+	return rows, nil
+}
+
+func fig10(o exp.Options) (any, error) {
+	all := map[string][]exp.FairnessRow{}
+	for _, alloc := range []exp.Allocation{exp.AllocEqual, exp.AllocDiff4, exp.AllocDiff2} {
+		rows, err := exp.Fig10Fairness(alloc, o)
+		if err != nil {
+			return nil, err
+		}
+		all[string(alloc)] = rows
+		fmt.Printf("Fig 10 (%s): hotspot throughput fairness (flits/cycle/node)\n", alloc)
+		fmt.Printf("  %-6s %8s %8s %8s %8s %6s\n", "region", "MAX", "MIN", "AVG", "STDEV%", "flows")
+		for _, r := range rows {
+			fmt.Printf("  %-6s %8.4f %8.4f %8.4f %7.1f%% %6d\n", r.Region, r.Max, r.Min, r.Avg, r.StdevPct, r.Flows)
+		}
+	}
+	return all, nil
+}
+
+func fig11(pattern string, o exp.Options) (any, error) {
+	res, err := exp.Fig11(pattern, o)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("Fig 11 (%s): avg network packet latency (cycles) by offered load\n", pattern)
+	fmt.Printf("  %-7s", "load")
+	for _, a := range res.Archs {
+		fmt.Printf(" %13s", a)
+	}
+	fmt.Println()
+	for _, pt := range res.Points {
+		fmt.Printf("  %-7.3f", pt.Load)
+		for _, a := range res.Archs {
+			fmt.Printf(" %13.1f", pt.Latency[a])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("accepted throughput (flits/cycle/node) by offered load\n")
+	for _, pt := range res.Points {
+		fmt.Printf("  %-7.3f", pt.Load)
+		for _, a := range res.Archs {
+			fmt.Printf(" %13.4f", pt.Throughput[a])
+		}
+		fmt.Println()
+	}
+	fmt.Println("saturation throughput normalized to GSF:")
+	keys := make([]string, 0, len(res.SaturationThroughput))
+	for a := range res.SaturationThroughput {
+		keys = append(keys, a)
+	}
+	sort.Strings(keys)
+	for _, a := range keys {
+		fmt.Printf("  %-14s %.3f\n", a, res.SaturationThroughput[a])
+	}
+	return res, nil
+}
+
+func fig12(o exp.Options) (any, error) {
+	all := map[string][]exp.CaseIRow{}
+	for _, arch := range []core.Arch{core.ArchGSF, core.ArchLOFT} {
+		rows, err := exp.Fig12CaseI(arch, o)
+		if err != nil {
+			return nil, err
+		}
+		all[string(arch)] = rows
+		fmt.Printf("Fig 12 (%s): Case Study I — DoS aggressors vs regulated victim\n", strings.ToUpper(string(arch)))
+		fmt.Printf("  %-8s | %-28s | %-28s | %s\n", "agg rate", "avg latency v/a48/a56 (cyc)", "throughput v/a48/a56 (f/c)", "aggregate")
+		for _, r := range rows {
+			fmt.Printf("  %-8.2f | %8.1f %8.1f %8.1f | %8.4f %8.4f %8.4f | %.4f\n",
+				r.AggressorRate,
+				r.Latency[0], r.Latency[1], r.Latency[2],
+				r.Throughput[0], r.Throughput[1], r.Throughput[2],
+				r.Aggregate)
+		}
+	}
+	return all, nil
+}
+
+func fig13(o exp.Options) (any, error) {
+	all := map[string][]exp.CaseIIRow{}
+	for _, arch := range []core.Arch{core.ArchGSF, core.ArchLOFT} {
+		rows, err := exp.Fig13CaseII(arch, o)
+		if err != nil {
+			return nil, err
+		}
+		all[string(arch)] = rows
+		fmt.Printf("Fig 13 (%s): Case Study II — pathological pattern of Fig 1\n", strings.ToUpper(string(arch)))
+		fmt.Printf("  %-9s %12s %12s\n", "inj rate", "grey (f/c)", "stripped")
+		for _, r := range rows {
+			fmt.Printf("  %-9.2f %12.4f %12.4f\n", r.Rate, r.Grey, r.Stripped)
+		}
+	}
+	return all, nil
+}
+
+func table2() (any, error) {
+	g := analysis.GSFStorage(config.PaperGSF(), 64)
+	l := analysis.LOFTStorage(config.PaperLOFT())
+	fmt.Println("Table 2: per-router storage requirements (bits)")
+	fmt.Printf("  GSF : source queue %d, VCs %d, flow state %d — total %d\n",
+		g.SourceQueue, g.VirtualChannels, g.FlowState, g.Total)
+	fmt.Printf("  LOFT: input buf %d, reserv tables %d, flow state %d, LA net %d — total %d\n",
+		l.InputBuffers, l.ReservationTables, l.FlowState, l.LookaheadNetwork, l.Total)
+	fmt.Printf("  LOFT saves %.1f%% storage over GSF\n", 100*(1-float64(l.Total)/float64(g.Total)))
+	return map[string]any{"gsf": g, "loft": l}, nil
+}
+
+func bounds(o exp.Options) (any, error) {
+	rows, err := exp.DelayBounds(o)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Println("Delay bounds (§5.3.1): analytical worst case vs observed maximum")
+	for _, r := range rows {
+		fmt.Printf("  %-5s hops=%2d bound=%6d cycles, observed max=%6d, holds=%v\n",
+			r.Arch, r.Hops, r.BoundCycles, r.MaxObserved, r.Holds)
+	}
+	return rows, nil
+}
+
+func areaPower() (any, error) {
+	ap := analysis.EstimateAreaPower(config.PaperLOFT())
+	fmt.Println("Area/power estimate (§5.3.2, first-order storage model):")
+	fmt.Printf("  64-node LOFT NoC: %.1f mm² (%.0f%% of a 64-core CMP die), %.1f W (%.0f%% of chip power)\n",
+		ap.AreaMM2, ap.ChipAreaFrac*100, ap.PowerW, ap.ChipPowerFrac*100)
+	return ap, nil
+}

@@ -1,0 +1,146 @@
+// Command loftsim runs a single NoC simulation and prints a summary.
+//
+// Examples:
+//
+//	loftsim -arch loft -pattern uniform -rate 0.3 -cycles 20000
+//	loftsim -arch gsf  -pattern hotspot -rate 0.01
+//	loftsim -arch loft -pattern case1 -rate 0.6 -spec 8 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"loft/internal/config"
+	"loft/internal/core"
+	"loft/internal/loft"
+	"loft/internal/topo"
+	"loft/internal/traffic"
+)
+
+func main() {
+	var (
+		arch     = flag.String("arch", "loft", "architecture: loft or gsf")
+		pattern  = flag.String("pattern", "uniform", "traffic: uniform, hotspot, case1, case2, neighbor, transpose")
+		rate     = flag.Float64("rate", 0.1, "offered load in flits/cycle/node (aggressor rate for case1)")
+		spec     = flag.Int("spec", 12, "LOFT speculative buffer size in flits (0 disables §4.3 optimizations)")
+		warmup   = flag.Uint64("warmup", 5000, "warmup cycles excluded from statistics")
+		cycles   = flag.Uint64("cycles", 20000, "measured cycles")
+		seed     = flag.Uint64("seed", 1, "deterministic traffic seed")
+		verbose  = flag.Bool("v", false, "print per-flow rates")
+		heatmap  = flag.Bool("heatmap", false, "print an ASCII link-utilization heatmap (LOFT only)")
+		trace    = flag.String("trace", "", "replay a workload trace file instead of a synthetic pattern")
+		genTrace = flag.Int("gentrace", 0, "emit a synthetic trace with this many packets to stdout and exit")
+	)
+	flag.Parse()
+
+	lcfg := config.PaperLOFTSpec(*spec)
+	mesh := lcfg.Mesh()
+	if *genTrace > 0 {
+		events := traffic.SyntheticTrace(mesh, *genTrace, *cycles, lcfg.PacketFlits, *seed)
+		if err := traffic.WriteTrace(os.Stdout, events); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	var p *traffic.Pattern
+	if *trace != "" {
+		f, err := os.Open(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		events, err := traffic.ParseTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if p, err = traffic.FromTrace(mesh, events, lcfg.PacketFlits, lcfg.FrameFlits, lcfg.QuantumFlits); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	switch {
+	case p != nil: // trace already loaded
+	case *pattern == "uniform":
+		p = traffic.Uniform(mesh, *rate, lcfg.PacketFlits, lcfg.FrameFlits)
+	case *pattern == "hotspot":
+		p = traffic.Hotspot(mesh, topo.NodeID(mesh.N()-1), *rate, lcfg.PacketFlits, lcfg.FrameFlits, lcfg.QuantumFlits, nil)
+	case *pattern == "case1":
+		p = traffic.CaseStudyI(mesh, 0.2, *rate, lcfg.PacketFlits, lcfg.FrameFlits)
+	case *pattern == "case2":
+		p = traffic.CaseStudyII(mesh, *rate, lcfg.PacketFlits, lcfg.FrameFlits)
+	case *pattern == "neighbor":
+		p = traffic.NearestNeighbor(mesh, *rate, lcfg.PacketFlits, lcfg.FrameFlits)
+	case *pattern == "transpose":
+		p = traffic.Transpose(mesh, *rate, lcfg.PacketFlits, lcfg.FrameFlits)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown pattern %q\n", *pattern)
+		os.Exit(2)
+	}
+
+	if *trace != "" {
+		// Trace replays measure every packet: no warmup exclusion unless
+		// explicitly requested.
+		explicit := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "warmup" {
+				explicit = true
+			}
+		})
+		if !explicit {
+			*warmup = 0
+		}
+	}
+	run := core.RunSpec{Seed: *seed, Warmup: *warmup, Measure: *cycles}
+	var res core.Result
+	var err error
+	var lnet *loft.Network
+	switch *arch {
+	case "loft":
+		res, lnet, err = core.RunLOFT(lcfg, p, run)
+	case "gsf":
+		res, _, err = core.RunGSF(config.PaperGSF(), p, lcfg.FrameFlits, run)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown architecture %q\n", *arch)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s / %s @ %.3f flits/cycle/node (%d+%d cycles, seed %d)\n",
+		res.Arch, p.Name, *rate, *warmup, *cycles, *seed)
+	fmt.Printf("  packets delivered : %d\n", res.Packets)
+	fmt.Printf("  avg latency       : %.1f cycles (network %.1f)\n", res.AvgLatency, res.AvgNetLatency)
+	fmt.Printf("  p99 / max latency : %.0f / %d cycles\n", res.P99Latency, res.MaxLatency)
+	fmt.Printf("  accepted rate     : %.4f flits/cycle/node (%.3f total)\n",
+		res.TotalRate/float64(mesh.N()), res.TotalRate)
+	if res.Arch == core.ArchLOFT {
+		fmt.Printf("  spec forwards     : %d, local resets: %d, drops: %d\n",
+			res.SpecForward, res.Resets, res.Drops)
+	} else {
+		fmt.Printf("  source-queue drops: %d\n", res.Drops)
+	}
+	if *heatmap && lnet != nil {
+		fmt.Println("link utilization (digits = tenths; right = East link, below = South link):")
+		fmt.Print(lnet.Heatmap())
+	}
+	if *verbose {
+		ids := make([]int, 0, len(res.FlowRate))
+		for id := range res.FlowRate {
+			ids = append(ids, int(id))
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			f := p.Flows[id]
+			fmt.Printf("  flow %2d %2d->%2d : %.5f flits/cycle, %.1f cycles\n",
+				id, f.Src, f.Dst, res.FlowRate[f.ID], res.FlowLatency[f.ID])
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Package arb provides the arbiters used by the router models.
+package arb
+
+// RoundRobin is a work-conserving round-robin arbiter over n requesters.
+// After a grant the priority pointer moves past the winner, giving the
+// classic least-recently-served order.
+type RoundRobin struct {
+	n    int
+	next int
+}
+
+// NewRoundRobin returns an arbiter over n requesters.
+func NewRoundRobin(n int) *RoundRobin {
+	if n <= 0 {
+		panic("arb: round-robin over zero requesters")
+	}
+	return &RoundRobin{n: n}
+}
+
+// Grant picks among requesters where req(i) is true, starting the search at
+// the rotating priority pointer. It returns the winner and true, or -1 and
+// false when nobody requests. The pointer advances only on a grant.
+func (r *RoundRobin) Grant(req func(int) bool) (int, bool) {
+	for i := 0; i < r.n; i++ {
+		idx := (r.next + i) % r.n
+		if req(idx) {
+			r.next = (idx + 1) % r.n
+			return idx, true
+		}
+	}
+	return -1, false
+}
+
+// GrantPreferred behaves like Grant but first checks a forced winner
+// (forced >= 0): LOFT's emergent candidates are "guaranteed to win
+// arbitration" (§4.3.1). The rotating pointer still advances past the forced
+// winner so steady-state fairness is unaffected.
+func (r *RoundRobin) GrantPreferred(forced int, req func(int) bool) (int, bool) {
+	if forced >= 0 && forced < r.n {
+		r.next = (forced + 1) % r.n
+		return forced, true
+	}
+	return r.Grant(req)
+}
+
+// Oldest arbitrates by minimal key (e.g. GSF frame number: older frames have
+// smaller relative age) with round-robin tie-breaking among equal keys.
+type Oldest struct{ rr *RoundRobin }
+
+// NewOldest returns an oldest-first arbiter over n requesters.
+func NewOldest(n int) *Oldest { return &Oldest{rr: NewRoundRobin(n)} }
+
+// Grant picks the requester with the smallest key among those with req(i)
+// true; ties break round-robin. key is only consulted where req(i) is true.
+func (o *Oldest) Grant(req func(int) bool, key func(int) int) (int, bool) {
+	best := -1
+	for i := 0; i < o.rr.n; i++ {
+		if !req(i) {
+			continue
+		}
+		if best == -1 || key(i) < key(best) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return -1, false
+	}
+	// Round-robin among the minimal-key subset.
+	minKey := key(best)
+	w, ok := o.rr.Grant(func(i int) bool { return req(i) && key(i) == minKey })
+	if !ok {
+		return best, true
+	}
+	return w, true
+}

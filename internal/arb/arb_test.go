@@ -1,0 +1,74 @@
+package arb
+
+import "testing"
+
+func TestRoundRobinFairness(t *testing.T) {
+	rr := NewRoundRobin(4)
+	counts := make([]int, 4)
+	all := func(int) bool { return true }
+	for i := 0; i < 400; i++ {
+		w, ok := rr.Grant(all)
+		if !ok {
+			t.Fatal("no grant with all requesting")
+		}
+		counts[w]++
+	}
+	for i, c := range counts {
+		if c != 100 {
+			t.Fatalf("requester %d granted %d/400", i, c)
+		}
+	}
+}
+
+func TestRoundRobinSkipsIdle(t *testing.T) {
+	rr := NewRoundRobin(3)
+	only2 := func(i int) bool { return i == 2 }
+	for i := 0; i < 5; i++ {
+		w, ok := rr.Grant(only2)
+		if !ok || w != 2 {
+			t.Fatalf("grant = (%d,%v)", w, ok)
+		}
+	}
+	if _, ok := rr.Grant(func(int) bool { return false }); ok {
+		t.Fatal("granted with no requesters")
+	}
+}
+
+func TestRoundRobinPreferred(t *testing.T) {
+	rr := NewRoundRobin(4)
+	w, ok := rr.GrantPreferred(3, func(int) bool { return false })
+	if !ok || w != 3 {
+		t.Fatalf("forced grant = (%d,%v)", w, ok)
+	}
+	// Pointer advanced past the forced winner.
+	w, ok = rr.Grant(func(int) bool { return true })
+	if !ok || w != 0 {
+		t.Fatalf("next grant = (%d,%v), want 0", w, ok)
+	}
+}
+
+func TestOldestPriority(t *testing.T) {
+	o := NewOldest(3)
+	keys := []int{5, 2, 9}
+	w, ok := o.Grant(func(int) bool { return true }, func(i int) int { return keys[i] })
+	if !ok || w != 1 {
+		t.Fatalf("grant = (%d,%v), want requester 1 (min key)", w, ok)
+	}
+}
+
+func TestOldestTieBreakRotates(t *testing.T) {
+	o := NewOldest(3)
+	counts := make([]int, 3)
+	for i := 0; i < 300; i++ {
+		w, ok := o.Grant(func(int) bool { return true }, func(int) int { return 7 })
+		if !ok {
+			t.Fatal("no grant")
+		}
+		counts[w]++
+	}
+	for i, c := range counts {
+		if c < 80 || c > 120 {
+			t.Fatalf("tie-break unfair: requester %d got %d/300", i, c)
+		}
+	}
+}

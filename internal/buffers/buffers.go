@@ -1,0 +1,143 @@
+// Package buffers provides the storage primitives shared by the router
+// models: bounded FIFOs, credit counters, and the central/speculative buffer
+// pair used by the LOFT data network (§4.3.1, Fig. 9).
+package buffers
+
+import "fmt"
+
+// FIFO is a bounded first-in first-out queue.
+type FIFO[T any] struct {
+	buf   []T
+	head  int
+	count int
+	cap   int
+	name  string
+}
+
+// NewFIFO returns a FIFO with the given capacity. Capacity 0 is legal and
+// models a buffer that can never accept (used for spec=0 configurations).
+func NewFIFO[T any](name string, capacity int) *FIFO[T] {
+	if capacity < 0 {
+		panic("buffers: negative FIFO capacity")
+	}
+	return &FIFO[T]{buf: make([]T, capacity), cap: capacity, name: name}
+}
+
+// Len returns the number of queued items.
+func (f *FIFO[T]) Len() int { return f.count }
+
+// Cap returns the capacity.
+func (f *FIFO[T]) Cap() int { return f.cap }
+
+// Free returns the remaining space.
+func (f *FIFO[T]) Free() int { return f.cap - f.count }
+
+// Empty reports whether the FIFO holds no items.
+func (f *FIFO[T]) Empty() bool { return f.count == 0 }
+
+// Full reports whether no space remains.
+func (f *FIFO[T]) Full() bool { return f.count == f.cap }
+
+// Push appends v. It panics on overflow: callers must check Free first
+// (credit flow control guarantees it in a correct model).
+func (f *FIFO[T]) Push(v T) {
+	if f.Full() {
+		panic("buffers: overflow on FIFO " + f.name)
+	}
+	f.buf[(f.head+f.count)%f.cap] = v
+	f.count++
+}
+
+// Pop removes and returns the oldest item.
+func (f *FIFO[T]) Pop() (T, bool) {
+	var zero T
+	if f.count == 0 {
+		return zero, false
+	}
+	v := f.buf[f.head]
+	f.buf[f.head] = zero
+	f.head = (f.head + 1) % f.cap
+	f.count--
+	return v, true
+}
+
+// Peek returns the oldest item without removing it.
+func (f *FIFO[T]) Peek() (T, bool) {
+	var zero T
+	if f.count == 0 {
+		return zero, false
+	}
+	return f.buf[f.head], true
+}
+
+// At returns the i-th oldest item (0 = head). It panics when out of range.
+func (f *FIFO[T]) At(i int) T {
+	if i < 0 || i >= f.count {
+		panic(fmt.Sprintf("buffers: index %d out of range on FIFO %s (len %d)", i, f.name, f.count))
+	}
+	return f.buf[(f.head+i)%f.cap]
+}
+
+// RemoveFunc removes the first item for which match returns true, preserving
+// order of the rest, and reports whether anything was removed.
+func (f *FIFO[T]) RemoveFunc(match func(T) bool) (T, bool) {
+	var zero T
+	for i := 0; i < f.count; i++ {
+		idx := (f.head + i) % f.cap
+		if match(f.buf[idx]) {
+			v := f.buf[idx]
+			// Shift the tail segment one slot toward the head.
+			for j := i; j < f.count-1; j++ {
+				a := (f.head + j) % f.cap
+				b := (f.head + j + 1) % f.cap
+				f.buf[a] = f.buf[b]
+			}
+			f.buf[(f.head+f.count-1)%f.cap] = zero
+			f.count--
+			return v, true
+		}
+	}
+	return zero, false
+}
+
+// Credits tracks credit-based flow control toward one downstream buffer.
+type Credits struct {
+	avail int
+	cap   int
+	name  string
+}
+
+// NewCredits returns a counter initialized to the downstream capacity.
+func NewCredits(name string, capacity int) *Credits {
+	if capacity < 0 {
+		panic("buffers: negative credit capacity")
+	}
+	return &Credits{avail: capacity, cap: capacity, name: name}
+}
+
+// Available returns the current credit count.
+func (c *Credits) Available() int { return c.avail }
+
+// Cap returns the downstream capacity.
+func (c *Credits) Cap() int { return c.cap }
+
+// Consume spends one credit; it panics when none remain.
+func (c *Credits) Consume() {
+	if c.avail == 0 {
+		panic("buffers: credit underflow on " + c.name)
+	}
+	c.avail--
+}
+
+// Return restores one credit; it panics past the capacity (a protocol bug:
+// more returns than sends).
+func (c *Credits) Return() {
+	if c.avail == c.cap {
+		panic("buffers: credit overflow on " + c.name)
+	}
+	c.avail++
+}
+
+// AtCap reports whether every credit is home, i.e. the downstream buffer is
+// known empty. LOFT's local status reset uses this condition (§4.3.2).
+func (c *Credits) AtCap() bool { return c.avail == c.cap }

@@ -1,0 +1,166 @@
+package buffers
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	f := NewFIFO[int]("t", 4)
+	for i := 1; i <= 4; i++ {
+		f.Push(i)
+	}
+	if !f.Full() || f.Free() != 0 {
+		t.Fatal("FIFO should be full")
+	}
+	for i := 1; i <= 4; i++ {
+		v, ok := f.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := f.Pop(); ok {
+		t.Fatal("pop from empty")
+	}
+}
+
+func TestFIFOWraparound(t *testing.T) {
+	f := NewFIFO[int]("t", 3)
+	for round := 0; round < 10; round++ {
+		f.Push(round * 2)
+		f.Push(round*2 + 1)
+		if v, _ := f.Pop(); v != round*2 {
+			t.Fatalf("round %d: wrong order", round)
+		}
+		if v, _ := f.Pop(); v != round*2+1 {
+			t.Fatalf("round %d: wrong order", round)
+		}
+	}
+}
+
+func TestFIFOOverflowPanics(t *testing.T) {
+	f := NewFIFO[int]("t", 1)
+	f.Push(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflow did not panic")
+		}
+	}()
+	f.Push(2)
+}
+
+func TestFIFOPeekAt(t *testing.T) {
+	f := NewFIFO[int]("t", 4)
+	f.Push(10)
+	f.Push(20)
+	if v, _ := f.Peek(); v != 10 {
+		t.Fatalf("Peek = %d", v)
+	}
+	if f.At(1) != 20 {
+		t.Fatalf("At(1) = %d", f.At(1))
+	}
+	if f.Len() != 2 {
+		t.Fatal("peek consumed items")
+	}
+}
+
+func TestFIFORemoveFunc(t *testing.T) {
+	f := NewFIFO[int]("t", 5)
+	for _, v := range []int{1, 2, 3, 4} {
+		f.Push(v)
+	}
+	v, ok := f.RemoveFunc(func(x int) bool { return x == 3 })
+	if !ok || v != 3 {
+		t.Fatalf("RemoveFunc = (%d,%v)", v, ok)
+	}
+	var rest []int
+	for {
+		v, ok := f.Pop()
+		if !ok {
+			break
+		}
+		rest = append(rest, v)
+	}
+	if len(rest) != 3 || rest[0] != 1 || rest[1] != 2 || rest[2] != 4 {
+		t.Fatalf("order after removal: %v", rest)
+	}
+	if _, ok := f.RemoveFunc(func(int) bool { return true }); ok {
+		t.Fatal("removed from empty FIFO")
+	}
+}
+
+func TestFIFORemoveFuncQuick(t *testing.T) {
+	// Property: removing an element preserves the relative order of the
+	// rest, across wraparound states.
+	if err := quick.Check(func(ops []uint8, target uint8) bool {
+		f := NewFIFO[int]("q", 8)
+		var model []int
+		n := 0
+		for _, op := range ops {
+			if op%2 == 0 && !f.Full() {
+				f.Push(n)
+				model = append(model, n)
+				n++
+			} else if !f.Empty() {
+				f.Pop()
+				model = model[1:]
+			}
+		}
+		if len(model) == 0 {
+			return true
+		}
+		tgt := model[int(target)%len(model)]
+		f.RemoveFunc(func(x int) bool { return x == tgt })
+		var want []int
+		for _, v := range model {
+			if v != tgt {
+				want = append(want, v)
+			}
+		}
+		for _, w := range want {
+			v, ok := f.Pop()
+			if !ok || v != w {
+				return false
+			}
+		}
+		return f.Empty()
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCredits(t *testing.T) {
+	c := NewCredits("t", 2)
+	if !c.AtCap() || c.Available() != 2 {
+		t.Fatal("bad init")
+	}
+	c.Consume()
+	c.Consume()
+	if c.Available() != 0 || c.AtCap() {
+		t.Fatal("consume accounting")
+	}
+	c.Return()
+	if c.Available() != 1 {
+		t.Fatal("return accounting")
+	}
+}
+
+func TestCreditUnderflowPanics(t *testing.T) {
+	c := NewCredits("t", 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("underflow did not panic")
+		}
+	}()
+	c.Consume()
+}
+
+func TestCreditOverflowPanics(t *testing.T) {
+	c := NewCredits("t", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflow did not panic")
+		}
+	}()
+	c.Return()
+}

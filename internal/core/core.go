@@ -1,0 +1,112 @@
+// Package core is the public facade of the LOFT reproduction: it builds and
+// runs LOFT and GSF networks against the paper's traffic patterns and
+// returns uniform result summaries. Command-line tools, examples and the
+// benchmark harness all drive the system through this package.
+package core
+
+import (
+	"loft/internal/config"
+	"loft/internal/flit"
+	"loft/internal/gsf"
+	"loft/internal/loft"
+	"loft/internal/stats"
+	"loft/internal/traffic"
+)
+
+// Arch names a network architecture.
+type Arch string
+
+// Supported architectures.
+const (
+	ArchLOFT Arch = "loft"
+	ArchGSF  Arch = "gsf"
+)
+
+// RunSpec describes one simulation run.
+type RunSpec struct {
+	// Seed drives all traffic generators deterministically.
+	Seed uint64
+	// Warmup cycles are excluded from every statistic.
+	Warmup uint64
+	// Measure cycles are simulated after warmup.
+	Measure uint64
+}
+
+// Total returns warmup + measure cycles.
+func (r RunSpec) Total() uint64 { return r.Warmup + r.Measure }
+
+// Result summarizes one run.
+type Result struct {
+	Arch Arch
+	// AvgLatency/MaxLatency are total packet latencies from generation to
+	// delivery (source queueing included, as in the paper's Fig. 12).
+	AvgLatency float64
+	MaxLatency uint64
+	P99Latency float64
+	// AvgNetLatency/MaxNetLatency count from network injection to
+	// delivery (the paper's Fig. 11 load-latency curves).
+	AvgNetLatency float64
+	MaxNetLatency uint64
+	Packets       uint64
+	TotalRate     float64 // aggregate accepted throughput, flits/cycle
+	FlowRate      map[flit.FlowID]float64
+	FlowLatency   map[flit.FlowID]float64 // per-flow average total latency
+	NodeRate      map[int]float64
+	SpecForward   uint64 // LOFT only
+	Resets        uint64 // LOFT only
+	Drops         uint64 // GSF only (source queue overflow)
+}
+
+func summarize(arch Arch, lat, latNet *stats.Latency, latFlow *stats.FlowLatency, thr *stats.Throughput, flows []flit.Flow, nodes int) Result {
+	res := Result{
+		Arch:          arch,
+		AvgLatency:    lat.Mean(),
+		MaxLatency:    lat.Max(),
+		P99Latency:    lat.Percentile(99),
+		AvgNetLatency: latNet.Mean(),
+		MaxNetLatency: latNet.Max(),
+		Packets:       lat.Count(),
+		TotalRate:     thr.Total(),
+		FlowRate:      make(map[flit.FlowID]float64, len(flows)),
+		FlowLatency:   make(map[flit.FlowID]float64, len(flows)),
+		NodeRate:      make(map[int]float64, nodes),
+	}
+	for _, f := range flows {
+		res.FlowRate[f.ID] = thr.Flow(f.ID)
+		res.FlowLatency[f.ID] = latFlow.Mean(f.ID)
+	}
+	for n := 0; n < nodes; n++ {
+		res.NodeRate[n] = thr.Node(n)
+	}
+	return res
+}
+
+// RunLOFT builds a LOFT network for cfg and pattern, runs it, and returns
+// the result summary together with the network for further inspection.
+func RunLOFT(cfg config.LOFT, p *traffic.Pattern, spec RunSpec) (Result, *loft.Network, error) {
+	net, err := loft.New(cfg, p, loft.Options{Seed: spec.Seed, Warmup: spec.Warmup})
+	if err != nil {
+		return Result{}, nil, err
+	}
+	net.Run(spec.Total())
+	res := summarize(ArchLOFT, net.Latency(), net.NetLatency(), net.FlowLatency(), net.Throughput(), p.Flows, p.Mesh.N())
+	s := net.TotalStats()
+	res.SpecForward = s.SpecForwards
+	res.Resets = net.ResetCount()
+	res.Drops = s.Drops
+	return res, net, nil
+}
+
+// RunGSF builds a GSF network for cfg and pattern and runs it. The
+// pattern's reservations (expressed against baseFrameFlits) are rescaled to
+// GSF's frame size.
+func RunGSF(cfg config.GSF, p *traffic.Pattern, baseFrameFlits int, spec RunSpec) (Result, *gsf.Network, error) {
+	net, err := gsf.New(cfg, p, gsf.Options{Seed: spec.Seed, Warmup: spec.Warmup, BaseFrameFlits: baseFrameFlits})
+	if err != nil {
+		return Result{}, nil, err
+	}
+	net.Run(spec.Total())
+	res := summarize(ArchGSF, net.Latency(), net.NetLatency(), net.FlowLatency(), net.Throughput(), p.Flows, p.Mesh.N())
+	res.Drops = net.Drops()
+	return res, net, nil
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"loft/internal/config"
+	"loft/internal/traffic"
+)
+
+func smallLOFT() config.LOFT {
+	cfg := config.PaperLOFTSpec(8)
+	cfg.MeshK = 4
+	cfg.FrameFlits = 32
+	cfg.CentralBufFlits = 32
+	return cfg
+}
+
+func TestRunLOFTProducesResult(t *testing.T) {
+	cfg := smallLOFT()
+	p := traffic.SingleFlow(cfg.Mesh(), 0, 15, 0.1, cfg.PacketFlits, cfg.FrameFlits)
+	res, net, err := RunLOFT(cfg, p, RunSpec{Seed: 1, Warmup: 500, Measure: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net == nil || res.Arch != ArchLOFT {
+		t.Fatal("bad result envelope")
+	}
+	if res.Packets == 0 || res.AvgLatency <= 0 || res.AvgNetLatency <= 0 {
+		t.Fatalf("no traffic measured: %+v", res)
+	}
+	if res.AvgNetLatency > res.AvgLatency+1e-9 {
+		t.Fatalf("network latency %.1f above total %.1f", res.AvgNetLatency, res.AvgLatency)
+	}
+	if res.FlowRate[0] <= 0 || res.NodeRate[0] <= 0 {
+		t.Fatal("per-flow/per-node rates missing")
+	}
+	if res.FlowLatency[0] <= 0 {
+		t.Fatal("per-flow latency missing")
+	}
+}
+
+func TestRunGSFProducesResult(t *testing.T) {
+	gcfg := config.PaperGSF()
+	gcfg.MeshK = 4
+	gcfg.FrameFlits = 200
+	gcfg.SourceQueue = 200
+	p := traffic.SingleFlow(gcfg.Mesh(), 0, 15, 0.1, gcfg.PacketFlits, 32)
+	res, _, err := RunGSF(gcfg, p, 32, RunSpec{Seed: 1, Warmup: 500, Measure: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arch != ArchGSF || res.Packets == 0 {
+		t.Fatalf("no traffic measured: %+v", res)
+	}
+}
+
+func TestRunLOFTDeterministic(t *testing.T) {
+	cfg := smallLOFT()
+	run := func() Result {
+		p := traffic.Uniform(cfg.Mesh(), 0.2, cfg.PacketFlits, cfg.FrameFlits)
+		res, _, err := RunLOFT(cfg, p, RunSpec{Seed: 9, Warmup: 500, Measure: 3000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Packets != b.Packets || a.AvgLatency != b.AvgLatency || a.TotalRate != b.TotalRate {
+		t.Fatalf("same-seed runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunLOFTRejectsBadConfig(t *testing.T) {
+	cfg := smallLOFT()
+	cfg.CentralBufFlits = 8 // breaks the Theorem I precondition
+	p := traffic.SingleFlow(cfg.Mesh(), 0, 15, 0.1, cfg.PacketFlits, cfg.FrameFlits)
+	if _, _, err := RunLOFT(cfg, p, RunSpec{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"loft/internal/analysis"
+	"loft/internal/core"
+	"loft/internal/route"
+	"loft/internal/traffic"
+)
+
+// DelayBoundRow compares an analytical worst-case latency bound (§5.3.1)
+// with the maximum latency observed under heavy contention.
+type DelayBoundRow struct {
+	Arch        string
+	Hops        int
+	BoundCycles uint64
+	MaxObserved uint64
+	Holds       bool
+}
+
+// DelayBounds validates §5.3.1: LOFT's per-path bound F·WF·NumHops (512
+// cycles per hop with Table 1 parameters) against the maximum network
+// latency of the Case Study I victim under maximum aggression, and reports
+// GSF's path-independent worst-case estimate (24000 cycles) alongside its
+// observed maximum for the same scenario.
+func DelayBounds(o Options) ([]DelayBoundRow, error) {
+	lcfg := loftCfg(12)
+	mesh := lcfg.Mesh()
+	p := traffic.CaseStudyI(mesh, 0.2, 0.8, lcfg.PacketFlits, lcfg.FrameFlits)
+	hops := route.Hops(mesh, p.Flows[0].Src, p.Flows[0].Dst)
+
+	spec := o.runSpec()
+	var rows []DelayBoundRow
+
+	lres, lnet, err := core.RunLOFT(lcfg, p, spec)
+	if err != nil {
+		return nil, err
+	}
+	_ = lres
+	lmax := lnet.NetLatency().Max()
+	lbound := analysis.DelayBoundLOFT(lcfg, hops)
+	rows = append(rows, DelayBoundRow{
+		Arch: "LOFT", Hops: hops, BoundCycles: lbound,
+		MaxObserved: lmax, Holds: lmax <= lbound,
+	})
+
+	p2 := traffic.CaseStudyI(mesh, 0.2, 0.8, lcfg.PacketFlits, lcfg.FrameFlits)
+	_, gnet, err := core.RunGSF(gsfCfg(), p2, lcfg.FrameFlits, spec)
+	if err != nil {
+		return nil, err
+	}
+	gmax := gnet.NetLatency().Max()
+	gbound := analysis.DelayBoundGSF(gsfCfg())
+	rows = append(rows, DelayBoundRow{
+		Arch: "GSF", Hops: hops, BoundCycles: gbound,
+		MaxObserved: gmax, Holds: gmax <= gbound,
+	})
+	return rows, nil
+}

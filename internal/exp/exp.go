@@ -1,0 +1,43 @@
+// Package exp reproduces every table and figure of the paper's evaluation
+// (§5–§6). Each experiment has one runner returning the same rows/series the
+// paper reports; cmd/loftexp renders them as text tables and bench_test.go
+// wraps them as benchmarks. EXPERIMENTS.md records paper-vs-measured values.
+package exp
+
+import (
+	"fmt"
+
+	"loft/internal/config"
+	"loft/internal/core"
+)
+
+// Options tune experiment runs.
+type Options struct {
+	// Seed drives all traffic deterministically.
+	Seed uint64
+	// Quick reduces cycle counts and sweep densities for tests/benches.
+	Quick bool
+}
+
+// runSpec returns the RunSpec for the chosen fidelity.
+func (o Options) runSpec() core.RunSpec {
+	if o.Quick {
+		return core.RunSpec{Seed: o.Seed, Warmup: 2000, Measure: 6000}
+	}
+	return core.RunSpec{Seed: o.Seed, Warmup: 5000, Measure: 20000}
+}
+
+// loftCfg returns the paper LOFT configuration with the given speculative
+// buffer size.
+func loftCfg(spec int) config.LOFT { return config.PaperLOFTSpec(spec) }
+
+// gsfCfg returns the paper GSF configuration.
+func gsfCfg() config.GSF { return config.PaperGSF() }
+
+// archLabel names a simulated architecture in result tables.
+func archLabel(arch core.Arch, spec int) string {
+	if arch == core.ArchGSF {
+		return "GSF"
+	}
+	return fmt.Sprintf("LOFT spec=%d", spec)
+}

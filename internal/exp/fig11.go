@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"fmt"
+
+	"loft/internal/core"
+	"loft/internal/topo"
+	"loft/internal/traffic"
+)
+
+// LoadPoint is one x-position of a Fig. 11 curve: per-architecture average
+// network packet latency (cycles) and accepted throughput
+// (flits/cycle/node) at one offered load.
+type LoadPoint struct {
+	Load       float64
+	Latency    map[string]float64
+	Throughput map[string]float64
+}
+
+// Fig11Result bundles one Fig. 11 panel.
+type Fig11Result struct {
+	Pattern string
+	Archs   []string
+	Points  []LoadPoint
+	// SaturationThroughput is each architecture's accepted throughput at
+	// the highest offered load, normalized to GSF (the paper's right-hand
+	// bar chart).
+	SaturationThroughput map[string]float64
+}
+
+// Fig11 reproduces Fig. 11: average packet latency against offered load and
+// total accepted throughput for (a) uniform and (b) hotspot traffic, for
+// GSF and LOFT with the paper's speculative buffer sweeps ({0,4,8,12,16}
+// uniform, {0,2,4,6,8} hotspot).
+func Fig11(pattern string, o Options) (*Fig11Result, error) {
+	var loads []float64
+	var specs []int
+	switch pattern {
+	case "uniform":
+		loads = []float64{0.02, 0.08, 0.14, 0.2, 0.26, 0.32, 0.38, 0.44, 0.5, 0.56, 0.62, 0.68}
+		specs = []int{0, 4, 8, 12, 16}
+	case "hotspot":
+		loads = []float64{0.001, 0.003, 0.005, 0.007, 0.009, 0.011, 0.013, 0.015, 0.017}
+		specs = []int{0, 2, 4, 6, 8}
+	default:
+		return nil, fmt.Errorf("exp: unknown Fig 11 pattern %q", pattern)
+	}
+	if o.Quick {
+		loads = thin(loads, 2)
+	}
+	res := &Fig11Result{
+		Pattern:              pattern,
+		Archs:                []string{"GSF"},
+		SaturationThroughput: make(map[string]float64),
+	}
+	for _, s := range specs {
+		res.Archs = append(res.Archs, archLabel(core.ArchLOFT, s))
+	}
+	for _, load := range loads {
+		pt := LoadPoint{
+			Load:       load,
+			Latency:    make(map[string]float64),
+			Throughput: make(map[string]float64),
+		}
+		nodes := float64(loftCfg(12).Mesh().N())
+		{
+			p, err := fig11Pattern(pattern, load)
+			if err != nil {
+				return nil, err
+			}
+			r, _, err := core.RunGSF(gsfCfg(), p, loftCfg(12).FrameFlits, o.runSpec())
+			if err != nil {
+				return nil, err
+			}
+			pt.Latency["GSF"] = r.AvgNetLatency
+			pt.Throughput["GSF"] = r.TotalRate / nodes
+		}
+		for _, s := range specs {
+			label := archLabel(core.ArchLOFT, s)
+			p, err := fig11Pattern(pattern, load)
+			if err != nil {
+				return nil, err
+			}
+			r, _, err := core.RunLOFT(loftCfg(s), p, o.runSpec())
+			if err != nil {
+				return nil, err
+			}
+			pt.Latency[label] = r.AvgNetLatency
+			pt.Throughput[label] = r.TotalRate / nodes
+		}
+		res.Points = append(res.Points, pt)
+	}
+	last := res.Points[len(res.Points)-1]
+	gsfThr := last.Throughput["GSF"]
+	for _, a := range res.Archs {
+		if gsfThr > 0 {
+			res.SaturationThroughput[a] = last.Throughput[a] / gsfThr
+		}
+	}
+	return res, nil
+}
+
+func fig11Pattern(pattern string, load float64) (*traffic.Pattern, error) {
+	cfg := loftCfg(12)
+	mesh := cfg.Mesh()
+	switch pattern {
+	case "uniform":
+		return traffic.Uniform(mesh, load, cfg.PacketFlits, cfg.FrameFlits), nil
+	case "hotspot":
+		hot := topo.NodeID(mesh.N() - 1)
+		return traffic.Hotspot(mesh, hot, load, cfg.PacketFlits, cfg.FrameFlits, cfg.QuantumFlits, nil), nil
+	}
+	return nil, fmt.Errorf("exp: unknown pattern %q", pattern)
+}
+
+// thin keeps every k-th element (plus the last).
+func thin(xs []float64, k int) []float64 {
+	var out []float64
+	for i := 0; i < len(xs); i += k {
+		out = append(out, xs[i])
+	}
+	if out[len(out)-1] != xs[len(xs)-1] {
+		out = append(out, xs[len(xs)-1])
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"loft/internal/core"
+	"loft/internal/traffic"
+)
+
+// CaseIIRow is one injection-rate point of Fig. 13: the average accepted
+// throughput (flits/cycle/node) of the grey nodes (column 0 sending to the
+// central hotspot) and of the stripped node (sending to its uncontended
+// nearest neighbor).
+type CaseIIRow struct {
+	Rate     float64
+	Grey     float64
+	Stripped float64
+}
+
+// Fig13CaseII reproduces Case Study II (§6.3b), the Fig. 1 pathological
+// pattern with equal reservations for all flows. The paper's claim: GSF's
+// globally-synchronized frame recycling throttles the stripped node along
+// with the grey nodes, while LOFT's local status reset lets the stripped
+// node exploit its private bandwidth.
+func Fig13CaseII(arch core.Arch, o Options) ([]CaseIIRow, error) {
+	rates := []float64{0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 0.95}
+	if o.Quick {
+		rates = []float64{0.02, 0.16, 0.95}
+	}
+	cfg := loftCfg(12)
+	var rows []CaseIIRow
+	for _, rate := range rates {
+		p := traffic.CaseStudyII(cfg.Mesh(), rate, cfg.PacketFlits, cfg.FrameFlits)
+		var res core.Result
+		var err error
+		if arch == core.ArchGSF {
+			res, _, err = core.RunGSF(gsfCfg(), p, cfg.FrameFlits, o.runSpec())
+		} else {
+			res, _, err = core.RunLOFT(cfg, p, o.runSpec())
+		}
+		if err != nil {
+			return nil, err
+		}
+		row := CaseIIRow{Rate: rate}
+		grey := traffic.CaseStudyIIGrey(p)
+		for _, id := range grey {
+			row.Grey += res.FlowRate[id]
+		}
+		row.Grey /= float64(len(grey))
+		row.Stripped = res.FlowRate[traffic.CaseStudyIIStripped(p)]
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,85 @@
+// Package flit defines the protocol units shared by all network models:
+// flows, packets, data flits, and LOFT look-ahead flits with their 64-bit
+// wire encoding (paper Fig. 3).
+package flit
+
+import (
+	"fmt"
+
+	"loft/internal/topo"
+)
+
+// FlowID uniquely identifies a flow. The paper treats a flow as the traffic
+// from one source to one destination (flow_ij); for the uniform pattern each
+// source is one flow (§6). We encode both cases in a single integer id
+// assigned by the traffic setup.
+type FlowID int
+
+// Flow describes a QoS flow: its endpoints and its per-frame reservation in
+// flits (R_ij, identical on every link of the path, §5.1).
+type Flow struct {
+	ID       FlowID
+	Src, Dst topo.NodeID
+	// Reservation is R_ij in flits per frame.
+	Reservation int
+}
+
+// Packet is the unit of injection. The paper uses 4-flit packets split into
+// two 2-flit quanta.
+type Packet struct {
+	Flow     FlowID
+	Src, Dst topo.NodeID
+	Seq      uint64 // per-flow packet sequence number
+	Flits    int    // number of data flits
+	Created  uint64 // cycle the packet was generated at the source
+}
+
+// Flit is one data flit. Head/Tail mark packet boundaries for wormhole-style
+// networks; LOFT does not need them for switching (routing and scheduling are
+// done by look-ahead flits) but keeps them for accounting.
+type Flit struct {
+	Flow     FlowID
+	Src, Dst topo.NodeID
+	PktSeq   uint64
+	Index    int // flit index within the packet
+	Head     bool
+	Tail     bool
+	Created  uint64 // packet creation cycle
+	Injected uint64 // cycle the flit entered the network (first router)
+	// Frame carries the GSF frame tag; unused by LOFT and wormhole.
+	Frame int
+}
+
+// String formats a flit for diagnostics.
+func (f Flit) String() string {
+	return fmt.Sprintf("flit{flow=%d %d->%d pkt=%d idx=%d}", f.Flow, f.Src, f.Dst, f.PktSeq, f.Index)
+}
+
+// QuantumID names one scheduling quantum of a flow: the paper's (flow number,
+// quantum number) pair that an input reservation table stores to identify
+// arriving data flits uniquely (§4.3.1).
+type QuantumID struct {
+	Flow FlowID
+	Seq  uint64 // global per-flow quantum sequence number
+}
+
+// Lookahead is a look-ahead flit (paper Fig. 3). One look-ahead flit leads a
+// single data quantum of Q data flits (Q=2 in the paper setup) and is
+// scheduled in its entirety.
+//
+// Fields mirror §5.1.1: destination, flow number, quantum number, and the
+// departure time of the quantum from the previous router. Dst drives routing;
+// DepartPrev tells the input scheduler when the data will arrive.
+type Lookahead struct {
+	Dst        topo.NodeID
+	Flow       FlowID
+	Quantum    uint64
+	DepartPrev uint64 // absolute cycle the quantum leaves the previous router
+	// Src is carried for LSF per-flow accounting (§3.2: added for LSF).
+	Src topo.NodeID
+	// Flits is the quantum size in data flits (tail quanta may be short).
+	Flits int
+	// Created is the leading packet's creation cycle (statistics only; the
+	// hardware does not carry it).
+	Created uint64
+}

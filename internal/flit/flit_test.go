@@ -1,0 +1,72 @@
+package flit
+
+import (
+	"testing"
+	"testing/quick"
+
+	"loft/internal/topo"
+)
+
+func TestEncodeLookaheadRoundTrip(t *testing.T) {
+	l := Lookahead{Dst: 63, Flow: 42, Quantum: 500, DepartPrev: 900}
+	w, err := EncodeLookahead(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := DecodeLookahead(w, 890, 495)
+	if got.Dst != l.Dst || got.Flow != l.Flow || got.Quantum != l.Quantum || got.DepartPrev != l.DepartPrev {
+		t.Fatalf("round trip: %+v -> %+v", l, got)
+	}
+}
+
+func TestEncodeFieldOverflow(t *testing.T) {
+	if _, err := EncodeLookahead(Lookahead{Dst: 64}); err == nil {
+		t.Fatal("64-node destination fits a 6-bit field?")
+	}
+	if _, err := EncodeLookahead(Lookahead{Flow: 64}); err == nil {
+		t.Fatal("flow 64 fits a 6-bit field?")
+	}
+}
+
+func TestEncodeQuickRoundTrip(t *testing.T) {
+	// Property: encoding and decoding against a reference within the
+	// field's unambiguous range reconstructs the absolute values.
+	if err := quick.Check(func(dst, flow uint8, q, td uint32, base uint32) bool {
+		l := Lookahead{
+			Dst:        topo.NodeID(dst % 64),
+			Flow:       FlowID(flow % 64),
+			Quantum:    uint64(base) + uint64(q%256),
+			DepartPrev: uint64(base) + uint64(td%256),
+		}
+		w, err := EncodeLookahead(l)
+		if err != nil {
+			return false
+		}
+		// References within ±(2^9) of the true values.
+		got := DecodeLookahead(w, l.DepartPrev+100, l.Quantum+100)
+		return got.Dst == l.Dst && got.Flow == l.Flow &&
+			got.Quantum == l.Quantum && got.DepartPrev == l.DepartPrev
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnwrapNearest(t *testing.T) {
+	cases := []struct {
+		v, ref uint64
+		bits   uint
+		want   uint64
+	}{
+		{5, 1000, 10, 1029}, // 1029 is nearer to 1000 than 5
+		{1000, 1030, 10, 1000},
+		{5, 1020, 10, 1029}, // wraps up to the next 1024 window
+		{1020, 1030, 10, 1020},
+		{0, 1023, 10, 1024},
+		{5, 20, 10, 5}, // small values stay put near small references
+	}
+	for _, c := range cases {
+		if got := unwrap(c.v, c.ref, c.bits); got != c.want {
+			t.Errorf("unwrap(%d, %d) = %d, want %d", c.v, c.ref, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package gsf
+
+import (
+	"testing"
+
+	"loft/internal/config"
+	"loft/internal/topo"
+	"loft/internal/traffic"
+)
+
+func smallGSF() config.GSF {
+	cfg := config.PaperGSF()
+	cfg.MeshK = 4
+	cfg.FrameFlits = 200
+	cfg.SourceQueue = 200
+	return cfg
+}
+
+func mustNet(t *testing.T, cfg config.GSF, p *traffic.Pattern, seed, warmup uint64) *Network {
+	t.Helper()
+	net, err := New(cfg, p, Options{Seed: seed, Warmup: warmup, BaseFrameFlits: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestGSFSingleFlowDelivers(t *testing.T) {
+	cfg := smallGSF()
+	p := traffic.SingleFlow(cfg.Mesh(), 0, 15, 0.1, cfg.PacketFlits, 32)
+	net := mustNet(t, cfg, p, 1, 0)
+	net.Run(5000)
+	if net.Throughput().TotalFlits() == 0 {
+		t.Fatal("no flits delivered")
+	}
+	if net.Latency().Count() == 0 {
+		t.Fatal("no packet latencies")
+	}
+	if mean := net.Latency().Mean(); mean > 300 {
+		t.Fatalf("mean latency %.1f too high for light load", mean)
+	}
+}
+
+func TestGSFConservation(t *testing.T) {
+	cfg := smallGSF()
+	p := traffic.NearestNeighbor(cfg.Mesh(), 0.2, cfg.PacketFlits, 32)
+	net := mustNet(t, cfg, p, 7, 0)
+	net.Run(4000)
+	p.SetRate(0)
+	net.Run(6000)
+	if net.InFlight() != 0 || net.Backlog() != 0 {
+		t.Fatalf("flits stuck after drain: in-flight %d, backlog %d", net.InFlight(), net.Backlog())
+	}
+}
+
+func TestGSFFramesRecycle(t *testing.T) {
+	cfg := smallGSF()
+	p := traffic.Uniform(cfg.Mesh(), 0.1, cfg.PacketFlits, 32)
+	net := mustNet(t, cfg, p, 3, 0)
+	net.Run(5000)
+	if net.Head() == 0 {
+		t.Fatal("head frame never advanced")
+	}
+}
+
+func TestGSFHotspotRegulation(t *testing.T) {
+	cfg := smallGSF()
+	mesh := cfg.Mesh()
+	hot := topo.NodeID(mesh.N() - 1)
+	p := traffic.Hotspot(mesh, hot, 0.5, cfg.PacketFlits, 32, 2, nil)
+	net := mustNet(t, cfg, p, 5, 2000)
+	net.Run(20000)
+	var total float64
+	var min, max float64
+	for i, f := range p.Flows {
+		r := net.Throughput().Flow(f.ID)
+		total += r
+		if i == 0 || r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
+	}
+	if total < 0.3 {
+		t.Fatalf("hotspot total throughput %.3f too low", total)
+	}
+	if min <= 0 {
+		t.Fatal("a flow was starved")
+	}
+	if max > 4*min {
+		t.Fatalf("hotspot unfair: min %.4f max %.4f", min, max)
+	}
+}
+
+func TestGSFOnePacketPerVC(t *testing.T) {
+	// Structural: after a tail flit leaves a VC, the VC resets its route
+	// and downstream allocation; mid-packet it must not.
+	cfg := smallGSF()
+	p := traffic.SingleFlow(cfg.Mesh(), 0, 15, 0.5, cfg.PacketFlits, 32)
+	net := mustNet(t, cfg, p, 11, 0)
+	net.Run(3000)
+	// Flow ran at a healthy rate despite the single-packet rule.
+	if net.Throughput().Flow(0) < 0.2 {
+		t.Fatalf("single flow rate %.3f too low", net.Throughput().Flow(0))
+	}
+}
+
+func TestGSFBarrierDelayMatters(t *testing.T) {
+	// A larger barrier delay slows frame recycling and thus the head-frame
+	// counter advance.
+	run := func(delay int) int {
+		cfg := smallGSF()
+		cfg.BarrierDelay = delay
+		p := traffic.Uniform(cfg.Mesh(), 0.05, cfg.PacketFlits, 32)
+		net := mustNet(t, cfg, p, 13, 0)
+		net.Run(5000)
+		return net.Head()
+	}
+	fast, slow := run(1), run(200)
+	if fast <= slow {
+		t.Fatalf("head advance: delay=1 → %d, delay=200 → %d; want faster recycling with smaller delay", fast, slow)
+	}
+}
+
+func TestGSFSourceQueueDropsWhenFull(t *testing.T) {
+	cfg := smallGSF()
+	cfg.SourceQueue = 20
+	hot := topo.NodeID(cfg.Mesh().N() - 1)
+	p := traffic.Hotspot(cfg.Mesh(), hot, 0.9, cfg.PacketFlits, 32, 2, nil)
+	net := mustNet(t, cfg, p, 17, 0)
+	net.Run(8000)
+	if net.Drops() == 0 {
+		t.Fatal("no drops with a 20-flit source queue at 0.9 offered")
+	}
+	if net.Backlog() > cfg.Mesh().N()*cfg.SourceQueue {
+		t.Fatal("backlog exceeds source queue capacity")
+	}
+}
+
+func TestGSFFramePriorityHelpsOlderFrames(t *testing.T) {
+	// Under contention the network drains head-frame flits first, so the
+	// head frame keeps advancing even at full load.
+	cfg := smallGSF()
+	hot := topo.NodeID(cfg.Mesh().N() - 1)
+	p := traffic.Hotspot(cfg.Mesh(), hot, 0.5, cfg.PacketFlits, 32, 2, nil)
+	net := mustNet(t, cfg, p, 19, 0)
+	net.Run(10000)
+	if net.Head() < 3 {
+		t.Fatalf("head frame stuck at %d under hotspot load", net.Head())
+	}
+	if net.Throughput().Total() < 0.3 {
+		t.Fatalf("hotspot throughput %.3f too low", net.Throughput().Total())
+	}
+}
+
+func TestGSFDeterminism(t *testing.T) {
+	run := func() uint64 {
+		cfg := smallGSF()
+		p := traffic.Uniform(cfg.Mesh(), 0.2, cfg.PacketFlits, 32)
+		net := mustNet(t, cfg, p, 29, 500)
+		net.Run(4000)
+		return net.Throughput().TotalFlits()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same-seed GSF runs differ: %d vs %d", a, b)
+	}
+}
+
+func TestBestEffortWormholeDelivers(t *testing.T) {
+	cfg := smallGSF()
+	cfg.BestEffort = true
+	p := traffic.Uniform(cfg.Mesh(), 0.2, cfg.PacketFlits, 32)
+	net := mustNet(t, cfg, p, 3, 500)
+	net.Run(5000)
+	if net.Throughput().TotalFlits() == 0 {
+		t.Fatal("best-effort network delivered nothing")
+	}
+	if net.Head() != 0 {
+		t.Fatalf("barrier active in best-effort mode: head=%d", net.Head())
+	}
+}
+
+func TestBestEffortHasNoIsolation(t *testing.T) {
+	// The whole point of the QoS machinery: without it the DoS aggressors
+	// take bandwidth from the victim beyond its share.
+	cfg := smallGSF()
+	cfg.BestEffort = true
+	mesh := cfg.Mesh()
+	hot := topo.NodeID(mesh.N() - 1)
+	p := traffic.Hotspot(mesh, hot, 0.5, cfg.PacketFlits, 32, 2, nil)
+	net := mustNet(t, cfg, p, 7, 2000)
+	net.Run(15000)
+	var min, max float64 = 1, 0
+	for _, f := range p.Flows {
+		r := net.Throughput().Flow(f.ID)
+		if r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
+	}
+	// Unregulated wormhole under a saturated hotspot is positionally
+	// unfair; the spread is far beyond what the QoS variants allow.
+	if min*3 > max {
+		t.Fatalf("best-effort hotspot unexpectedly fair: min=%.4f max=%.4f", min, max)
+	}
+}

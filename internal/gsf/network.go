@@ -1,0 +1,192 @@
+package gsf
+
+import (
+	"fmt"
+
+	"loft/internal/config"
+	"loft/internal/sim"
+	"loft/internal/stats"
+	"loft/internal/topo"
+	"loft/internal/traffic"
+)
+
+// Network is a complete GSF mesh driving a traffic pattern.
+type Network struct {
+	cfg     config.GSF
+	mesh    topo.Mesh
+	pattern *traffic.Pattern
+	nodes   []*node
+	kernel  *sim.Kernel
+
+	injectors []*traffic.Injector
+
+	// Barrier / global frame state.
+	head       int // H: the head frame (absolute)
+	frameCount map[int]int
+	barrier    int // countdown; 0 = idle
+
+	lat     *stats.Latency // total latency (generation → delivery)
+	latNet  *stats.Latency // network latency (injection → delivery)
+	latFlow *stats.FlowLatency
+	thr     *stats.Throughput
+}
+
+// Options mirror the LOFT network options.
+type Options struct {
+	Seed   uint64
+	Warmup uint64
+	// BaseFrameFlits is the frame size the pattern's reservations were
+	// computed against (the LOFT frame, 256); GSF budgets are rescaled to
+	// its own 2000-flit frames preserving each flow's bandwidth fraction.
+	BaseFrameFlits int
+}
+
+// New builds a GSF network for the given pattern.
+func New(cfg config.GSF, pattern *traffic.Pattern, opts Options) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mesh := cfg.Mesh()
+	if pattern.Mesh.K != mesh.K {
+		return nil, fmt.Errorf("gsf: pattern mesh %d does not match config mesh %d", pattern.Mesh.K, mesh.K)
+	}
+	if opts.BaseFrameFlits <= 0 {
+		return nil, fmt.Errorf("gsf: BaseFrameFlits must be positive")
+	}
+	net := &Network{
+		cfg:        cfg,
+		mesh:       mesh,
+		pattern:    pattern,
+		kernel:     sim.NewKernel(),
+		head:       0,
+		frameCount: make(map[int]int),
+		lat:        stats.NewLatency(opts.Warmup),
+		latNet:     stats.NewLatency(opts.Warmup),
+		latFlow:    stats.NewFlowLatency(opts.Warmup),
+		thr:        stats.NewThroughput(opts.Warmup),
+	}
+	for i := 0; i < mesh.N(); i++ {
+		net.nodes = append(net.nodes, newNode(topo.NodeID(i), cfg, net))
+		net.injectors = append(net.injectors, traffic.NewInjector(pattern, topo.NodeID(i), opts.Seed))
+	}
+	// Install per-flow injection budgets at the sources, rescaled from the
+	// pattern's base frame to GSF's frame size. Best-effort mode carries no
+	// budgets.
+	for _, f := range pattern.Flows {
+		if cfg.BestEffort {
+			break
+		}
+		r := f.Reservation * cfg.FrameFlits / opts.BaseFrameFlits
+		if r < cfg.PacketFlits {
+			r = cfg.PacketFlits
+		}
+		src := net.nodes[f.Src]
+		src.flows[f.ID] = &flowState{id: f.ID, r: r, ifr: 1, c: r}
+	}
+	net.wire()
+	net.kernel.Add(net)
+	return net, nil
+}
+
+func (net *Network) wire() {
+	for _, n := range net.nodes {
+		for d := topo.North; d < topo.Local; d++ {
+			nb, ok := net.mesh.Neighbor(n.id, d)
+			if !ok {
+				continue
+			}
+			fo := sim.NewReg[linkMsg](fmt.Sprintf("gsf.flit %d->%d", n.id, nb))
+			net.kernel.AddUpdater(fo)
+			n.flitOut[d] = fo
+			peer := net.nodes[nb]
+			opp := d.Opposite()
+			peer.flitIn[opp] = fo
+			co := sim.NewReg[creditMsg](fmt.Sprintf("gsf.cred %d->%d", nb, n.id))
+			net.kernel.AddUpdater(co)
+			peer.credOut[opp] = co
+			n.credIn[d] = co
+		}
+	}
+}
+
+// Tick advances every node and the barrier controller (sim.Ticker).
+func (net *Network) Tick(now uint64) {
+	for i, n := range net.nodes {
+		for _, pkt := range net.injectors[i].Next(now) {
+			n.enqueue(pkt)
+		}
+		n.tick(now)
+	}
+	net.tickBarrier()
+}
+
+// tickBarrier models the global barrier network: once no head-frame flit
+// remains in the network, the window shifts after the barrier round-trip
+// delay (16 cycles in Table 1). Best-effort mode has no barrier.
+func (net *Network) tickBarrier() {
+	if net.cfg.BestEffort {
+		return
+	}
+	if net.barrier > 0 {
+		net.barrier--
+		if net.barrier == 0 {
+			delete(net.frameCount, net.head)
+			net.head++
+		}
+		return
+	}
+	if net.frameCount[net.head] == 0 {
+		net.barrier = net.cfg.BarrierDelay
+	}
+}
+
+// Run advances the simulation n cycles.
+func (net *Network) Run(n uint64) {
+	net.kernel.Run(n)
+	net.thr.Close(net.kernel.Now())
+}
+
+// Now returns the current cycle.
+func (net *Network) Now() uint64 { return net.kernel.Now() }
+
+// Latency returns the total packet latency collector.
+func (net *Network) Latency() *stats.Latency { return net.lat }
+
+// NetLatency returns the network latency collector (injection to delivery).
+func (net *Network) NetLatency() *stats.Latency { return net.latNet }
+
+// FlowLatency returns the per-flow latency collector.
+func (net *Network) FlowLatency() *stats.FlowLatency { return net.latFlow }
+
+// Throughput returns the ejection throughput collector.
+func (net *Network) Throughput() *stats.Throughput { return net.thr }
+
+// Head returns the current head frame (diagnostics).
+func (net *Network) Head() int { return net.head }
+
+// Drops returns packets dropped at full source queues.
+func (net *Network) Drops() uint64 {
+	var total uint64
+	for _, n := range net.nodes {
+		total += n.drops
+	}
+	return total
+}
+
+// Backlog returns total flits waiting in source queues.
+func (net *Network) Backlog() int {
+	total := 0
+	for _, n := range net.nodes {
+		total += n.srcQueue.Len()
+	}
+	return total
+}
+
+// InFlight returns the number of flits inside the network (diagnostics).
+func (net *Network) InFlight() int {
+	total := 0
+	for _, c := range net.frameCount {
+		total += c
+	}
+	return total
+}

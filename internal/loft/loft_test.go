@@ -1,0 +1,346 @@
+package loft
+
+import (
+	"math"
+	"testing"
+
+	"loft/internal/config"
+	"loft/internal/topo"
+	"loft/internal/traffic"
+)
+
+// smallCfg returns a 4x4 LOFT configuration scaled down for unit tests but
+// honoring all structural constraints (buffer >= frame, quantum multiples).
+func smallCfg(spec int) config.LOFT {
+	cfg := config.PaperLOFTSpec(spec)
+	cfg.MeshK = 4
+	cfg.FrameFlits = 32
+	cfg.CentralBufFlits = 32
+	return cfg
+}
+
+func mustNet(t *testing.T, cfg config.LOFT, p *traffic.Pattern, seed uint64, warmup uint64) *Network {
+	t.Helper()
+	net, err := New(cfg, p, Options{Seed: seed, Warmup: warmup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestSingleFlowDelivers(t *testing.T) {
+	cfg := smallCfg(12)
+	p := traffic.SingleFlow(cfg.Mesh(), 0, 15, 0.1, cfg.PacketFlits, cfg.FrameFlits)
+	net := mustNet(t, cfg, p, 1, 0)
+	net.Run(5000)
+	s := net.TotalStats()
+	if s.EjectedFlits == 0 {
+		t.Fatal("no flits delivered")
+	}
+	if s.LateArrivals != 0 {
+		t.Fatalf("late arrivals: %d", s.LateArrivals)
+	}
+	if net.Latency().Count() == 0 {
+		t.Fatal("no packet latencies recorded")
+	}
+	// 6-hop path at 0.1 flits/cycle: average latency must be moderate.
+	if mean := net.Latency().Mean(); mean > 200 {
+		t.Fatalf("mean latency %f too high for light load", mean)
+	}
+}
+
+func TestConservationNoLossNoDuplication(t *testing.T) {
+	cfg := smallCfg(8)
+	p := traffic.NearestNeighbor(cfg.Mesh(), 0.2, cfg.PacketFlits, cfg.FrameFlits)
+	net := mustNet(t, cfg, p, 7, 0)
+	net.Run(4000)
+	// Drain: stop injection by running with rate 0.
+	p.SetRate(0)
+	net.Run(4000)
+	s := net.TotalStats()
+	if s.InjectedQuanta == 0 {
+		t.Fatal("nothing injected")
+	}
+	if s.EjectedQuanta != s.InjectedQuanta {
+		t.Fatalf("conservation violated: injected %d quanta, ejected %d (backlog %d)",
+			s.InjectedQuanta, s.EjectedQuanta, net.Backlog())
+	}
+}
+
+func TestSpecZeroDisablesOptimizations(t *testing.T) {
+	cfg := smallCfg(0)
+	if cfg.SpeculativeSwitching || cfg.LocalStatusReset {
+		t.Fatal("spec=0 must disable §4.3 optimizations")
+	}
+	p := traffic.SingleFlow(cfg.Mesh(), 0, 3, 0.05, cfg.PacketFlits, cfg.FrameFlits)
+	net := mustNet(t, cfg, p, 3, 0)
+	net.Run(6000)
+	s := net.TotalStats()
+	if s.EjectedFlits == 0 {
+		t.Fatal("no flits delivered with optimizations off")
+	}
+	if s.SpecForwards != 0 {
+		t.Fatalf("speculative forwards %d with speculation disabled", s.SpecForwards)
+	}
+	if net.ResetCount() != 0 {
+		t.Fatalf("local resets %d with reset disabled", net.ResetCount())
+	}
+}
+
+func TestSpeculationReducesLatency(t *testing.T) {
+	mesh := topo.NewMesh(4)
+	run := func(spec int) float64 {
+		cfg := smallCfg(spec)
+		p := traffic.SingleFlow(mesh, 0, 15, 0.05, cfg.PacketFlits, cfg.FrameFlits)
+		net := mustNet(t, cfg, p, 11, 0)
+		net.Run(8000)
+		if net.Latency().Count() == 0 {
+			t.Fatal("no packets delivered")
+		}
+		return net.Latency().Mean()
+	}
+	l0, l12 := run(0), run(12)
+	if l12 >= l0 {
+		t.Fatalf("speculation did not reduce latency: spec0=%.1f spec12=%.1f", l0, l12)
+	}
+}
+
+func TestHotspotThroughputMatchesReservation(t *testing.T) {
+	cfg := smallCfg(8)
+	mesh := cfg.Mesh()
+	hot := topo.NodeID(mesh.N() - 1)
+	p := traffic.Hotspot(mesh, hot, 0.5, cfg.PacketFlits, cfg.FrameFlits, cfg.QuantumFlits, nil)
+	net := mustNet(t, cfg, p, 5, 4000)
+	net.Run(20000)
+	// 15 flows share the hotspot ejection link; all inject far above their
+	// share, so each should converge near its guaranteed rate and the
+	// ejection link should be nearly fully utilized.
+	var total float64
+	var rates []float64
+	for _, f := range p.Flows {
+		r := net.Throughput().Flow(f.ID)
+		rates = append(rates, r)
+		total += r
+	}
+	if total < 0.75 {
+		t.Fatalf("hotspot ejection utilization %.3f, want > 0.75", total)
+	}
+	mean := total / float64(len(rates))
+	for i, r := range rates {
+		if math.Abs(r-mean) > 0.5*mean {
+			t.Fatalf("flow %d rate %.4f deviates from mean %.4f beyond 50%%", i, r, mean)
+		}
+	}
+}
+
+func TestUniformDeliversUnderLoad(t *testing.T) {
+	cfg := smallCfg(8)
+	p := traffic.Uniform(cfg.Mesh(), 0.2, cfg.PacketFlits, cfg.FrameFlits)
+	net := mustNet(t, cfg, p, 13, 2000)
+	net.Run(10000)
+	if net.Throughput().Total() < 0.2*float64(cfg.Mesh().N())*0.5 {
+		t.Fatalf("uniform accepted throughput %.3f too low", net.Throughput().Total())
+	}
+	if s := net.TotalStats(); s.LateArrivals > s.EjectedQuanta/100 {
+		t.Fatalf("late arrivals %d out of %d quanta", s.LateArrivals, s.EjectedQuanta)
+	}
+}
+
+func TestPaperConfigRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 8x8 paper configuration")
+	}
+	cfg := config.PaperLOFT()
+	p := traffic.Uniform(cfg.Mesh(), 0.1, cfg.PacketFlits, cfg.FrameFlits)
+	net := mustNet(t, cfg, p, 42, 1000)
+	net.Run(5000)
+	if net.Throughput().TotalFlits() == 0 {
+		t.Fatal("paper configuration delivered nothing")
+	}
+}
+
+// TestVerifiedBookkeeping runs a contended workload with per-slot
+// verification of the incremental LSF bookkeeping (the O(1) last-zero
+// tracking against a full scan) enabled on every table.
+func TestVerifiedBookkeeping(t *testing.T) {
+	EnableVerify()
+	defer DisableVerify()
+	cfg := smallCfg(8)
+	mesh := cfg.Mesh()
+	hot := topo.NodeID(mesh.N() - 1)
+	p := traffic.Hotspot(mesh, hot, 0.5, cfg.PacketFlits, cfg.FrameFlits, cfg.QuantumFlits, nil)
+	net := mustNet(t, cfg, p, 21, 0)
+	net.Run(6000)
+	if net.Throughput().TotalFlits() == 0 {
+		t.Fatal("nothing delivered under verification")
+	}
+}
+
+// TestYieldConditionRuns exercises the optional condition-(1)-derived yield
+// policy end to end: the network must stay live and deliver traffic.
+func TestYieldConditionRuns(t *testing.T) {
+	cfg := smallCfg(8)
+	cfg.YieldCondition = true
+	p := traffic.NearestNeighbor(cfg.Mesh(), 0.2, cfg.PacketFlits, cfg.FrameFlits)
+	net := mustNet(t, cfg, p, 31, 0)
+	net.Run(6000)
+	if net.Throughput().TotalFlits() == 0 {
+		t.Fatal("yield policy starved the network")
+	}
+}
+
+// TestNIDropsUnderOverload verifies the bounded NI queue policy: a flow
+// offering far beyond its share drops packets instead of queueing without
+// bound, keeping measured latency finite.
+func TestNIDropsUnderOverload(t *testing.T) {
+	cfg := smallCfg(8)
+	mesh := cfg.Mesh()
+	hot := topo.NodeID(mesh.N() - 1)
+	p := traffic.Hotspot(mesh, hot, 0.9, cfg.PacketFlits, cfg.FrameFlits, cfg.QuantumFlits, nil)
+	net := mustNet(t, cfg, p, 17, 1000)
+	net.Run(10000)
+	s := net.TotalStats()
+	if s.Drops == 0 {
+		t.Fatal("no drops at 0.9 offered into a saturated hotspot")
+	}
+	if net.Backlog() > mesh.N()*cfg.NIQueueFlits/cfg.QuantumFlits {
+		t.Fatalf("backlog %d exceeds the NI queue bound", net.Backlog())
+	}
+}
+
+// TestPerFlowOrderWithinFlowAtSink checks packet reassembly: every packet
+// completes exactly once with the right quantum count (no duplication).
+func TestPacketReassemblyExactlyOnce(t *testing.T) {
+	cfg := smallCfg(12)
+	p := traffic.SingleFlow(cfg.Mesh(), 0, 15, 0.3, cfg.PacketFlits, cfg.FrameFlits)
+	net := mustNet(t, cfg, p, 23, 0)
+	net.Run(4000)
+	p.SetRate(0)
+	net.Run(4000)
+	s := net.TotalStats()
+	quantaPerPkt := uint64(cfg.PacketFlits / cfg.QuantumFlits)
+	if s.EjectedQuanta%quantaPerPkt != 0 {
+		t.Fatalf("ejected %d quanta not a whole number of packets", s.EjectedQuanta)
+	}
+	if got := net.Latency().Count(); got != s.EjectedQuanta/quantaPerPkt {
+		t.Fatalf("completed packets %d != ejected quanta/2 = %d", got, s.EjectedQuanta/quantaPerPkt)
+	}
+}
+
+// TestLocalResetsOnlyOnIdleLinks verifies the §4.3.2 trigger: a saturated
+// single-flow path resets far less than an intermittent one.
+func TestLocalResetsHelpIdleLinks(t *testing.T) {
+	cfg := smallCfg(8)
+	// Intermittent light flow: many resets expected.
+	p1 := traffic.SingleFlow(cfg.Mesh(), 0, 3, 0.02, cfg.PacketFlits, cfg.FrameFlits)
+	n1 := mustNet(t, cfg, p1, 3, 0)
+	n1.Run(8000)
+	if n1.ResetCount() == 0 {
+		t.Fatal("no resets on an intermittent flow")
+	}
+	// The whole offered load is accepted: resets keep recycling the idle
+	// links' frames so the flow never stalls on its window.
+	if rate := n1.Throughput().Flow(0); rate < 0.015 {
+		t.Fatalf("accepted rate %.4f, want ≈ offered 0.02", rate)
+	}
+}
+
+// TestLivenessMixedTraffic runs a long mixed workload and asserts the
+// network keeps making forward progress (no wedge: ejections strictly
+// increase across every window).
+func TestLivenessMixedTraffic(t *testing.T) {
+	cfg := smallCfg(8)
+	p := traffic.Transpose(cfg.Mesh(), 0.3, cfg.PacketFlits, cfg.FrameFlits)
+	net := mustNet(t, cfg, p, 37, 0)
+	last := uint64(0)
+	for i := 0; i < 10; i++ {
+		net.Run(2000)
+		got := net.TotalStats().EjectedFlits
+		if got <= last {
+			t.Fatalf("no progress in window %d: ejected stuck at %d", i, got)
+		}
+		last = got
+	}
+}
+
+// TestSpecBufferNeverOverflows drives heavy speculative forwarding and
+// relies on the routers' internal overflow panics as the assertion.
+func TestSpecBufferNeverOverflows(t *testing.T) {
+	cfg := smallCfg(4) // tiny 2-quantum speculative buffers
+	p := traffic.Uniform(cfg.Mesh(), 0.4, cfg.PacketFlits, cfg.FrameFlits)
+	net := mustNet(t, cfg, p, 41, 0)
+	net.Run(8000)
+	if net.TotalStats().SpecForwards == 0 {
+		t.Fatal("workload did not exercise speculative forwarding")
+	}
+}
+
+// TestBurstAbsorption exercises the frame window's stated purpose: a bursty
+// flow books multiple on-the-fly frames ahead (plus local resets between
+// bursts) and delivers its bursts without loss at low average load.
+func TestBurstAbsorption(t *testing.T) {
+	cfg := smallCfg(12)
+	p := traffic.Bursty(cfg.Mesh(), 0, 15, 40, 400, cfg.PacketFlits, cfg.FrameFlits)
+	net := mustNet(t, cfg, p, 43, 0)
+	net.Run(12000)
+	p.Gens[0][0].Burst = 0 // stop generating
+	p.Gens[0][0].Gap = 0
+	net.Run(6000)
+	s := net.TotalStats()
+	if s.InjectedQuanta == 0 {
+		t.Fatal("no bursts generated")
+	}
+	if s.Drops > 0 {
+		t.Fatalf("%d packets dropped at ~14%% duty cycle", s.Drops)
+	}
+	if s.EjectedQuanta != s.InjectedQuanta {
+		t.Fatalf("burst flits lost: injected %d, ejected %d", s.InjectedQuanta, s.EjectedQuanta)
+	}
+}
+
+// TestTraceReplayThroughNetwork drives a replayed synthetic trace end to
+// end: every trace packet must be delivered once the network drains.
+func TestTraceReplayThroughNetwork(t *testing.T) {
+	cfg := smallCfg(8)
+	mesh := cfg.Mesh()
+	events := traffic.SyntheticTrace(mesh, 80, 4000, cfg.PacketFlits, 9)
+	p, err := traffic.FromTrace(mesh, events, cfg.PacketFlits, cfg.FrameFlits, cfg.QuantumFlits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := mustNet(t, cfg, p, 1, 0)
+	net.Run(12000)
+	if got := net.Latency().Count(); got != uint64(len(events)) {
+		t.Fatalf("delivered %d packets, trace has %d (backlog %d)", got, len(events), net.Backlog())
+	}
+}
+
+// TestLinkUtilizationAccounting drives a single flow and checks the
+// utilization accounting: the links on its path are busy at roughly the
+// accepted rate, all others idle.
+func TestLinkUtilizationAccounting(t *testing.T) {
+	cfg := smallCfg(12)
+	p := traffic.SingleFlow(cfg.Mesh(), 0, 3, 0.2, cfg.PacketFlits, cfg.FrameFlits)
+	net := mustNet(t, cfg, p, 19, 0)
+	net.Run(8000)
+	util := net.LinkUtilization()
+	rate := net.Throughput().Flow(0)
+	onPath := map[topo.Link]bool{}
+	for _, l := range []topo.Link{
+		{From: 0, D: topo.East}, {From: 1, D: topo.East},
+		{From: 2, D: topo.East}, {From: 3, D: topo.Local},
+	} {
+		onPath[l] = true
+		if math.Abs(util[l]-rate) > 0.35*rate+0.01 {
+			t.Fatalf("link %s utilization %.4f, want ≈ accepted rate %.4f", l, util[l], rate)
+		}
+	}
+	for l, u := range util {
+		if !onPath[l] && u != 0 {
+			t.Fatalf("off-path link %s utilization %.4f", l, u)
+		}
+	}
+	if net.Heatmap() == "" {
+		t.Fatal("empty heatmap")
+	}
+}

@@ -1,0 +1,61 @@
+// Package loft assembles the full LOFT network-on-chip of the paper: a mesh
+// of nodes, each combining a look-ahead-network router, a data-network
+// router with framed output reservation tables (package lsf), a network
+// interface that regulates injection, and a sink. The package implements
+// the FRS integration of §4, the speculative flit switching of §4.3.1 and
+// the local status reset of §4.3.2.
+//
+// The data network is modeled at quantum granularity: one look-ahead flit
+// leads one quantum of Q data flits, which is scheduled and switched in its
+// entirety (§5.1). A reservation-table slot therefore spans Q cycles and
+// every link moves at most one quantum per slot, preserving the paper's
+// 1 flit/cycle link bandwidth. The look-ahead network runs at single-cycle
+// granularity.
+package loft
+
+import (
+	"loft/internal/flit"
+	"loft/internal/topo"
+)
+
+// Quantum is the data-network transfer unit: Q data flits of one flow
+// moving together under a single look-ahead reservation.
+type Quantum struct {
+	ID        flit.QuantumID
+	Src, Dst  topo.NodeID
+	PktSeq    uint64
+	PktQuanta int // quanta per packet (for sink reassembly accounting)
+	Flits     int // data flits carried (== Q except short tails)
+	Created   uint64
+	// Injected is the cycle the quantum left the NI into the router; the
+	// difference between total and network latency is source queueing.
+	Injected uint64
+}
+
+// dataMsg is one quantum on a data link. Spec tags the downstream buffer
+// class chosen by the sender (§4.3.1): true → speculative buffer.
+type dataMsg struct {
+	Q    Quantum
+	Spec bool
+}
+
+// vcredMsg returns virtual credits to the upstream output reservation
+// table. Each tag is the absolute slot at which the quantum departs this
+// router, booked by its look-ahead flit (§3.2 step 4). Several bookings for
+// the same upstream link can complete in one cycle (one per output port),
+// hence the slice.
+type vcredMsg struct {
+	Tags []uint64
+}
+
+// rcredMsg returns real (actual-occupancy) credits for the central and
+// speculative buffers, added by §4.3.1 for speculative switching.
+type rcredMsg struct {
+	NonSpec, Spec int
+}
+
+// laCredMsg returns look-ahead-network buffer credits (count of freed VC
+// slots).
+type laCredMsg struct {
+	N int
+}

@@ -1,0 +1,329 @@
+package loft
+
+import (
+	"fmt"
+	"strings"
+
+	"loft/internal/config"
+	"loft/internal/flit"
+	"loft/internal/lsf"
+	"loft/internal/sim"
+	"loft/internal/stats"
+	"loft/internal/topo"
+	"loft/internal/traffic"
+)
+
+// Network is a complete LOFT mesh driving a traffic pattern.
+type Network struct {
+	cfg     config.LOFT
+	mesh    topo.Mesh
+	pattern *traffic.Pattern
+	nodes   []*Node
+	kernel  *sim.Kernel
+
+	lat     *stats.Latency // total latency (generation → delivery)
+	latNet  *stats.Latency // network latency (injection → delivery)
+	latFlow *stats.FlowLatency
+	thr     *stats.Throughput
+}
+
+// Options tune a simulation run.
+type Options struct {
+	// Seed drives every traffic injector deterministically.
+	Seed uint64
+	// Warmup is the cycle before which packets are excluded from stats.
+	Warmup uint64
+}
+
+// New builds a LOFT network for the given configuration and traffic
+// pattern, installing the pattern's per-link flow reservations on every
+// framed output reservation table (including injection and ejection links).
+func New(cfg config.LOFT, pattern *traffic.Pattern, opts Options) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := pattern.Validate(cfg.FrameFlits); err != nil {
+		return nil, err
+	}
+	mesh := cfg.Mesh()
+	if pattern.Mesh.K != mesh.K {
+		return nil, fmt.Errorf("loft: pattern mesh %d does not match config mesh %d", pattern.Mesh.K, mesh.K)
+	}
+	net := &Network{
+		cfg:     cfg,
+		mesh:    mesh,
+		pattern: pattern,
+		kernel:  sim.NewKernel(),
+		lat:     stats.NewLatency(opts.Warmup),
+		latNet:  stats.NewLatency(opts.Warmup),
+		latFlow: stats.NewFlowLatency(opts.Warmup),
+		thr:     stats.NewThroughput(opts.Warmup),
+	}
+	for i := 0; i < mesh.N(); i++ {
+		net.nodes = append(net.nodes, newNode(topo.NodeID(i), cfg, mesh, net))
+	}
+	net.wire()
+	if err := net.installReservations(); err != nil {
+		return nil, err
+	}
+	for i, n := range net.nodes {
+		n.ni.setInjector(traffic.NewInjector(pattern, topo.NodeID(i), opts.Seed))
+	}
+	net.kernel.Add(net)
+	return net, nil
+}
+
+// wire creates the link registers between neighbors and registers every
+// register with the kernel's update phase.
+func (net *Network) wire() {
+	reg := func(u sim.Updater) { net.kernel.AddUpdater(u) }
+	for _, n := range net.nodes {
+		reg(n.niData)
+		for d := topo.North; d < topo.Local; d++ {
+			nb, ok := net.mesh.Neighbor(n.id, d)
+			if !ok {
+				continue
+			}
+			// Forward-direction registers owned by n toward nb.
+			n.dataOut[d] = sim.NewReg[dataMsg](fmt.Sprintf("data %d->%d", n.id, nb))
+			n.laOut[d] = sim.NewReg[flit.Lookahead](fmt.Sprintf("la %d->%d", n.id, nb))
+			reg(n.dataOut[d])
+			reg(n.laOut[d])
+			peer := net.nodes[nb]
+			opp := d.Opposite()
+			peer.dataIn[opp] = n.dataOut[d]
+			peer.laIn[opp] = n.laOut[d]
+			// Reverse-direction credit registers owned by nb's input side.
+			vc := sim.NewReg[vcredMsg](fmt.Sprintf("vcred %d->%d", nb, n.id))
+			rc := sim.NewReg[rcredMsg](fmt.Sprintf("rcred %d->%d", nb, n.id))
+			lc := sim.NewReg[laCredMsg](fmt.Sprintf("lacred %d->%d", nb, n.id))
+			reg(vc)
+			reg(rc)
+			reg(lc)
+			peer.vcredOut[opp] = vc
+			peer.rcredOut[opp] = rc
+			peer.laCredOut[opp] = lc
+			n.vcredIn[d] = vc
+			n.rcredIn[d] = rc
+			n.laCredIn[d] = lc
+		}
+	}
+}
+
+// installReservations registers every flow on the tables of every link it
+// may use, with R converted from flits to quanta. The injection link uses
+// the flow's own reservation like every other link of its path (§5.1: "a
+// flow uses the same reservation R_ij for all links of its path"): this
+// paces look-ahead generation to the flow's guaranteed rate (plus local
+// status resets when the source is underusing its share), keeping the
+// look-ahead network lightly loaded as the paper assumes. Without this
+// pacing, sources flood the look-ahead VCs with unschedulable flits whose
+// head-of-line blocking starves distant flows.
+func (net *Network) installReservations() error {
+	for link, flows := range net.pattern.LinkFlows() {
+		if link.D == topo.NumDirs { // injection link
+			table := net.nodes[link.From].injTable
+			for _, id := range flows {
+				r := net.pattern.Flow(id).Reservation / net.cfg.QuantumFlits
+				if r < 1 {
+					r = 1
+				}
+				if err := table.AddFlow(id, r); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		table := net.nodes[link.From].outTables[link.D]
+		if table == nil {
+			return fmt.Errorf("loft: pattern uses nonexistent link %s", link)
+		}
+		for _, id := range flows {
+			r := net.pattern.Flow(id).Reservation / net.cfg.QuantumFlits
+			if r < 1 {
+				r = 1
+			}
+			if err := table.AddFlow(id, r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Tick advances every node one cycle (sim.Ticker).
+func (net *Network) Tick(now uint64) {
+	for _, n := range net.nodes {
+		n.Tick(now)
+	}
+}
+
+// Run advances the simulation n cycles.
+func (net *Network) Run(n uint64) {
+	net.kernel.Run(n)
+	net.thr.Close(net.kernel.Now())
+}
+
+// Now returns the current cycle.
+func (net *Network) Now() uint64 { return net.kernel.Now() }
+
+// observeFlits records throughput at ejection.
+func (net *Network) observeFlits(q Quantum, now uint64) {
+	for i := 0; i < q.Flits; i++ {
+		net.thr.Observe(q.ID.Flow, int(q.Src), now)
+	}
+}
+
+// observePacket records a completed packet's total and network latencies.
+func (net *Network) observePacket(q Quantum, injected, done uint64) {
+	net.lat.Observe(q.Created, done)
+	net.latFlow.Observe(q.ID.Flow, q.Created, done)
+	if q.Created >= net.latNet.Warmup() {
+		net.latNet.Observe(injected, done)
+	}
+}
+
+// Latency returns the total packet latency collector (generation to
+// delivery, including source queueing).
+func (net *Network) Latency() *stats.Latency { return net.lat }
+
+// NetLatency returns the network latency collector (injection to delivery).
+func (net *Network) NetLatency() *stats.Latency { return net.latNet }
+
+// FlowLatency returns the per-flow latency collector.
+func (net *Network) FlowLatency() *stats.FlowLatency { return net.latFlow }
+
+// Throughput returns the ejection throughput collector.
+func (net *Network) Throughput() *stats.Throughput { return net.thr }
+
+// Node returns node i (tests and diagnostics).
+func (net *Network) Node(i topo.NodeID) *Node { return net.nodes[i] }
+
+// TotalStats sums the per-node counters.
+func (net *Network) TotalStats() NodeStats {
+	var total NodeStats
+	for _, n := range net.nodes {
+		s := n.Stats()
+		total.InjectedQuanta += s.InjectedQuanta
+		total.EjectedQuanta += s.EjectedQuanta
+		total.EjectedFlits += s.EjectedFlits
+		total.Drops += s.Drops
+		total.LateArrivals += s.LateArrivals
+		total.EmergentDenied += s.EmergentDenied
+		total.SpecForwards += s.SpecForwards
+		total.SchedForwards += s.SchedForwards
+	}
+	return total
+}
+
+// Backlog returns the total NI backlog in quanta (diagnostics).
+func (net *Network) Backlog() int {
+	total := 0
+	for _, n := range net.nodes {
+		total += n.Backlog()
+	}
+	return total
+}
+
+// ResetCount sums local status resets across all tables (diagnostics).
+func (net *Network) ResetCount() uint64 {
+	var total uint64
+	for _, n := range net.nodes {
+		total += n.injTable.Stats().Resets
+		for d := topo.North; d < topo.NumDirs; d++ {
+			if n.outTables[d] != nil {
+				total += n.outTables[d].Stats().Resets
+			}
+		}
+	}
+	return total
+}
+
+// SchedulerTotals aggregates lsf.Stats over all output tables plus all
+// injection tables (diagnostics).
+func (net *Network) SchedulerTotals() (out, inj lsf.Stats) {
+	add := func(dst *lsf.Stats, s lsf.Stats) {
+		dst.Requests += s.Requests
+		dst.Scheduled += s.Scheduled
+		dst.Throttled += s.Throttled
+		dst.FrameSkips += s.FrameSkips
+		dst.CondBlocks += s.CondBlocks
+		dst.Resets += s.Resets
+	}
+	for _, n := range net.nodes {
+		add(&inj, n.injTable.Stats())
+		for d := topo.North; d < topo.NumDirs; d++ {
+			if n.outTables[d] != nil {
+				add(&out, n.outTables[d].Stats())
+			}
+		}
+	}
+	return out, inj
+}
+
+// EnableVerify turns on per-slot verification of incremental LSF
+// bookkeeping for all networks in this process (debug/test hook).
+func EnableVerify() { verifyLSF = true }
+
+// DisableVerify turns per-slot verification back off.
+func DisableVerify() { verifyLSF = false }
+
+// LinkUtilization returns, for every live output link (including ejection
+// links), the fraction of cycles it carried data over the run so far.
+func (net *Network) LinkUtilization() map[topo.Link]float64 {
+	cycles := float64(net.kernel.Now())
+	if cycles == 0 {
+		return nil
+	}
+	q := float64(net.cfg.QuantumFlits)
+	out := make(map[topo.Link]float64)
+	for _, n := range net.nodes {
+		for d := topo.North; d < topo.NumDirs; d++ {
+			if n.outTables[d] == nil {
+				continue
+			}
+			out[topo.Link{From: n.id, D: d}] = float64(n.linkBusy[d]) * q / cycles
+		}
+	}
+	return out
+}
+
+// Heatmap renders per-node link utilization as an ASCII grid: each mesh
+// node shows its East (→) and South (↓) link loads as digits 0–9 (tenths of
+// full utilization), a quick visual for locating hot regions.
+func (net *Network) Heatmap() string {
+	util := net.LinkUtilization()
+	digit := func(l topo.Link) byte {
+		u, ok := util[l]
+		if !ok {
+			return ' '
+		}
+		d := int(u * 10)
+		if d > 9 {
+			d = 9
+		}
+		return byte('0' + d)
+	}
+	var b strings.Builder
+	for y := 0; y < net.mesh.K; y++ {
+		for x := 0; x < net.mesh.K; x++ {
+			id := net.mesh.ID(topo.Coord{X: x, Y: y})
+			fmt.Fprintf(&b, "%3d", id)
+			if x+1 < net.mesh.K {
+				fmt.Fprintf(&b, " %c ", digit(topo.Link{From: id, D: topo.East}))
+			}
+		}
+		b.WriteByte('\n')
+		if y+1 < net.mesh.K {
+			for x := 0; x < net.mesh.K; x++ {
+				id := net.mesh.ID(topo.Coord{X: x, Y: y})
+				fmt.Fprintf(&b, "  %c", digit(topo.Link{From: id, D: topo.South}))
+				if x+1 < net.mesh.K {
+					b.WriteString("   ")
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,538 @@
+package loft
+
+import (
+	"fmt"
+
+	"loft/internal/buffers"
+	"loft/internal/config"
+	"loft/internal/flit"
+	"loft/internal/lsf"
+	"loft/internal/sim"
+	"loft/internal/topo"
+)
+
+// verifyLSF enables per-slot verification of incremental LSF bookkeeping
+// (set by tests and debug runs; expensive).
+var verifyLSF = false
+
+// inEntry is one row of an input reservation table (Fig. 5 bottom): the
+// quantum identity recorded by its look-ahead flit on arrival, the expected
+// data arrival, and — once the look-ahead flit passed the output scheduler —
+// the booked departure slot.
+type inEntry struct {
+	q          Quantum
+	outDir     topo.Dir
+	arriveSlot uint64
+	booked     bool
+	departSlot uint64
+	arrived    bool
+	inSpec     bool // resides in this node's speculative buffer
+}
+
+// inputPort is one data-network input port: the input reservation table plus
+// occupancy counters for the central (non-speculative) and speculative
+// buffers (Fig. 9).
+type inputPort struct {
+	dir     topo.Dir
+	entries map[flit.QuantumID]*inEntry
+	// avail lists entries that are booked AND physically arrived — the
+	// switching candidates — so per-slot arbitration does not scan the
+	// whole input reservation table.
+	avail       []*inEntry
+	nonspecUsed int
+	specUsed    int
+}
+
+// NodeStats aggregates per-node protocol events.
+type NodeStats struct {
+	InjectedQuanta uint64
+	EjectedQuanta  uint64
+	EjectedFlits   uint64
+	// Drops counts packets rejected by a full NI queue (saturation).
+	Drops uint64
+	// LateArrivals counts slots where a booked departure passed before the
+	// quantum physically arrived (a protocol stress indicator; zero in
+	// correct steady state).
+	LateArrivals uint64
+	// EmergentDenied counts emergent quanta denied the link by a full real
+	// buffer (§4.3.1 discusses why the speculative buffer makes this rare).
+	EmergentDenied uint64
+	SpecForwards   uint64 // quanta forwarded ahead of schedule
+	SchedForwards  uint64 // quanta forwarded at their booked slot
+}
+
+// Node is one LOFT mesh node: data router, look-ahead router, network
+// interface and sink.
+type Node struct {
+	id   topo.NodeID
+	cfg  config.LOFT
+	mesh topo.Mesh
+	net  *Network
+
+	// outTables are the framed output reservation tables for the four mesh
+	// outputs plus the ejection link (index topo.Local).
+	outTables [topo.NumDirs]*lsf.Table
+	// injTable schedules the NI→router injection link.
+	injTable *lsf.Table
+
+	inputs [topo.NumDirs]*inputPort // topo.Local = from the NI
+
+	la   laRouter
+	ni   netIface
+	sink sinkState
+
+	// Real credits toward each downstream input buffer pair (§4.3.1's
+	// actual-credit signals). Index by output dir; Local tracks the sink.
+	credNonSpec [topo.NumDirs]*buffers.Credits
+	credSpec    [topo.NumDirs]*buffers.Credits
+	// NI-side real credits toward the router's local input port.
+	niCredNonSpec, niCredSpec *buffers.Credits
+
+	// Link registers. Out registers are owned by this node; in registers
+	// alias the neighbor's out registers. Nil at mesh edges.
+	dataOut, dataIn     [4]*sim.Reg[dataMsg]
+	laOut, laIn         [4]*sim.Reg[flit.Lookahead]
+	vcredOut, vcredIn   [4]*sim.Reg[vcredMsg]
+	rcredOut, rcredIn   [4]*sim.Reg[rcredMsg]
+	laCredOut, laCredIn [4]*sim.Reg[laCredMsg]
+	// niData carries quanta from the NI into the router local input port.
+	niData *sim.Reg[dataMsg]
+
+	// Per-cycle accumulators flushed into the out registers.
+	pendVcred  [4][]uint64
+	pendRcred  [4]rcredMsg
+	pendLaCred [4]int
+	// pendSinkRet and pendNIRet return real credits one cycle after a
+	// quantum leaves the sink/local input.
+	pendSinkRet rcredMsg
+	pendNIRet   rcredMsg
+
+	outRR [topo.NumDirs]rrState
+
+	// linkBusy counts quanta forwarded per output (link utilization).
+	linkBusy [topo.NumDirs]uint64
+
+	stats NodeStats
+}
+
+// rrState is a rotating priority pointer over input ports.
+type rrState struct{ next int }
+
+func (r *rrState) order() [topo.NumDirs]topo.Dir {
+	var o [topo.NumDirs]topo.Dir
+	for i := 0; i < int(topo.NumDirs); i++ {
+		o[i] = topo.Dir((r.next + i) % int(topo.NumDirs))
+	}
+	return o
+}
+
+func (r *rrState) granted(d topo.Dir) { r.next = (int(d) + 1) % int(topo.NumDirs) }
+
+func newNode(id topo.NodeID, cfg config.LOFT, mesh topo.Mesh, net *Network) *Node {
+	n := &Node{id: id, cfg: cfg, mesh: mesh, net: net}
+	params := lsf.Params{
+		SlotsPerFrame: cfg.SlotsPerFrame(),
+		Frames:        cfg.FrameWindow,
+		BufferQuanta:  cfg.BufferQuanta(),
+		Strict:        true,
+		Yield:         cfg.YieldCondition,
+	}
+	for d := topo.North; d < topo.NumDirs; d++ {
+		n.inputs[d] = &inputPort{dir: d, entries: make(map[flit.QuantumID]*inEntry)}
+		if d == topo.Local {
+			n.outTables[d] = lsf.NewTable(fmt.Sprintf("n%d.eject", id), params)
+		} else if _, ok := mesh.Neighbor(id, d); ok {
+			n.outTables[d] = lsf.NewTable(fmt.Sprintf("n%d.%s", id, d), params)
+		}
+		if n.outTables[d] != nil {
+			n.credNonSpec[d] = buffers.NewCredits(fmt.Sprintf("n%d.%s.nonspec", id, d), cfg.BufferQuanta())
+			n.credSpec[d] = buffers.NewCredits(fmt.Sprintf("n%d.%s.spec", id, d), cfg.SpecQuanta())
+		}
+	}
+	n.injTable = lsf.NewTable(fmt.Sprintf("n%d.inject", id), params)
+	n.niCredNonSpec = buffers.NewCredits(fmt.Sprintf("n%d.ni.nonspec", id), cfg.BufferQuanta())
+	n.niCredSpec = buffers.NewCredits(fmt.Sprintf("n%d.ni.spec", id), cfg.SpecQuanta())
+	n.niData = sim.NewReg[dataMsg](fmt.Sprintf("n%d.nidata", id))
+	n.la.init(n)
+	n.ni.init(n)
+	n.sink.init(n)
+	return n
+}
+
+// slotOf returns the quantum slot containing cycle c.
+func (n *Node) slotOf(c uint64) uint64 { return c / uint64(n.cfg.QuantumFlits) }
+
+// Tick advances the node by one cycle. See the package comment for phase
+// ordering; all cross-node communication flows through registers, so node
+// iteration order does not affect results.
+func (n *Node) Tick(now uint64) {
+	n.drain(now)
+	if now%uint64(n.cfg.QuantumFlits) == 0 {
+		if now > 0 {
+			n.injTable.Tick()
+			for d := topo.North; d < topo.NumDirs; d++ {
+				if n.outTables[d] != nil {
+					n.outTables[d].Tick()
+				}
+			}
+			n.sink.applyReturns()
+		}
+		if n.cfg.LocalStatusReset {
+			n.maybeReset()
+		}
+		if verifyLSF {
+			n.injTable.VerifyZero()
+			for d := topo.North; d < topo.NumDirs; d++ {
+				if n.outTables[d] != nil {
+					n.outTables[d].VerifyZero()
+				}
+			}
+		}
+		slot := n.slotOf(now)
+		n.forwardData(slot, now)
+		n.ni.forward(slot, now)
+	}
+	n.ni.generate(now)
+	n.ni.book(now)
+	n.la.process(now)
+	n.flush(now)
+}
+
+// drain consumes every incoming register. Look-ahead flits are drained
+// before data so a quantum always finds its input reservation entry.
+func (n *Node) drain(now uint64) {
+	if n.pendSinkRet.NonSpec > 0 || n.pendSinkRet.Spec > 0 {
+		for i := 0; i < n.pendSinkRet.NonSpec; i++ {
+			n.credNonSpec[topo.Local].Return()
+		}
+		for i := 0; i < n.pendSinkRet.Spec; i++ {
+			n.credSpec[topo.Local].Return()
+		}
+		n.pendSinkRet = rcredMsg{}
+	}
+	if n.pendNIRet.NonSpec > 0 || n.pendNIRet.Spec > 0 {
+		for i := 0; i < n.pendNIRet.NonSpec; i++ {
+			n.niCredNonSpec.Return()
+		}
+		for i := 0; i < n.pendNIRet.Spec; i++ {
+			n.niCredSpec.Return()
+		}
+		n.pendNIRet = rcredMsg{}
+	}
+	for d := 0; d < 4; d++ {
+		if n.laIn[d] != nil {
+			if fl, ok := n.laIn[d].Take(); ok {
+				n.la.accept(fl, topo.Dir(d), now)
+			}
+		}
+	}
+	if msg, ok := n.niData.Take(); ok {
+		n.receiveData(topo.Local, msg, now)
+	}
+	for d := 0; d < 4; d++ {
+		if n.dataIn[d] != nil {
+			if msg, ok := n.dataIn[d].Take(); ok {
+				n.receiveData(topo.Dir(d), msg, now)
+			}
+		}
+		if n.vcredIn[d] != nil {
+			if msg, ok := n.vcredIn[d].Take(); ok {
+				for _, tag := range msg.Tags {
+					n.outTables[d].ReturnCredit(tag)
+				}
+			}
+		}
+		if n.rcredIn[d] != nil {
+			if msg, ok := n.rcredIn[d].Take(); ok {
+				for i := 0; i < msg.NonSpec; i++ {
+					n.credNonSpec[d].Return()
+				}
+				for i := 0; i < msg.Spec; i++ {
+					n.credSpec[d].Return()
+				}
+			}
+		}
+		if n.laCredIn[d] != nil {
+			if msg, ok := n.laCredIn[d].Take(); ok {
+				for i := 0; i < msg.N; i++ {
+					n.la.credits[d].Return()
+				}
+			}
+		}
+	}
+}
+
+// receiveData registers a quantum's physical arrival at input port d.
+func (n *Node) receiveData(d topo.Dir, msg dataMsg, now uint64) {
+	ip := n.inputs[d]
+	e, ok := ip.entries[msg.Q.ID]
+	if !ok {
+		panic(fmt.Sprintf("loft: node %d input %s: quantum %+v arrived without a look-ahead entry", n.id, d, msg.Q.ID))
+	}
+	if e.arrived {
+		panic(fmt.Sprintf("loft: node %d input %s: quantum %+v arrived twice", n.id, d, msg.Q.ID))
+	}
+	e.arrived = true
+	e.inSpec = msg.Spec
+	// Adopt the wire quantum: the look-ahead flit carries only the fields
+	// of Fig. 3, while the data flits carry the full packet identity.
+	e.q = msg.Q
+	if e.booked {
+		ip.avail = append(ip.avail, e)
+		if e.departSlot < n.slotOf(now) {
+			n.stats.LateArrivals++
+		}
+	}
+	if msg.Spec {
+		ip.specUsed++
+		if ip.specUsed > n.cfg.SpecQuanta() {
+			panic(fmt.Sprintf("loft: node %d input %s: speculative buffer overflow", n.id, d))
+		}
+	} else {
+		ip.nonspecUsed++
+		if ip.nonspecUsed > n.cfg.BufferQuanta() {
+			panic(fmt.Sprintf("loft: node %d input %s: central buffer overflow", n.id, d))
+		}
+	}
+}
+
+// maybeReset performs the local status reset of §4.3.2 on every eligible
+// output link: scheduler dirty, no booked slot, no virtual credit in flight
+// and the downstream non-speculative buffer empty (observed via returned
+// real credits).
+func (n *Node) maybeReset() {
+	for d := topo.North; d < topo.NumDirs; d++ {
+		t := n.outTables[d]
+		if t == nil {
+			continue
+		}
+		if t.Dirty() && t.AllIdle() && t.Outstanding() == 0 && n.credNonSpec[d].AtCap() {
+			t.Reset()
+		}
+	}
+	if t := n.injTable; t.Dirty() && t.AllIdle() && t.Outstanding() == 0 && n.niCredNonSpec.AtCap() {
+		t.Reset()
+	}
+}
+
+// candidate returns input port d's switching candidate: the arrived, booked
+// entry with the earliest scheduled departure (the first non-empty entry of
+// the input reservation table's buffer-out row, §4.3.1).
+func (ip *inputPort) candidate() *inEntry {
+	var best *inEntry
+	for _, e := range ip.avail {
+		if best == nil || e.departSlot < best.departSlot {
+			best = e
+		}
+	}
+	return best
+}
+
+// dropAvail removes a forwarded entry from the candidate list.
+func (ip *inputPort) dropAvail(e *inEntry) {
+	for i, x := range ip.avail {
+		if x == e {
+			ip.avail[i] = ip.avail[len(ip.avail)-1]
+			ip.avail = ip.avail[:len(ip.avail)-1]
+			return
+		}
+	}
+	panic("loft: forwarded entry missing from candidate list")
+}
+
+// forwardData performs one slot's switch arbitration and link traversal for
+// the data network (§4.3.1): each input port nominates one candidate; per
+// output port an emergent candidate (booked to depart this slot or overdue)
+// always wins; otherwise, with speculative switching enabled, a round-robin
+// arbiter picks among candidates with downstream buffer space, forwarding
+// them ahead of schedule.
+func (n *Node) forwardData(slot, now uint64) {
+	var cands [topo.NumDirs]*inEntry
+	for d := topo.North; d < topo.NumDirs; d++ {
+		cands[d] = n.inputs[d].candidate()
+	}
+	for o := topo.North; o < topo.NumDirs; o++ {
+		if n.outTables[o] == nil {
+			continue
+		}
+		// Emergent pass: the earliest overdue-or-due candidate for o.
+		var winner *inEntry
+		var winnerIn topo.Dir
+		for d := topo.North; d < topo.NumDirs; d++ {
+			e := cands[d]
+			if e == nil || e.outDir != o || e.departSlot > slot {
+				continue
+			}
+			if winner == nil || e.departSlot < winner.departSlot {
+				winner, winnerIn = e, d
+			}
+		}
+		emergent := winner != nil
+		if !emergent && n.cfg.SpeculativeSwitching {
+			// Speculative pass: round-robin among remaining candidates.
+			for _, d := range n.outRR[o].order() {
+				e := cands[d]
+				if e == nil || e.outDir != o {
+					continue
+				}
+				if n.canForward(o, e) {
+					winner, winnerIn = e, d
+					n.outRR[o].granted(d)
+					break
+				}
+			}
+		}
+		if winner == nil {
+			continue
+		}
+		if emergent && !n.canForward(o, winner) {
+			n.stats.EmergentDenied++
+			continue
+		}
+		n.forward(o, winnerIn, winner, slot, now)
+		cands[winnerIn] = nil // one forward per input per slot
+	}
+}
+
+// classify reports whether entry e would be forwarded into the downstream
+// speculative buffer (out of order) or the central buffer (in order:
+// emergent, overdue, or first-scheduled in the output table, §4.3.1).
+func (n *Node) classify(o topo.Dir, e *inEntry, slot uint64) (spec bool) {
+	if e.departSlot <= slot {
+		return false
+	}
+	owner, _, ok := n.outTables[o].FirstScheduled()
+	return !ok || owner.Flow != e.q.ID.Flow || owner.Quantum != e.q.ID.Seq
+}
+
+// canForward checks downstream real-buffer space for e through output o.
+func (n *Node) canForward(o topo.Dir, e *inEntry) bool {
+	if n.classify(o, e, n.outTables[o].NowSlot()) {
+		return n.credSpec[o].Available() > 0
+	}
+	return n.credNonSpec[o].Available() > 0
+}
+
+// forward moves the winning quantum across output o: consume the real
+// credit, clear the input entry and the output-table slot, return the real
+// credit for the buffer it vacated, and either deliver to the sink (Local)
+// or put it on the link.
+func (n *Node) forward(o, in topo.Dir, e *inEntry, slot, now uint64) {
+	spec := n.classify(o, e, slot)
+	t := n.outTables[o]
+	// Clear the booked slot unless it already expired (overdue case).
+	if e.departSlot >= t.NowSlot() {
+		if owner, busy := t.BusyAt(e.departSlot); busy && owner.Flow == e.q.ID.Flow && owner.Quantum == e.q.ID.Seq {
+			t.ClearBusy(e.departSlot)
+		}
+	}
+	if e.departSlot <= slot {
+		n.stats.SchedForwards++
+	} else {
+		n.stats.SpecForwards++
+	}
+	n.linkBusy[o]++
+	// Vacate this node's input buffer and return its real credit.
+	ip := n.inputs[in]
+	delete(ip.entries, e.q.ID)
+	ip.dropAvail(e)
+	if e.inSpec {
+		ip.specUsed--
+	} else {
+		ip.nonspecUsed--
+	}
+	if in == topo.Local {
+		if e.inSpec {
+			n.pendNIRet.Spec++
+		} else {
+			n.pendNIRet.NonSpec++
+		}
+	} else {
+		if e.inSpec {
+			n.pendRcred[in].Spec++
+		} else {
+			n.pendRcred[in].NonSpec++
+		}
+	}
+	// Occupy the downstream buffer.
+	if spec {
+		n.credSpec[o].Consume()
+	} else {
+		n.credNonSpec[o].Consume()
+	}
+	if o == topo.Local {
+		n.sink.receive(e.q, spec, slot, e.departSlot, now)
+		return
+	}
+	n.dataOut[o].Write(dataMsg{Q: e.q, Spec: spec})
+}
+
+// flush writes the per-cycle accumulators to their registers.
+func (n *Node) flush(uint64) {
+	for d := 0; d < 4; d++ {
+		if len(n.pendVcred[d]) > 0 {
+			n.vcredOut[d].Write(vcredMsg{Tags: append([]uint64(nil), n.pendVcred[d]...)})
+			n.pendVcred[d] = n.pendVcred[d][:0]
+		}
+		if n.pendRcred[d] != (rcredMsg{}) {
+			n.rcredOut[d].Write(n.pendRcred[d])
+			n.pendRcred[d] = rcredMsg{}
+		}
+		if n.pendLaCred[d] > 0 {
+			n.laCredOut[d].Write(laCredMsg{N: n.pendLaCred[d]})
+			n.pendLaCred[d] = 0
+		}
+	}
+}
+
+// Stats returns the node's counters.
+func (n *Node) Stats() NodeStats { return n.stats }
+
+// ID returns the node id.
+func (n *Node) ID() topo.NodeID { return n.id }
+
+// Backlog returns the number of quanta waiting in the NI (source backlog).
+func (n *Node) Backlog() int { return n.ni.backlog() }
+
+// Debug dumps scheduler state for diagnostics (used by cmd/perfcheck).
+func (n *Node) Debug() {
+	fmt.Printf("node %d: backlog=%d\n", n.id, n.Backlog())
+	for d := topo.North; d < topo.NumDirs; d++ {
+		if n.outTables[d] == nil {
+			continue
+		}
+		t := n.outTables[d]
+		st := t.Stats()
+		fmt.Printf("  out %s: req=%d sched=%d throttle=%d cond=%d skips=%d resets=%d outstanding=%d busy=%v\n",
+			d, st.Requests, st.Scheduled, st.Throttled, st.CondBlocks, st.FrameSkips, st.Resets, t.Outstanding(), !t.AllIdle())
+	}
+	st := n.injTable.Stats()
+	fmt.Printf("  inj: req=%d sched=%d throttle=%d outstanding=%d\n", st.Requests, st.Scheduled, st.Throttled, n.injTable.Outstanding())
+	for d := topo.North; d < topo.NumDirs; d++ {
+		for v, vc := range n.la.vcs[d] {
+			if vc.Len() > 0 {
+				head, _ := vc.Peek()
+				fmt.Printf("  la in=%s vc=%d len=%d headflow=%d headq=%d ready=%d out=%s arrive=%d\n",
+					d, v, vc.Len(), head.fl.Flow, head.fl.Quantum, head.readyAt, head.outDir, head.fl.DepartPrev)
+			}
+		}
+	}
+	for d := topo.North; d < topo.NumDirs; d++ {
+		for _, e := range n.inputs[d].entries {
+			fmt.Printf("  entry in=%s flow=%d q=%d arrive=%d booked=%v depart=%d arrived=%v\n",
+				d, e.q.ID.Flow, e.q.ID.Seq, e.arriveSlot, e.booked, e.departSlot, e.arrived)
+		}
+	}
+}
+
+// DebugTable prints one output table's scheduler counters (diagnostics).
+func (n *Node) DebugTable(d topo.Dir) {
+	t := n.outTables[d]
+	if t == nil {
+		fmt.Printf("node %d %s: no table\n", n.id, d)
+		return
+	}
+	s := t.Stats()
+	fmt.Printf("node %2d %s: sched=%6d throttle=%7d cond=%6d skips=%5d resets=%5d outstanding=%3d\n",
+		n.id, d, s.Scheduled, s.Throttled, s.CondBlocks, s.FrameSkips, s.Resets, t.Outstanding())
+}

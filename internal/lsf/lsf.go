@@ -1,0 +1,609 @@
+// Package lsf implements the paper's primary contribution: the
+// locally-synchronized-frame (LSF) output scheduler integrated with
+// flit-reservation flow control (§3.1, §4).
+//
+// Each output link of every router (plus every injection and ejection link)
+// owns one Table: a framed output reservation table (Fig. 7). The table is a
+// ring of WT = F·WF time slots, each one quantum (Q data flits) wide,
+// carrying a busy flag and a virtual-credit count (Fig. 5). Slots are grouped
+// into WF frames of F slots. Per contending flow the table keeps the
+// injection frame IF_ij, the remaining reservation C_ij and the allocated
+// reservation R_ij; scheduling requests follow Algorithm 1 and Algorithm 2
+// of the paper, extended with the per-frame skipped(i) counters and
+// admission condition (1) that eliminate the output scheduling anomaly
+// (§4.2), and with the local status reset of §4.3.2.
+//
+// Virtual credits use the cumulative semantics of the appendix (eq. 3): the
+// credit of a slot counts downstream non-speculative buffer space at that
+// future time, assuming scheduled timing. Scheduling a quantum at slot t
+// decrements the credit of every slot from t to the window end; a credit
+// return tagged with the downstream departure time t increments every slot
+// from t onward. When the current-slot pointer advances, the recycled slot
+// inherits the credit of the previously farthest slot, continuing the
+// cumulative sums across the ring seam.
+//
+// All quantities in this package are in quantum slots, not flits.
+package lsf
+
+import (
+	"fmt"
+
+	"loft/internal/flit"
+)
+
+// TraceName enables throttle tracing for the named table (debug hook).
+var TraceName string
+
+// Params sizes a Table.
+type Params struct {
+	// SlotsPerFrame is F in quantum slots (frame size in flits / Q).
+	SlotsPerFrame int
+	// Frames is WF, the frame window size.
+	Frames int
+	// BufferQuanta is BN: the downstream non-speculative input buffer
+	// capacity in quanta. Theorem I requires BufferQuanta >= SlotsPerFrame.
+	BufferQuanta int
+	// Strict enables invariant panics (Theorem I: credits in [0, BN]).
+	// Simulation tests run strict; production callers may prefer counters.
+	Strict bool
+	// Yield enables the buffer-yield admission policy for frames beyond
+	// the head frame (the fairness intent of the paper's condition (1);
+	// see conditionOne). Safety never depends on it — the constructive
+	// Theorem I check in trySchedule always applies — and it penalizes
+	// flows whose quanta arrive with late earliest-departure constraints
+	// (long congested paths), so it defaults to off; the ablation
+	// benchmarks exercise it.
+	Yield bool
+}
+
+// Validate reports sizing errors.
+func (p Params) Validate() error {
+	switch {
+	case p.SlotsPerFrame < 1:
+		return fmt.Errorf("lsf: frame of %d slots", p.SlotsPerFrame)
+	case p.Frames < 2:
+		return fmt.Errorf("lsf: frame window %d < 2", p.Frames)
+	case p.BufferQuanta < p.SlotsPerFrame:
+		return fmt.Errorf("lsf: buffer %d quanta < frame %d slots violates the Theorem I precondition", p.BufferQuanta, p.SlotsPerFrame)
+	}
+	return nil
+}
+
+// Owner identifies the quantum holding a busy slot.
+type Owner struct {
+	Flow    flit.FlowID
+	Quantum uint64
+}
+
+type slotState struct {
+	busy   bool
+	owner  Owner
+	credit int
+}
+
+type flowState struct {
+	r   int // R_ij in quanta per frame
+	ifr int // IF_ij, injection frame index
+	c   int // C_ij, remaining reservation in the injection frame
+	// lastReq is the slot of the flow's most recent scheduling request;
+	// the yield condition only protects reservations of recently-active
+	// flows (a 1-bit activity flag per flow in hardware).
+	lastReq uint64
+	active  bool
+}
+
+// Stats counts scheduler events for the experiment reports.
+type Stats struct {
+	Requests     uint64 // scheduling attempts (Algorithm 1 invocations)
+	Scheduled    uint64 // successful bookings
+	Throttled    uint64 // requests denied with all frames exhausted
+	FrameSkips   uint64 // injection-frame advances (line 12-14 of Alg. 1)
+	CondBlocks   uint64 // frames rejected by condition (1)
+	Resets       uint64 // local status resets (§4.3.2)
+	CreditClamps uint64 // credit updates clamped in non-strict mode
+}
+
+// Table is one framed output reservation table with its scheduler state.
+type Table struct {
+	p           Params
+	name        string
+	wt          int // total slots = SlotsPerFrame * Frames
+	slots       []slotState
+	cp          int    // ring index of the current slot
+	now         uint64 // absolute slot time of the current slot
+	skipped     []int  // per-frame yielded reservations (quanta)
+	flows       map[flit.FlowID]*flowState
+	flowList    []*flowState // iteration-friendly view of flows
+	sumR        int          // admission accounting: Σ R_ij over contending flows
+	outstanding int          // scheduled quanta minus returned virtual credits
+	busyCount   int
+	// lastZero is the largest window offset whose slot has zero credit
+	// (-1 when none): bookings are only safe strictly above it. Maintained
+	// exactly by every credit mutation so firstSafeOffset is O(1).
+	lastZero int
+	// dirty marks scheduler state diverged from fresh (any Request since
+	// the last reset); the reset trigger checks it so idle links reset
+	// once instead of every slot.
+	dirty bool
+	// version increments whenever table state changes in a way that could
+	// turn a previously-denied request into a success (tick, credit
+	// return, busy clear, reset). Callers use it to suppress busy-wait
+	// retries of throttled flows.
+	version uint64
+	stats   Stats
+}
+
+// NewTable returns an empty table. It panics on invalid params (a
+// configuration bug, validated earlier by config).
+func NewTable(name string, p Params) *Table {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	wt := p.SlotsPerFrame * p.Frames
+	t := &Table{
+		p:       p,
+		name:    name,
+		wt:      wt,
+		slots:   make([]slotState, wt),
+		skipped: make([]int, p.Frames),
+		flows:   make(map[flit.FlowID]*flowState),
+	}
+	for i := range t.slots {
+		t.slots[i].credit = p.BufferQuanta
+	}
+	t.lastZero = -1
+	return t
+}
+
+// Name returns the table's diagnostic name.
+func (t *Table) Name() string { return t.name }
+
+// Stats returns a snapshot of the event counters.
+func (t *Table) Stats() Stats { return t.stats }
+
+// AddFlow registers a contending flow with reservation r quanta per frame.
+// It enforces the LSF admission constraint Σ R_ij ≤ F.
+func (t *Table) AddFlow(id flit.FlowID, r int) error {
+	if r < 1 {
+		return fmt.Errorf("lsf: flow %d reservation %d < 1 quantum on %s", id, r, t.name)
+	}
+	if _, dup := t.flows[id]; dup {
+		return fmt.Errorf("lsf: flow %d registered twice on %s", id, t.name)
+	}
+	if t.sumR+r > t.p.SlotsPerFrame {
+		return fmt.Errorf("lsf: ΣR %d+%d exceeds frame size %d on %s", t.sumR, r, t.p.SlotsPerFrame, t.name)
+	}
+	t.sumR += r
+	// Initialize: IF ← HF, C ← R (Algorithm 1 lines 1-2).
+	st := &flowState{r: r, ifr: t.hf(), c: r}
+	t.flows[id] = st
+	t.flowList = append(t.flowList, st)
+	return nil
+}
+
+// HasFlow reports whether the flow is registered.
+func (t *Table) HasFlow(id flit.FlowID) bool { _, ok := t.flows[id]; return ok }
+
+// Reservation returns R_ij in quanta for a registered flow (0 otherwise).
+func (t *Table) Reservation(id flit.FlowID) int {
+	if st, ok := t.flows[id]; ok {
+		return st.r
+	}
+	return 0
+}
+
+// NowSlot returns the absolute time of the current slot.
+func (t *Table) NowSlot() uint64 { return t.now }
+
+// hf derives the head frame from the current-slot pointer: Algorithm 3
+// advances HF every F ticks, which is exactly the frame containing CP.
+func (t *Table) hf() int { return t.cp / t.p.SlotsPerFrame }
+
+// HeadFrame returns the head frame index (exported for tests/diagnostics).
+func (t *Table) HeadFrame() int { return t.hf() }
+
+// ring returns the ring index of absolute slot time s, which must lie in
+// the live window [now, now+WT).
+func (t *Table) ring(s uint64) int {
+	d := s - t.now
+	if d >= uint64(t.wt) {
+		panic(fmt.Sprintf("lsf: slot %d outside window [%d,%d) on %s", s, t.now, t.now+uint64(t.wt), t.name))
+	}
+	return (t.cp + int(d)) % t.wt
+}
+
+// timeOf returns the absolute slot time of ring index p.
+func (t *Table) timeOf(p int) uint64 {
+	return t.now + uint64((p-t.cp+t.wt)%t.wt)
+}
+
+// Tick advances the current-slot pointer by one slot (Algorithm 3). The
+// expired slot is recycled as the new farthest-future slot, inheriting the
+// cumulative credit of the previously farthest slot. When the pointer
+// crosses a frame boundary the head frame advances: flows stuck at the old
+// head frame move on with replenished reservations and the recycled frame's
+// skipped counter resets.
+func (t *Table) Tick() {
+	t.version++
+	old := t.cp
+	prevLast := (t.cp - 1 + t.wt) % t.wt
+	inherited := t.slots[prevLast].credit
+	t.cp = (t.cp + 1) % t.wt
+	t.now++
+	// Recycle the expired slot into the farthest-future position.
+	if t.slots[old].busy {
+		t.busyCount--
+	}
+	t.slots[old].busy = false
+	t.slots[old].owner = Owner{}
+	t.slots[old].credit = inherited
+	// Window offsets shift down by one; the recycled slot becomes the
+	// farthest offset.
+	if t.lastZero >= 0 {
+		t.lastZero--
+	}
+	if inherited == 0 {
+		t.lastZero = t.wt - 1
+	}
+	if t.cp%t.p.SlotsPerFrame == 0 {
+		oldHF := (t.cp/t.p.SlotsPerFrame - 1 + t.p.Frames) % t.p.Frames
+		for _, st := range t.flowList {
+			if st.ifr == oldHF {
+				st.ifr = (oldHF + 1) % t.p.Frames
+				st.c = minInt(st.r, st.c+st.r)
+			}
+		}
+		t.skipped[oldHF] = 0
+	}
+}
+
+// conditionOne gates injection into frames beyond the head frame,
+// implementing the stated intent of the paper's condition (1): "let
+// aggressive flows voluntarily yield buffer space to moderate flows"
+// (§4.2). A flow may book into non-head frame f only if the eventual
+// downstream buffer space (the window-end cumulative credit, BN minus
+// outstanding quanta) exceeds the unspent reservations of recently-active
+// flows still injecting into earlier frames — those moderates get first
+// claim on the buffer.
+//
+// Deviation from the paper's literal formula, documented in DESIGN.md: the
+// published inequality F − skipped(IF) ≤ credit(Prior) degenerates with the
+// paper's own WF=2 configuration. skipped(f) only accumulates when a flow
+// advances OUT of frame f, which for the last window frame is impossible
+// (the next frame is the head), and skipped(HF) is reset at the very
+// recycle that would make it useful — so the literal condition reduces to
+// "zero outstanding credits", which both deadlocks the network (a wedged
+// chain of tables each waiting for the next) and contradicts the paper's
+// own worked example. Safety (Theorem I) does not depend on this choice:
+// trySchedule enforces the non-negative-credit invariant constructively.
+// The skipped counters are still maintained for accounting and diagnostics.
+func (t *Table) conditionOne(self *flowState, f int) bool {
+	if !t.p.Yield || f == t.hf() {
+		return true
+	}
+	rank := (f - t.hf() + t.p.Frames) % t.p.Frames
+	headStart := t.now - uint64(t.cp%t.p.SlotsPerFrame)
+	ahead := 0
+	for _, st := range t.flowList {
+		if st == self || !st.active {
+			continue
+		}
+		// Activity expires after one frame without requests.
+		if st.lastReq+uint64(t.p.SlotsPerFrame) < headStart {
+			continue
+		}
+		if (st.ifr-t.hf()+t.p.Frames)%t.p.Frames < rank {
+			ahead += st.c
+		}
+	}
+	endCredit := t.slots[(t.cp-1+t.wt)%t.wt].credit
+	return endCredit > ahead
+}
+
+// Request runs the injection procedure of Algorithm 1 for one quantum of
+// flow f, identified by its per-flow quantum sequence number. The quantum
+// cannot depart before minSlot (data arrival plus router pipeline). On
+// success it returns the booked absolute departure slot.
+//
+// A false result means the flow is throttled: its reservations in every
+// frame of the window are exhausted (or unusable), and the caller must
+// retry after the head frame advances.
+func (t *Table) Request(f flit.FlowID, quantum uint64, minSlot uint64) (uint64, bool) {
+	st, ok := t.flows[f]
+	if !ok {
+		panic(fmt.Sprintf("lsf: request from unregistered flow %d on %s", f, t.name))
+	}
+	t.stats.Requests++
+	t.dirty = true
+	st.lastReq = t.now
+	st.active = true
+	if minSlot <= t.now {
+		minSlot = t.now + 1
+	}
+	minValid := t.firstSafeOffset()
+	for {
+		if st.c > 0 {
+			if t.conditionOne(st, st.ifr) {
+				if slot, ok := t.trySchedule(f, quantum, st.ifr, minSlot, minValid); ok {
+					st.c--
+					t.stats.Scheduled++
+					return slot, true
+				}
+			} else {
+				t.stats.CondBlocks++
+			}
+		}
+		next := (st.ifr + 1) % t.p.Frames
+		if next == t.hf() {
+			t.stats.Throttled++
+			if TraceName != "" && t.name == TraceName && t.stats.Throttled%500 == 0 {
+				fmt.Printf("TRACE %s now=%d cp=%d hf=%d flow=%d q=%d IF=%d C=%d minSlot=%d lastZero=%d endCredit=%d\n",
+					t.name, t.now, t.cp, t.hf(), f, quantum, st.ifr, st.c, minSlot, t.lastZero, t.slots[(t.cp-1+t.wt)%t.wt].credit)
+			}
+			return 0, false
+		}
+		// Advancing abandons the unused reservation: record it in the
+		// skipped counter of the frame being left (§4.2).
+		t.skipped[st.ifr] += st.c
+		st.c = minInt(st.r, st.c+st.r)
+		st.ifr = next
+		t.stats.FrameSkips++
+	}
+}
+
+// trySchedule is Algorithm 2: scan frame f for a valid slot (not busy,
+// positive virtual credit, at or after minSlot) and book it.
+//
+// Validity additionally requires that the booking keeps every later slot's
+// credit positive (the booking decrements the whole suffix): this is the
+// Theorem I invariant enforced constructively, closing the out-of-order
+// overbooking anomaly of §4.2 for head-frame bookings where condition (1)
+// does not apply.
+func (t *Table) trySchedule(fl flit.FlowID, quantum uint64, f int, minSlot uint64, minValid int) (uint64, bool) {
+	start := f * t.p.SlotsPerFrame
+	if f == t.hf() {
+		start = (t.cp + 1) % t.wt
+	}
+	end := ((f + 1) % t.p.Frames) * t.p.SlotsPerFrame
+	// Jump directly to the first offset satisfying both the safety
+	// threshold and the arrival constraint; scanning below it is futile.
+	startOff := (start - t.cp + t.wt) % t.wt
+	endOff := (end - 1 - t.cp + t.wt) % t.wt // frame's last slot offset
+	minOff := startOff
+	if minValid > minOff {
+		minOff = minValid
+	}
+	if minSlot > t.now {
+		if d := int(minSlot - t.now); d > minOff {
+			minOff = d
+		}
+	}
+	if minOff > endOff {
+		return 0, false
+	}
+	start = (t.cp + minOff) % t.wt
+	for p := start; p != end; p = (p + 1) % t.wt {
+		s := &t.slots[p]
+		if s.busy || s.credit <= 0 {
+			continue
+		}
+		tm := t.timeOf(p)
+		s.busy = true
+		s.owner = Owner{Flow: fl, Quantum: quantum}
+		t.busyCount++
+		t.consumeCredits(p)
+		t.outstanding++
+		return tm, true
+	}
+	return 0, false
+}
+
+// firstSafeOffset returns the smallest window offset at which a booking
+// keeps every later slot's credit positive: one past the last zero-credit
+// slot (credits are non-negative by the Theorem I invariant).
+func (t *Table) firstSafeOffset() int { return t.lastZero + 1 }
+
+// consumeCredits decrements the virtual credit of every slot from ring
+// index p to the window end (cumulative occupancy of the downstream buffer
+// from the departure slot onward).
+func (t *Table) consumeCredits(p int) {
+	from := (p - t.cp + t.wt) % t.wt
+	t.forSuffix(from, func(i int, s *slotState) {
+		s.credit--
+		if s.credit < 0 {
+			if t.p.Strict {
+				panic(fmt.Sprintf("lsf: negative virtual credit on %s (Theorem I violation)", t.name))
+			}
+			s.credit = 0
+			t.stats.CreditClamps++
+		}
+		if s.credit == 0 && i > t.lastZero {
+			t.lastZero = i
+		}
+	})
+}
+
+// forSuffix visits every slot at window offset >= from in offset order,
+// split into the two linear array segments of the ring (avoiding a modulo
+// per step in the hottest loops of the simulator).
+func (t *Table) forSuffix(from int, fn func(offset int, s *slotState)) {
+	start := t.cp + from
+	if start < t.wt {
+		off := from
+		for idx := start; idx < t.wt; idx++ {
+			fn(off, &t.slots[idx])
+			off++
+		}
+		off = t.wt - t.cp
+		for idx := 0; idx < t.cp; idx++ {
+			fn(off, &t.slots[idx])
+			off++
+		}
+		return
+	}
+	off := from
+	for idx := start - t.wt; idx < t.cp; idx++ {
+		fn(off, &t.slots[idx])
+		off++
+	}
+}
+
+// ReturnCredit applies a virtual credit return tagged with the downstream
+// departure slot: every live slot at or after the tag gains one credit.
+// Tags at or before the current slot increment the whole window.
+func (t *Table) ReturnCredit(tag uint64) {
+	from := 0
+	if tag > t.now {
+		if tag >= t.now+uint64(t.wt) {
+			panic(fmt.Sprintf("lsf: credit return tag %d beyond window on %s", tag, t.name))
+		}
+		from = int(tag - t.now)
+	}
+	t.forSuffix(from, func(_ int, s *slotState) {
+		s.credit++
+		if s.credit > t.p.BufferQuanta {
+			if t.p.Strict {
+				panic(fmt.Sprintf("lsf: virtual credit above capacity on %s", t.name))
+			}
+			s.credit = t.p.BufferQuanta
+			t.stats.CreditClamps++
+		}
+	})
+	// Every slot from the tag onward is now positive: if the last zero was
+	// in that range, rescan below the tag for the new last zero.
+	if t.lastZero >= from {
+		t.lastZero = -1
+		for i := from - 1; i >= 0; i-- {
+			if t.slots[(t.cp+i)%t.wt].credit == 0 {
+				t.lastZero = i
+				break
+			}
+		}
+	}
+	t.outstanding--
+	if t.outstanding < 0 {
+		panic(fmt.Sprintf("lsf: more credit returns than bookings on %s", t.name))
+	}
+	t.version++
+}
+
+// ClearBusy releases the booked slot at absolute time s after its quantum
+// was forwarded (possibly early, by speculative switching). Virtual credits
+// are not restored: the quantum still occupies the downstream buffer.
+func (t *Table) ClearBusy(s uint64) {
+	p := t.ring(s)
+	if !t.slots[p].busy {
+		panic(fmt.Sprintf("lsf: clearing idle slot %d on %s", s, t.name))
+	}
+	t.slots[p].busy = false
+	t.slots[p].owner = Owner{}
+	t.busyCount--
+	t.version++
+}
+
+// BusyAt reports the owner of the slot at absolute time s.
+func (t *Table) BusyAt(s uint64) (Owner, bool) {
+	p := t.ring(s)
+	return t.slots[p].owner, t.slots[p].busy
+}
+
+// CreditAt returns the virtual credit of the slot at absolute time s
+// (diagnostics and tests).
+func (t *Table) CreditAt(s uint64) int { return t.slots[t.ring(s)].credit }
+
+// FirstScheduled returns the earliest booked slot in the window, if any.
+// The LOFT data router uses it to classify a forwarded quantum as in-order
+// (→ non-speculative buffer) or out-of-order (→ speculative buffer).
+func (t *Table) FirstScheduled() (Owner, uint64, bool) {
+	if t.busyCount == 0 {
+		return Owner{}, 0, false
+	}
+	for idx := t.cp; idx < t.wt; idx++ {
+		if t.slots[idx].busy {
+			return t.slots[idx].owner, t.now + uint64(idx-t.cp), true
+		}
+	}
+	for idx := 0; idx < t.cp; idx++ {
+		if t.slots[idx].busy {
+			return t.slots[idx].owner, t.now + uint64(idx+t.wt-t.cp), true
+		}
+	}
+	return Owner{}, 0, false
+}
+
+// AllIdle reports whether no slot is booked (§4.3.2 reset precondition).
+func (t *Table) AllIdle() bool { return t.busyCount == 0 }
+
+// Dirty reports whether any scheduling request touched the table since the
+// last reset; pristine tables need no reset.
+func (t *Table) Dirty() bool { return t.dirty }
+
+// Version returns the state-change counter. A Request denied at version v
+// cannot succeed until Version() != v; schedulers use this to avoid
+// busy-wait retries.
+func (t *Table) Version() uint64 { return t.version }
+
+// Outstanding returns booked-minus-returned virtual credits. A local status
+// reset is only safe at zero (no returns in flight).
+func (t *Table) Outstanding() int { return t.outstanding }
+
+// Reset performs the local status reset of §4.3.2: CP, HF ← 0; for every
+// flow IF ← HF and C ← R; every slot's virtual credit ← BN. The caller must
+// have verified the trigger conditions (AllIdle, downstream buffer empty,
+// Outstanding() == 0).
+func (t *Table) Reset() {
+	t.cp = 0
+	for i := range t.slots {
+		t.slots[i] = slotState{credit: t.p.BufferQuanta}
+	}
+	for i := range t.skipped {
+		t.skipped[i] = 0
+	}
+	for _, st := range t.flowList {
+		st.ifr = 0
+		st.c = st.r
+	}
+	t.outstanding = 0
+	t.busyCount = 0
+	t.lastZero = -1
+	t.dirty = false
+	t.version++
+	t.stats.Resets++
+}
+
+// FlowState reports a flow's (IF, C, R) for tests and diagnostics.
+func (t *Table) FlowState(id flit.FlowID) (ifr, c, r int, ok bool) {
+	st, found := t.flows[id]
+	if !found {
+		return 0, 0, 0, false
+	}
+	return st.ifr, st.c, st.r, true
+}
+
+// Skipped returns skipped(f) for tests and diagnostics.
+func (t *Table) Skipped(f int) int { return t.skipped[f] }
+
+// WindowSlots returns WT.
+func (t *Table) WindowSlots() int { return t.wt }
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// VerifyZero recomputes the last zero-credit offset by scan and panics on
+// divergence from the incremental lastZero (test/debug hook).
+func (t *Table) VerifyZero() {
+	want := -1
+	for i := t.wt - 1; i >= 0; i-- {
+		if t.slots[(t.cp+i)%t.wt].credit <= 0 {
+			want = i
+			break
+		}
+	}
+	if want != t.lastZero {
+		panic(fmt.Sprintf("lsf: lastZero=%d, scan says %d on %s (outstanding=%d)", t.lastZero, want, t.name, t.outstanding))
+	}
+}

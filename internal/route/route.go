@@ -1,0 +1,54 @@
+// Package route implements dimension-order (XY) routing on the 2D mesh and
+// path enumeration used to install per-link flow reservations.
+package route
+
+import (
+	"fmt"
+
+	"loft/internal/topo"
+)
+
+// XY returns the output direction a flit at cur takes toward dst under
+// dimension-order routing: first correct X, then Y; Local when arrived.
+func XY(m topo.Mesh, cur, dst topo.NodeID) topo.Dir {
+	cc, cd := m.Coord(cur), m.Coord(dst)
+	switch {
+	case cd.X > cc.X:
+		return topo.East
+	case cd.X < cc.X:
+		return topo.West
+	case cd.Y > cc.Y:
+		return topo.South
+	case cd.Y < cc.Y:
+		return topo.North
+	default:
+		return topo.Local
+	}
+}
+
+// Path returns the ordered sequence of directed links a src→dst flow
+// traverses under XY routing, including the final ejection link
+// (dst, Local). The injection link is not included; callers that schedule
+// injection model it separately.
+func Path(m topo.Mesh, src, dst topo.NodeID) []topo.Link {
+	if src == dst {
+		return []topo.Link{{From: dst, D: topo.Local}}
+	}
+	var links []topo.Link
+	cur := src
+	for cur != dst {
+		d := XY(m, cur, dst)
+		links = append(links, topo.Link{From: cur, D: d})
+		next, ok := m.Neighbor(cur, d)
+		if !ok {
+			panic(fmt.Sprintf("route: XY stepped off mesh from %d toward %d", cur, dst))
+		}
+		cur = next
+	}
+	links = append(links, topo.Link{From: dst, D: topo.Local})
+	return links
+}
+
+// Hops returns the number of router-to-router hops on the XY path (the
+// ejection link is not counted as a hop).
+func Hops(m topo.Mesh, src, dst topo.NodeID) int { return m.Hops(src, dst) }

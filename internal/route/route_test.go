@@ -1,0 +1,88 @@
+package route
+
+import (
+	"testing"
+	"testing/quick"
+
+	"loft/internal/topo"
+)
+
+func TestXYDirections(t *testing.T) {
+	m := topo.NewMesh(8)
+	cases := []struct {
+		cur, dst topo.NodeID
+		want     topo.Dir
+	}{
+		{0, 1, topo.East},
+		{1, 0, topo.West},
+		{0, 8, topo.South},
+		{8, 0, topo.North},
+		{0, 0, topo.Local},
+		// X corrected before Y.
+		{0, 9, topo.East},
+		{9, 0, topo.West},
+		// X aligned: go vertical.
+		{1, 9, topo.South},
+	}
+	for _, c := range cases {
+		if got := XY(m, c.cur, c.dst); got != c.want {
+			t.Errorf("XY(%d,%d) = %s, want %s", c.cur, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestPathReachesDestination(t *testing.T) {
+	m := topo.NewMesh(8)
+	if err := quick.Check(func(a, b uint8) bool {
+		src := topo.NodeID(int(a) % m.N())
+		dst := topo.NodeID(int(b) % m.N())
+		path := Path(m, src, dst)
+		// Last link must be the destination's ejection.
+		last := path[len(path)-1]
+		if last.From != dst || last.D != topo.Local {
+			return false
+		}
+		// Link count = hops + 1 (ejection).
+		if len(path) != m.Hops(src, dst)+1 {
+			return false
+		}
+		// Walk the path and verify continuity.
+		cur := src
+		for _, l := range path[:len(path)-1] {
+			if l.From != cur {
+				return false
+			}
+			next, ok := m.Neighbor(cur, l.D)
+			if !ok {
+				return false
+			}
+			cur = next
+		}
+		return cur == dst
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathXYOrder(t *testing.T) {
+	m := topo.NewMesh(8)
+	// X-dimension links must all precede Y-dimension links.
+	path := Path(m, 0, 63)
+	seenY := false
+	for _, l := range path[:len(path)-1] {
+		vertical := l.D == topo.North || l.D == topo.South
+		if vertical {
+			seenY = true
+		} else if seenY {
+			t.Fatalf("X link after Y link in %v", path)
+		}
+	}
+}
+
+func TestPathSelfIsEjectionOnly(t *testing.T) {
+	m := topo.NewMesh(4)
+	p := Path(m, 5, 5)
+	if len(p) != 1 || p[0].D != topo.Local || p[0].From != 5 {
+		t.Fatalf("self path = %v", p)
+	}
+}

@@ -1,0 +1,50 @@
+package sim
+
+// RNG is a small deterministic xorshift64* pseudo-random generator.
+// Every traffic source owns one, seeded from (experiment seed, node id), so
+// simulations are reproducible bit-for-bit regardless of scheduling.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded with s. A zero seed is remapped to a
+// fixed non-zero constant because xorshift has a zero fixed point.
+func NewRNG(s uint64) *RNG {
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	return &RNG{state: s}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0,n). It panics when n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Bernoulli reports true with probability p.
+func (r *RNG) Bernoulli(p float64) bool { return r.Float64() < p }
+
+// SeedFor derives a stream seed from an experiment seed and a component id
+// using a SplitMix64 step, so per-node streams are decorrelated.
+func SeedFor(seed uint64, id int) uint64 {
+	z := seed + uint64(id+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

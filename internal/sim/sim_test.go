@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+type counter struct {
+	ticks   int
+	updates int
+	lastNow uint64
+}
+
+func (c *counter) Tick(now uint64)   { c.ticks++; c.lastNow = now }
+func (c *counter) Update(now uint64) { c.updates++ }
+
+func TestKernelStepsComponents(t *testing.T) {
+	k := NewKernel()
+	c := &counter{}
+	k.Add(c)
+	k.Run(10)
+	if c.ticks != 10 || c.updates != 10 {
+		t.Fatalf("ticks=%d updates=%d, want 10,10", c.ticks, c.updates)
+	}
+	if k.Now() != 10 || c.lastNow != 9 {
+		t.Fatalf("Now=%d lastNow=%d", k.Now(), c.lastNow)
+	}
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := NewKernel()
+	c := &counter{}
+	k.Add(c)
+	ok := k.RunUntil(func() bool { return c.ticks >= 5 }, 100)
+	if !ok || c.ticks != 5 {
+		t.Fatalf("RunUntil: ok=%v ticks=%d", ok, c.ticks)
+	}
+	if k.RunUntil(func() bool { return false }, 3) {
+		t.Fatal("RunUntil reported success for impossible predicate")
+	}
+}
+
+func TestRegOneCycleLatency(t *testing.T) {
+	r := NewReg[int]("t")
+	if _, ok := r.Peek(); ok {
+		t.Fatal("fresh register not empty")
+	}
+	r.Write(42)
+	if _, ok := r.Peek(); ok {
+		t.Fatal("write visible before update")
+	}
+	r.Update(0)
+	v, ok := r.Take()
+	if !ok || v != 42 {
+		t.Fatalf("Take = (%d,%v), want (42,true)", v, ok)
+	}
+	if _, ok := r.Take(); ok {
+		t.Fatal("double take")
+	}
+}
+
+func TestRegDoubleWritePanics(t *testing.T) {
+	r := NewReg[int]("t")
+	r.Write(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double write did not panic")
+		}
+	}()
+	r.Write(2)
+}
+
+func TestRegDropDetection(t *testing.T) {
+	r := NewReg[int]("t")
+	r.Write(1)
+	r.Update(0)
+	// Value not taken before next update: dropped.
+	r.Write(2)
+	r.Update(1)
+	if !r.DroppedLast() {
+		t.Fatal("drop not detected")
+	}
+	if v, _ := r.Take(); v != 2 {
+		t.Fatalf("got %d, want 2", v)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed streams diverged")
+		}
+	}
+	c := NewRNG(8)
+	same := 0
+	a = NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide %d/100 times", same)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed stuck at zero")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %f out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint8) bool {
+		r := NewRNG(seed)
+		m := int(n%100) + 1
+		for i := 0; i < 50; i++ {
+			v := r.Intn(m)
+			if v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGBernoulliRate(t *testing.T) {
+	r := NewRNG(11)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.28 || rate > 0.32 {
+		t.Fatalf("Bernoulli(0.3) rate = %f", rate)
+	}
+}
+
+func TestSeedForDecorrelates(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := SeedFor(42, i)
+		if seen[s] {
+			t.Fatalf("seed collision at id %d", i)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,228 @@
+// Package stats collects the metrics the paper reports: per-flow and
+// aggregate accepted throughput (flits/cycle/node), packet latency
+// (average/max/percentiles), and fairness summaries (MAX/MIN/AVG/STDEV of
+// per-flow throughput, Fig. 10).
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"loft/internal/flit"
+)
+
+// Latency accumulates packet latencies observed after a warmup boundary.
+type Latency struct {
+	warmup  uint64
+	sum     float64
+	count   uint64
+	max     uint64
+	samples []float64 // retained for percentiles; bounded by cap
+	capHint int
+}
+
+// NewLatency returns a collector that ignores packets created before warmup.
+func NewLatency(warmup uint64) *Latency {
+	return &Latency{warmup: warmup, capHint: 1 << 16}
+}
+
+// Observe records one packet latency for a packet created at created and
+// fully ejected at done.
+func (l *Latency) Observe(created, done uint64) {
+	if created < l.warmup {
+		return
+	}
+	lat := done - created
+	l.sum += float64(lat)
+	l.count++
+	if lat > l.max {
+		l.max = lat
+	}
+	if len(l.samples) < l.capHint {
+		l.samples = append(l.samples, float64(lat))
+	}
+}
+
+// Count returns the number of recorded packets.
+func (l *Latency) Count() uint64 { return l.count }
+
+// Warmup returns the collector's warmup boundary.
+func (l *Latency) Warmup() uint64 { return l.warmup }
+
+// Mean returns the average latency in cycles (0 when empty).
+func (l *Latency) Mean() float64 {
+	if l.count == 0 {
+		return 0
+	}
+	return l.sum / float64(l.count)
+}
+
+// Max returns the maximum observed latency.
+func (l *Latency) Max() uint64 { return l.max }
+
+// Percentile returns the p-th percentile (0..100) over retained samples.
+func (l *Latency) Percentile(p float64) float64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), l.samples...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// FlowLatency tracks per-flow packet latency summaries (Fig. 12 reports
+// per-flow curves).
+type FlowLatency struct {
+	warmup uint64
+	sum    map[flit.FlowID]float64
+	count  map[flit.FlowID]uint64
+	max    map[flit.FlowID]uint64
+}
+
+// NewFlowLatency returns a per-flow collector with the given warmup.
+func NewFlowLatency(warmup uint64) *FlowLatency {
+	return &FlowLatency{
+		warmup: warmup,
+		sum:    make(map[flit.FlowID]float64),
+		count:  make(map[flit.FlowID]uint64),
+		max:    make(map[flit.FlowID]uint64),
+	}
+}
+
+// Observe records one packet of flow f created at created, delivered at
+// done.
+func (l *FlowLatency) Observe(f flit.FlowID, created, done uint64) {
+	if created < l.warmup {
+		return
+	}
+	lat := done - created
+	l.sum[f] += float64(lat)
+	l.count[f]++
+	if lat > l.max[f] {
+		l.max[f] = lat
+	}
+}
+
+// Mean returns flow f's average latency (0 when no packets).
+func (l *FlowLatency) Mean(f flit.FlowID) float64 {
+	if l.count[f] == 0 {
+		return 0
+	}
+	return l.sum[f] / float64(l.count[f])
+}
+
+// Max returns flow f's maximum latency.
+func (l *FlowLatency) Max(f flit.FlowID) uint64 { return l.max[f] }
+
+// Count returns flow f's packet count.
+func (l *FlowLatency) Count(f flit.FlowID) uint64 { return l.count[f] }
+
+// Throughput counts ejected flits per flow over a measurement window.
+type Throughput struct {
+	warmup  uint64
+	start   uint64 // first counted cycle (= warmup)
+	end     uint64 // last cycle seen + 1
+	byFlow  map[flit.FlowID]uint64
+	byNode  map[int]uint64
+	total   uint64
+	started bool
+}
+
+// NewThroughput returns a collector ignoring flits ejected before warmup.
+func NewThroughput(warmup uint64) *Throughput {
+	return &Throughput{
+		warmup: warmup,
+		start:  warmup,
+		byFlow: make(map[flit.FlowID]uint64),
+		byNode: make(map[int]uint64),
+	}
+}
+
+// Observe records ejection of one flit of flow f, sourced at node src, at
+// cycle now.
+func (t *Throughput) Observe(f flit.FlowID, src int, now uint64) {
+	if now+1 > t.end {
+		t.end = now + 1
+	}
+	if now < t.warmup {
+		return
+	}
+	t.byFlow[f]++
+	t.byNode[src]++
+	t.total++
+}
+
+// Close fixes the measurement window end (call after the run).
+func (t *Throughput) Close(now uint64) {
+	if now > t.end {
+		t.end = now
+	}
+}
+
+func (t *Throughput) window() float64 {
+	if t.end <= t.start {
+		return 1
+	}
+	return float64(t.end - t.start)
+}
+
+// Flow returns flow f's accepted rate in flits/cycle.
+func (t *Throughput) Flow(f flit.FlowID) float64 {
+	return float64(t.byFlow[f]) / t.window()
+}
+
+// Node returns the accepted rate of traffic sourced at node in flits/cycle.
+func (t *Throughput) Node(node int) float64 {
+	return float64(t.byNode[node]) / t.window()
+}
+
+// Total returns the aggregate accepted rate in flits/cycle (all nodes).
+func (t *Throughput) Total() float64 { return float64(t.total) / t.window() }
+
+// TotalFlits returns the raw counted flits.
+func (t *Throughput) TotalFlits() uint64 { return t.total }
+
+// Summary is the MAX/MIN/AVG/STDEV row format of Fig. 10.
+type Summary struct {
+	Max, Min, Avg float64
+	// Stdev is the relative standard deviation (stdev/avg), matching the
+	// percentage column of Fig. 10.
+	Stdev float64
+	N     int
+}
+
+// Summarize computes a fairness summary over per-flow rates.
+func Summarize(rates []float64) Summary {
+	if len(rates) == 0 {
+		return Summary{}
+	}
+	s := Summary{Min: math.Inf(1), Max: math.Inf(-1), N: len(rates)}
+	var sum float64
+	for _, r := range rates {
+		sum += r
+		if r > s.Max {
+			s.Max = r
+		}
+		if r < s.Min {
+			s.Min = r
+		}
+	}
+	s.Avg = sum / float64(len(rates))
+	var ss float64
+	for _, r := range rates {
+		d := r - s.Avg
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(len(rates)))
+	if s.Avg != 0 {
+		s.Stdev = sd / s.Avg
+	}
+	return s
+}

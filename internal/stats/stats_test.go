@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLatencyBasics(t *testing.T) {
+	l := NewLatency(100)
+	l.Observe(50, 90) // before warmup: ignored
+	l.Observe(100, 110)
+	l.Observe(200, 240)
+	if l.Count() != 2 {
+		t.Fatalf("count = %d", l.Count())
+	}
+	if l.Mean() != 25 {
+		t.Fatalf("mean = %f", l.Mean())
+	}
+	if l.Max() != 40 {
+		t.Fatalf("max = %d", l.Max())
+	}
+}
+
+func TestLatencyPercentile(t *testing.T) {
+	l := NewLatency(0)
+	for i := uint64(1); i <= 100; i++ {
+		l.Observe(0, i)
+	}
+	if p := l.Percentile(50); p != 50 {
+		t.Fatalf("p50 = %f", p)
+	}
+	if p := l.Percentile(99); p != 99 {
+		t.Fatalf("p99 = %f", p)
+	}
+	empty := NewLatency(0)
+	if empty.Percentile(99) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestFlowLatency(t *testing.T) {
+	l := NewFlowLatency(10)
+	l.Observe(1, 5, 10) // pre-warmup
+	l.Observe(1, 10, 30)
+	l.Observe(1, 20, 60)
+	l.Observe(2, 10, 15)
+	if l.Count(1) != 2 || l.Mean(1) != 30 || l.Max(1) != 40 {
+		t.Fatalf("flow 1: count=%d mean=%f max=%d", l.Count(1), l.Mean(1), l.Max(1))
+	}
+	if l.Mean(2) != 5 {
+		t.Fatalf("flow 2 mean = %f", l.Mean(2))
+	}
+	if l.Mean(3) != 0 {
+		t.Fatal("unknown flow should be 0")
+	}
+}
+
+func TestThroughputWindows(t *testing.T) {
+	th := NewThroughput(100)
+	for now := uint64(0); now < 300; now++ {
+		th.Observe(1, 3, now) // 1 flit/cycle
+	}
+	th.Close(300)
+	if r := th.Flow(1); math.Abs(r-1.0) > 0.01 {
+		t.Fatalf("flow rate = %f, want ~1 (warmup excluded)", r)
+	}
+	if r := th.Node(3); math.Abs(r-1.0) > 0.01 {
+		t.Fatalf("node rate = %f", r)
+	}
+	if th.Total() != th.Flow(1) {
+		t.Fatal("total != single flow rate")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.Min != 1 || s.Max != 4 || s.Avg != 2.5 || s.N != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	wantSD := math.Sqrt(1.25) / 2.5
+	if math.Abs(s.Stdev-wantSD) > 1e-9 {
+		t.Fatalf("stdev = %f, want %f", s.Stdev, wantSD)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Avg != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+}

@@ -1,0 +1,262 @@
+// Package tdm implements an Æthereal-style time-division-multiplexed
+// circuit-switched NoC (paper §2.2, [14]): every flow is mapped to a
+// virtual circuit by reserving time slots on each link of its path at
+// compile time, pipelined hop by hop. The network then needs no arbitration
+// or buffering — flits ride their slots deterministically.
+//
+// TDM gives hard bandwidth and latency guarantees but, as the paper points
+// out, "does not allow guaranteed flows to use excess bandwidth when the
+// network is under-utilized": a flow is pinned to its reserved slots no
+// matter how idle the network is. The cost-of-rigidity benchmark contrasts
+// this with LOFT's local status resets on the Case Study II pattern.
+package tdm
+
+import (
+	"fmt"
+
+	"loft/internal/flit"
+	"loft/internal/route"
+	"loft/internal/stats"
+	"loft/internal/topo"
+	"loft/internal/traffic"
+)
+
+// Config sizes the TDM network.
+type Config struct {
+	MeshK       int
+	PacketFlits int
+	// Period is the schedule length in slots; one slot carries one flit
+	// per link. A flow with reservation R flits (per Period) gets R slot
+	// positions.
+	Period int
+}
+
+// Paper returns a TDM configuration matched to the LOFT Table 1 scale
+// (period = LOFT frame size, so reservations translate one-to-one).
+func Paper() Config { return Config{MeshK: 8, PacketFlits: 4, Period: 256} }
+
+// Mesh returns the topology.
+func (c Config) Mesh() topo.Mesh { return topo.NewMesh(c.MeshK) }
+
+// circuit is one flow's compiled schedule.
+type circuit struct {
+	flow flit.FlowID
+	src  topo.NodeID
+	dst  topo.NodeID
+	hops int
+	// starts are the injection slots (mod Period); the flit injected at
+	// start s crosses link i of the path at slot s+i.
+	starts []int
+}
+
+// Network is a compiled TDM NoC replaying a traffic pattern.
+type Network struct {
+	cfg      Config
+	mesh     topo.Mesh
+	pattern  *traffic.Pattern
+	circuits map[flit.FlowID]*circuit
+
+	injectors []*traffic.Injector
+	queues    map[flit.FlowID][]flit.Flit // per-flow source queues
+	inflight  []arrival
+	now       uint64
+
+	lat     *stats.Latency
+	latFlow *stats.FlowLatency
+	thr     *stats.Throughput
+
+	pktFlits map[pktKey]int
+}
+
+type pktKey struct {
+	flow flit.FlowID
+	seq  uint64
+}
+
+type arrival struct {
+	f    flit.Flit
+	when uint64
+}
+
+// Options mirror the other networks' options.
+type Options struct {
+	Seed   uint64
+	Warmup uint64
+}
+
+// New compiles circuits for every flow of the pattern and returns the
+// network. Compilation fails when the flows' slot demands cannot be packed
+// into the period — TDM's admission control.
+func New(cfg Config, pattern *traffic.Pattern, opts Options) (*Network, error) {
+	mesh := cfg.Mesh()
+	if pattern.Mesh.K != mesh.K {
+		return nil, fmt.Errorf("tdm: pattern mesh %d does not match config mesh %d", pattern.Mesh.K, mesh.K)
+	}
+	if pattern.AllLinks {
+		return nil, fmt.Errorf("tdm: circuit switching needs fixed destinations (pattern %q has random ones)", pattern.Name)
+	}
+	net := &Network{
+		cfg:      cfg,
+		mesh:     mesh,
+		pattern:  pattern,
+		circuits: make(map[flit.FlowID]*circuit),
+		queues:   make(map[flit.FlowID][]flit.Flit),
+		lat:      stats.NewLatency(opts.Warmup),
+		latFlow:  stats.NewFlowLatency(opts.Warmup),
+		thr:      stats.NewThroughput(opts.Warmup),
+		pktFlits: make(map[pktKey]int),
+	}
+	// busy[link][slot] marks reserved slots.
+	busy := make(map[topo.Link][]bool)
+	slotFree := func(l topo.Link, s int) bool {
+		b, ok := busy[l]
+		if !ok {
+			b = make([]bool, cfg.Period)
+			busy[l] = b
+		}
+		return !b[s%cfg.Period]
+	}
+	reserve := func(l topo.Link, s int) { busy[l][s%cfg.Period] = true }
+
+	for _, f := range pattern.Flows {
+		path := route.Path(mesh, f.Src, f.Dst)
+		c := &circuit{flow: f.ID, src: f.Src, dst: f.Dst, hops: len(path)}
+		// One slot train per reserved flit: injection at slot s uses link i
+		// at slot s+i (pipelined circuit).
+		for rep := 0; rep < f.Reservation; rep++ {
+			found := -1
+			for s := 0; s < cfg.Period && found < 0; s++ {
+				ok := true
+				for i, l := range path {
+					if !slotFree(l, s+i) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					found = s
+				}
+			}
+			if found < 0 {
+				return nil, fmt.Errorf("tdm: cannot pack flow %d (reservation %d) into period %d", f.ID, f.Reservation, cfg.Period)
+			}
+			for i, l := range path {
+				reserve(l, found+i)
+			}
+			c.starts = append(c.starts, found)
+		}
+		net.circuits[f.ID] = c
+	}
+	for i := 0; i < mesh.N(); i++ {
+		net.injectors = append(net.injectors, traffic.NewInjector(pattern, topo.NodeID(i), opts.Seed))
+	}
+	return net, nil
+}
+
+// Run advances the network n cycles (one slot per cycle).
+func (net *Network) Run(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		net.step()
+	}
+	net.thr.Close(net.now)
+}
+
+func (net *Network) step() {
+	now := net.now
+	// Generate traffic into the per-flow source queues.
+	for i, in := range net.injectors {
+		_ = i
+		for _, pkt := range in.Next(now) {
+			for idx := 0; idx < pkt.Flits; idx++ {
+				net.queues[pkt.Flow] = append(net.queues[pkt.Flow], flit.Flit{
+					Flow: pkt.Flow, Src: pkt.Src, Dst: pkt.Dst,
+					PktSeq: pkt.Seq, Index: idx,
+					Head: idx == 0, Tail: idx == pkt.Flits-1,
+					Created: pkt.Created,
+				})
+			}
+		}
+	}
+	// Inject on owned slots; the flit arrives deterministically hops slots
+	// later (contention-free by construction).
+	slot := int(now % uint64(net.cfg.Period))
+	for id, c := range net.circuits {
+		q := net.queues[id]
+		if len(q) == 0 {
+			continue
+		}
+		for _, s := range c.starts {
+			if s != slot {
+				continue
+			}
+			f := q[0]
+			q = q[1:]
+			net.inflight = append(net.inflight, arrival{f: f, when: now + uint64(c.hops)})
+			if len(q) == 0 {
+				break
+			}
+		}
+		net.queues[id] = q
+	}
+	// Deliver arrivals.
+	kept := net.inflight[:0]
+	for _, a := range net.inflight {
+		if a.when > now {
+			kept = append(kept, a)
+			continue
+		}
+		net.eject(a.f, now)
+	}
+	net.inflight = kept
+	net.now++
+}
+
+func (net *Network) eject(f flit.Flit, now uint64) {
+	net.thr.Observe(f.Flow, int(f.Src), now)
+	key := pktKey{flow: f.Flow, seq: f.PktSeq}
+	net.pktFlits[key]++
+	if net.pktFlits[key] == net.pattern.PacketFlits {
+		delete(net.pktFlits, key)
+		net.lat.Observe(f.Created, now+1)
+		net.latFlow.Observe(f.Flow, f.Created, now+1)
+	}
+}
+
+// Latency returns the packet latency collector.
+func (net *Network) Latency() *stats.Latency { return net.lat }
+
+// FlowLatency returns the per-flow latency collector.
+func (net *Network) FlowLatency() *stats.FlowLatency { return net.latFlow }
+
+// Throughput returns the ejection throughput collector.
+func (net *Network) Throughput() *stats.Throughput { return net.thr }
+
+// Backlog returns queued flits across all sources.
+func (net *Network) Backlog() int {
+	total := 0
+	for _, q := range net.queues {
+		total += len(q)
+	}
+	return total
+}
+
+// Circuit returns flow id's compiled slot train (tests/diagnostics).
+func (net *Network) Circuit(id flit.FlowID) (starts []int, hops int, ok bool) {
+	c, found := net.circuits[id]
+	if !found {
+		return nil, 0, false
+	}
+	return append([]int(nil), c.starts...), c.hops, true
+}
+
+// WorstCaseLatency returns TDM's analytical packet latency bound for flow
+// id: a flit waits at most one period for its slot, then rides hops slots;
+// a packet needs ceil(PacketFlits/R) slot trains.
+func (net *Network) WorstCaseLatency(id flit.FlowID) uint64 {
+	c, ok := net.circuits[id]
+	if !ok {
+		return 0
+	}
+	trains := (net.pattern.PacketFlits + len(c.starts) - 1) / len(c.starts)
+	return uint64(trains*net.cfg.Period + c.hops)
+}

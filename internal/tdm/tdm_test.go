@@ -1,0 +1,160 @@
+package tdm
+
+import (
+	"testing"
+
+	"loft/internal/topo"
+	"loft/internal/traffic"
+)
+
+func smallCfg() Config { return Config{MeshK: 4, PacketFlits: 4, Period: 32} }
+
+func TestCompileRejectsOverbooked(t *testing.T) {
+	cfg := smallCfg()
+	m := cfg.Mesh()
+	// 15 hotspot flows × reservation 4 = 60 > 32 slots on the ejection link.
+	p := traffic.Hotspot(m, 15, 0.5, cfg.PacketFlits, 240, 2, nil)
+	for i := range p.Flows {
+		p.Flows[i].Reservation = 4
+	}
+	if _, err := New(cfg, p, Options{}); err == nil {
+		t.Fatal("overbooked schedule compiled")
+	}
+}
+
+func TestCompileSlotTrainsAreConflictFree(t *testing.T) {
+	cfg := smallCfg()
+	m := cfg.Mesh()
+	p := traffic.Hotspot(m, 15, 0.5, cfg.PacketFlits, 32, 2, nil)
+	net, err := New(cfg, p, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the link/slot occupancy from the compiled circuits and check
+	// for double bookings.
+	type key struct {
+		link topo.Link
+		slot int
+	}
+	seen := map[key]bool{}
+	for _, f := range p.Flows {
+		starts, hops, ok := net.Circuit(f.ID)
+		if !ok || len(starts) == 0 {
+			t.Fatalf("flow %d has no circuit", f.ID)
+		}
+		path := pathOf(m, f.Src, f.Dst)
+		if len(path) != hops {
+			t.Fatalf("hops mismatch for flow %d", f.ID)
+		}
+		for _, s := range starts {
+			for i, l := range path {
+				k := key{l, (s + i) % cfg.Period}
+				if seen[k] {
+					t.Fatalf("slot conflict on %v", k)
+				}
+				seen[k] = true
+			}
+		}
+	}
+}
+
+func pathOf(m topo.Mesh, src, dst topo.NodeID) []topo.Link {
+	// Mirror of route.Path to keep the test independent of the scheduler's
+	// own path helper.
+	var links []topo.Link
+	cur := src
+	for cur != dst {
+		var d topo.Dir
+		cc, cd := m.Coord(cur), m.Coord(dst)
+		switch {
+		case cd.X > cc.X:
+			d = topo.East
+		case cd.X < cc.X:
+			d = topo.West
+		case cd.Y > cc.Y:
+			d = topo.South
+		default:
+			d = topo.North
+		}
+		links = append(links, topo.Link{From: cur, D: d})
+		cur, _ = m.Neighbor(cur, d)
+	}
+	return append(links, topo.Link{From: dst, D: topo.Local})
+}
+
+func TestDeliveryAndGuarantee(t *testing.T) {
+	cfg := smallCfg()
+	m := cfg.Mesh()
+	p := traffic.SingleFlow(m, 0, 15, 0.4, cfg.PacketFlits, 32)
+	// Reservation 16 flits per 32-slot period = 0.5 flits/cycle capacity.
+	net, err := New(cfg, p, Options{Seed: 1, Warmup: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(20000)
+	if rate := net.Throughput().Flow(0); rate < 0.35 {
+		t.Fatalf("accepted %.3f of 0.4 offered under a 0.5 reservation", rate)
+	}
+	if net.Latency().Count() == 0 {
+		t.Fatal("no packets delivered")
+	}
+}
+
+// TestWorstCaseLatencyBound checks the analytical bound for isolated
+// packets (the paper-style design-time bound assumes rate-compliant flows,
+// i.e. no source backlog): packets spaced far beyond the service time must
+// all complete within one slot-wait plus the pipeline.
+func TestWorstCaseLatencyBound(t *testing.T) {
+	cfg := smallCfg()
+	m := cfg.Mesh()
+	var events []traffic.TraceEvent
+	for i := 0; i < 30; i++ {
+		events = append(events, traffic.TraceEvent{
+			Cycle: uint64(i) * 500, Src: 0, Dst: 15, Flits: cfg.PacketFlits,
+		})
+	}
+	p, err := traffic.FromTrace(m, events, cfg.PacketFlits, 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := New(cfg, p, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(16000)
+	if got := net.Latency().Count(); got != uint64(len(events)) {
+		t.Fatalf("delivered %d of %d packets", got, len(events))
+	}
+	if max, bound := net.Latency().Max(), net.WorstCaseLatency(p.Flows[0].ID); max > bound {
+		t.Fatalf("observed max %d exceeds TDM bound %d", max, bound)
+	}
+}
+
+// TestNoExcessBandwidth demonstrates the paper's §2.2 criticism: a TDM flow
+// cannot exceed its reservation no matter how idle the network is.
+func TestNoExcessBandwidth(t *testing.T) {
+	cfg := smallCfg()
+	m := cfg.Mesh()
+	p := traffic.SingleFlow(m, 0, 3, 0.9, cfg.PacketFlits, 32)
+	p.Flows[0].Reservation = 8 // 8/32 = 0.25 flits/cycle hard cap
+	net, err := New(cfg, p, Options{Seed: 1, Warmup: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(20000)
+	rate := net.Throughput().Flow(0)
+	if rate > 0.26 {
+		t.Fatalf("TDM flow exceeded its reservation: %.3f > 0.25", rate)
+	}
+	if rate < 0.24 {
+		t.Fatalf("TDM flow below its guarantee: %.3f < 0.25", rate)
+	}
+}
+
+func TestRejectsRandomDestinations(t *testing.T) {
+	cfg := smallCfg()
+	p := traffic.Uniform(cfg.Mesh(), 0.1, cfg.PacketFlits, 32)
+	if _, err := New(cfg, p, Options{}); err == nil {
+		t.Fatal("circuit switching accepted random destinations")
+	}
+}

@@ -1,0 +1,110 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDirOpposite(t *testing.T) {
+	pairs := map[Dir]Dir{North: South, South: North, East: West, West: East}
+	for d, o := range pairs {
+		if d.Opposite() != o {
+			t.Errorf("%s.Opposite() = %s, want %s", d, d.Opposite(), o)
+		}
+	}
+	if Local.Opposite() != Local {
+		t.Error("Local.Opposite() != Local")
+	}
+}
+
+func TestDirString(t *testing.T) {
+	want := map[Dir]string{North: "N", East: "E", South: "S", West: "W", Local: "L"}
+	for d, s := range want {
+		if d.String() != s {
+			t.Errorf("%v.String() = %q, want %q", int(d), d.String(), s)
+		}
+	}
+}
+
+func TestMeshCoordRoundTrip(t *testing.T) {
+	m := NewMesh(8)
+	for id := 0; id < m.N(); id++ {
+		c := m.Coord(NodeID(id))
+		if m.ID(c) != NodeID(id) {
+			t.Fatalf("round trip failed for %d", id)
+		}
+		if !m.Valid(c) {
+			t.Fatalf("coord %v invalid", c)
+		}
+	}
+	// Paper numbering: node = x + y*8.
+	if m.Coord(63) != (Coord{X: 7, Y: 7}) {
+		t.Fatalf("node 63 = %v, want (7,7)", m.Coord(63))
+	}
+	if m.ID(Coord{X: 3, Y: 2}) != 19 {
+		t.Fatalf("(3,2) = %d, want 19", m.ID(Coord{X: 3, Y: 2}))
+	}
+}
+
+func TestMeshNeighbors(t *testing.T) {
+	m := NewMesh(4)
+	// Interior node: all four neighbors.
+	for _, d := range []Dir{North, East, South, West} {
+		if _, ok := m.Neighbor(5, d); !ok {
+			t.Fatalf("interior node missing %s neighbor", d)
+		}
+	}
+	// Corners.
+	if _, ok := m.Neighbor(0, North); ok {
+		t.Fatal("node 0 has a north neighbor")
+	}
+	if _, ok := m.Neighbor(0, West); ok {
+		t.Fatal("node 0 has a west neighbor")
+	}
+	if nb, ok := m.Neighbor(0, East); !ok || nb != 1 {
+		t.Fatalf("node 0 east = %d,%v", nb, ok)
+	}
+	if nb, ok := m.Neighbor(0, South); !ok || nb != 4 {
+		t.Fatalf("node 0 south = %d,%v", nb, ok)
+	}
+}
+
+func TestNeighborSymmetry(t *testing.T) {
+	m := NewMesh(5)
+	if err := quick.Check(func(id uint8, dd uint8) bool {
+		n := NodeID(int(id) % m.N())
+		d := Dir(dd % 4)
+		nb, ok := m.Neighbor(n, d)
+		if !ok {
+			return true
+		}
+		back, ok2 := m.Neighbor(nb, d.Opposite())
+		return ok2 && back == n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHops(t *testing.T) {
+	m := NewMesh(8)
+	cases := []struct {
+		a, b NodeID
+		want int
+	}{
+		{0, 0, 0}, {0, 7, 7}, {0, 63, 14}, {9, 18, 2}, {56, 7, 14},
+	}
+	for _, c := range cases {
+		if got := m.Hops(c.a, c.b); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNewMeshPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMesh(0) did not panic")
+		}
+	}()
+	NewMesh(0)
+}

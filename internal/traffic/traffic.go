@@ -1,0 +1,219 @@
+// Package traffic defines the synthetic workloads of the paper's evaluation
+// (§6): uniform, hotspot (equal and differentiated allocation), Case Study I
+// (denial-of-service aggressors against a regulated victim) and Case Study II
+// (the Fig. 1 pathological pattern), plus auxiliary patterns used by tests.
+//
+// A Pattern bundles the flow set (with per-frame reservations R_ij), the
+// per-node packet generators, and how reservations map onto links.
+package traffic
+
+import (
+	"fmt"
+
+	"loft/internal/flit"
+	"loft/internal/route"
+	"loft/internal/sim"
+	"loft/internal/topo"
+)
+
+// Gen describes one packet generator at a source node.
+type Gen struct {
+	Flow flit.FlowID
+	// Rate is the offered load in flits/cycle for this generator.
+	Rate float64
+	// Dst is the fixed destination; ignored when RandomDst is set.
+	Dst topo.NodeID
+	// RandomDst picks a fresh uniform destination (≠ src) per packet.
+	RandomDst bool
+	// Burst/Gap, when positive, switch the generator to an on/off process:
+	// geometrically-distributed bursts of back-to-back packets (mean Burst
+	// cycles) separated by idle gaps (mean Gap cycles). Rate is ignored.
+	Burst, Gap int
+}
+
+// Pattern is a complete workload description.
+type Pattern struct {
+	Name  string
+	Mesh  topo.Mesh
+	Flows []flit.Flow
+	// Gens maps each source node to its generators.
+	Gens map[topo.NodeID][]Gen
+	// AllLinks installs every flow's reservation on every link (used for
+	// uniform traffic, where destinations are random and any flow may use
+	// any link; Table 1 sizes for 64 contending flows per link).
+	AllLinks bool
+	// PacketFlits is the packet size in data flits (Table 1: 4).
+	PacketFlits int
+	// Trace, when non-nil, replays recorded events instead of running the
+	// stochastic generators (see FromTrace).
+	Trace     map[topo.NodeID][]TraceEvent
+	traceFlow func(src, dst topo.NodeID) flit.FlowID
+}
+
+// Flow returns the flow record for id.
+func (p *Pattern) Flow(id flit.FlowID) flit.Flow { return p.Flows[id] }
+
+// SetRate overrides the offered load of every generator (flits/cycle/node),
+// used by load sweeps.
+func (p *Pattern) SetRate(rate float64) {
+	for n, gens := range p.Gens {
+		for i := range gens {
+			gens[i].Rate = rate
+		}
+		p.Gens[n] = gens
+	}
+}
+
+// SetFlowRate overrides the offered load of one flow's generator.
+func (p *Pattern) SetFlowRate(id flit.FlowID, rate float64) {
+	for n, gens := range p.Gens {
+		for i := range gens {
+			if gens[i].Flow == id {
+				gens[i].Rate = rate
+			}
+		}
+		p.Gens[n] = gens
+	}
+}
+
+// LinkFlows returns, for every link, the flows whose reservations are
+// installed on it. For path-based patterns these are the XY-path links of
+// each flow plus its injection link; for AllLinks patterns every flow is
+// installed everywhere it could appear.
+func (p *Pattern) LinkFlows() map[topo.Link][]flit.FlowID {
+	out := make(map[topo.Link][]flit.FlowID)
+	add := func(l topo.Link, f flit.FlowID) { out[l] = append(out[l], f) }
+	if p.AllLinks {
+		for _, f := range p.Flows {
+			for n := 0; n < p.Mesh.N(); n++ {
+				for d := topo.North; d < topo.NumDirs; d++ {
+					if d == topo.Local {
+						add(topo.EjectionLink(topo.NodeID(n)), f.ID)
+						continue
+					}
+					if _, ok := p.Mesh.Neighbor(topo.NodeID(n), d); ok {
+						add(topo.Link{From: topo.NodeID(n), D: d}, f.ID)
+					}
+				}
+			}
+			add(topo.InjectionLink(f.Src), f.ID)
+		}
+		return out
+	}
+	for _, f := range p.Flows {
+		add(topo.InjectionLink(f.Src), f.ID)
+		for _, l := range route.Path(p.Mesh, f.Src, f.Dst) {
+			add(l, f.ID)
+		}
+	}
+	return out
+}
+
+// Validate checks the LSF admission constraint ΣR_ij ≤ F on every link.
+func (p *Pattern) Validate(frameFlits int) error {
+	for l, flows := range p.LinkFlows() {
+		sum := 0
+		for _, id := range flows {
+			sum += p.Flows[id].Reservation
+		}
+		if sum > frameFlits {
+			return fmt.Errorf("traffic: ΣR=%d exceeds frame size %d on link %s", sum, frameFlits, l)
+		}
+	}
+	return nil
+}
+
+// Injector is the per-node runtime that turns generator specs into packets
+// with a Bernoulli process, deterministic per (seed, node).
+type Injector struct {
+	node topo.NodeID
+	gens []Gen
+	rng  *sim.RNG
+	seq  map[flit.FlowID]uint64
+	p    *Pattern
+	// on tracks the burst state per generator index for on/off generators.
+	on []bool
+	// trace replay state: remaining events for this node, cycle-sorted.
+	trace []TraceEvent
+}
+
+// NewInjector returns the injector for node n under pattern p.
+func NewInjector(p *Pattern, n topo.NodeID, seed uint64) *Injector {
+	if p.Trace != nil {
+		return &Injector{node: n, p: p, seq: make(map[flit.FlowID]uint64), trace: p.Trace[n]}
+	}
+	return &Injector{
+		node: n,
+		gens: p.Gens[n],
+		rng:  sim.NewRNG(sim.SeedFor(seed, int(n))),
+		seq:  make(map[flit.FlowID]uint64),
+		p:    p,
+		on:   make([]bool, len(p.Gens[n])),
+	}
+}
+
+// Next returns the packets generated at cycle now (usually zero or one per
+// generator).
+func (in *Injector) Next(now uint64) []flit.Packet {
+	var out []flit.Packet
+	if in.p.Trace != nil {
+		for len(in.trace) > 0 && in.trace[0].Cycle <= now {
+			ev := in.trace[0]
+			in.trace = in.trace[1:]
+			id := in.p.traceFlow(ev.Src, ev.Dst)
+			out = append(out, flit.Packet{
+				Flow: id, Src: ev.Src, Dst: ev.Dst,
+				Seq: in.seq[id], Flits: ev.Flits, Created: now,
+			})
+			in.seq[id]++
+		}
+		return out
+	}
+	for gi, g := range in.gens {
+		if g.Burst > 0 && g.Gap > 0 {
+			// On/off process: geometric dwell times in each state.
+			if in.on[gi] {
+				if in.rng.Bernoulli(1 / float64(g.Burst)) {
+					in.on[gi] = false
+				}
+			} else if in.rng.Bernoulli(1 / float64(g.Gap)) {
+				in.on[gi] = true
+			}
+			if !in.on[gi] || now%uint64(in.p.PacketFlits) != 0 {
+				continue
+			}
+			// Burst state: one packet per packet-time (full link rate).
+		} else {
+			pPkt := g.Rate / float64(in.p.PacketFlits)
+			if pPkt <= 0 || !in.rng.Bernoulli(min(pPkt, 1)) {
+				continue
+			}
+		}
+		dst := g.Dst
+		if g.RandomDst {
+			for {
+				dst = topo.NodeID(in.rng.Intn(in.p.Mesh.N()))
+				if dst != in.node {
+					break
+				}
+			}
+		}
+		out = append(out, flit.Packet{
+			Flow:    g.Flow,
+			Src:     in.node,
+			Dst:     dst,
+			Seq:     in.seq[g.Flow],
+			Flits:   in.p.PacketFlits,
+			Created: now,
+		})
+		in.seq[g.Flow]++
+	}
+	return out
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,254 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"loft/internal/flit"
+	"loft/internal/topo"
+)
+
+func TestUniformPattern(t *testing.T) {
+	m := topo.NewMesh(8)
+	p := Uniform(m, 0.3, 4, 256)
+	if len(p.Flows) != 64 {
+		t.Fatalf("flows = %d", len(p.Flows))
+	}
+	for _, f := range p.Flows {
+		if f.Reservation != 4 {
+			t.Fatalf("uniform reservation = %d, want F/64 = 4", f.Reservation)
+		}
+	}
+	if err := p.Validate(256); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHotspotEqualReservations(t *testing.T) {
+	m := topo.NewMesh(8)
+	p := Hotspot(m, 63, 0.5, 4, 256, 2, nil)
+	if len(p.Flows) != 63 {
+		t.Fatalf("flows = %d", len(p.Flows))
+	}
+	sum := 0
+	for _, f := range p.Flows {
+		if f.Dst != 63 {
+			t.Fatalf("flow %d dst = %d", f.ID, f.Dst)
+		}
+		sum += f.Reservation
+	}
+	if sum > 256 {
+		t.Fatalf("ΣR = %d > F", sum)
+	}
+	if err := p.Validate(256); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHotspotWeightedReservations(t *testing.T) {
+	m := topo.NewMesh(8)
+	p := Hotspot(m, 63, 0.5, 4, 256, 2, QuadrantWeight(m, [4]int{3, 2, 2, 1}))
+	if err := p.Validate(256); err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 is in quadrant 0 (weight 3); node 7 in quadrant 1 (weight 2).
+	var r0, r7 int
+	for _, f := range p.Flows {
+		if f.Src == 0 {
+			r0 = f.Reservation
+		}
+		if f.Src == 7 {
+			r7 = f.Reservation
+		}
+	}
+	if r0*2 != r7*3 {
+		t.Fatalf("weights not 3:2 — R(0)=%d R(7)=%d", r0, r7)
+	}
+}
+
+func TestCaseStudyIFlows(t *testing.T) {
+	m := topo.NewMesh(8)
+	p := CaseStudyI(m, 0.2, 0.8, 4, 256)
+	if len(p.Flows) != 3 {
+		t.Fatalf("flows = %d", len(p.Flows))
+	}
+	wantSrcs := []topo.NodeID{0, 48, 56}
+	for i, f := range p.Flows {
+		if f.Src != wantSrcs[i] || f.Dst != 63 {
+			t.Fatalf("flow %d: %d->%d", i, f.Src, f.Dst)
+		}
+		if f.Reservation != 64 {
+			t.Fatalf("flow %d reservation = %d, want F/4", i, f.Reservation)
+		}
+	}
+	if err := p.Validate(256); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCaseStudyIIIsolatedLink(t *testing.T) {
+	m := topo.NewMesh(8)
+	p := CaseStudyII(m, 0.5, 4, 256)
+	stripped := CaseStudyIIStripped(p)
+	grey := CaseStudyIIGrey(p)
+	if len(grey) != 8 {
+		t.Fatalf("grey flows = %d", len(grey))
+	}
+	// The stripped flow's path shares no link with any grey flow.
+	strippedLinks := map[topo.Link]bool{}
+	for l, flows := range p.LinkFlows() {
+		for _, id := range flows {
+			if id == stripped {
+				strippedLinks[l] = true
+			}
+		}
+	}
+	for l, flows := range p.LinkFlows() {
+		if !strippedLinks[l] {
+			continue
+		}
+		for _, id := range flows {
+			if id != stripped {
+				t.Fatalf("grey flow %d shares link %s with the stripped flow", id, l)
+			}
+		}
+	}
+	if err := p.Validate(256); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectorRate(t *testing.T) {
+	m := topo.NewMesh(4)
+	p := SingleFlow(m, 0, 15, 0.4, 4, 32)
+	in := NewInjector(p, 0, 9)
+	flits := 0
+	const cycles = 200000
+	for now := uint64(0); now < cycles; now++ {
+		for _, pkt := range in.Next(now) {
+			flits += pkt.Flits
+		}
+	}
+	rate := float64(flits) / cycles
+	if math.Abs(rate-0.4) > 0.02 {
+		t.Fatalf("offered rate = %f, want 0.4", rate)
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	m := topo.NewMesh(4)
+	p := Uniform(m, 0.3, 4, 32)
+	a := NewInjector(p, 3, 7)
+	b := NewInjector(p, 3, 7)
+	for now := uint64(0); now < 5000; now++ {
+		pa, pb := a.Next(now), b.Next(now)
+		if len(pa) != len(pb) {
+			t.Fatal("same-seed injectors diverged")
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatal("same-seed packets differ")
+			}
+		}
+	}
+}
+
+func TestInjectorSequenceNumbers(t *testing.T) {
+	m := topo.NewMesh(4)
+	p := SingleFlow(m, 0, 15, 0.9, 4, 32)
+	in := NewInjector(p, 0, 1)
+	var last int64 = -1
+	for now := uint64(0); now < 2000; now++ {
+		for _, pkt := range in.Next(now) {
+			if int64(pkt.Seq) != last+1 {
+				t.Fatalf("sequence gap: %d after %d", pkt.Seq, last)
+			}
+			last = int64(pkt.Seq)
+		}
+	}
+	if last < 100 {
+		t.Fatalf("too few packets: %d", last)
+	}
+}
+
+func TestSetFlowRate(t *testing.T) {
+	m := topo.NewMesh(8)
+	p := CaseStudyI(m, 0.2, 0.1, 4, 256)
+	p.SetFlowRate(CaseStudyIAggressor1, 0.7)
+	found := false
+	for _, g := range p.Gens[48] {
+		if g.Flow == CaseStudyIAggressor1 && g.Rate == 0.7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("SetFlowRate did not update the generator")
+	}
+}
+
+func TestValidateRejectsOversubscription(t *testing.T) {
+	m := topo.NewMesh(8)
+	p := Hotspot(m, 63, 0.5, 4, 256, 2, nil)
+	// Inflate one reservation to break ΣR ≤ F on the ejection link.
+	p.Flows[0].Reservation = 256
+	if err := p.Validate(256); err == nil {
+		t.Fatal("oversubscription accepted")
+	}
+}
+
+func TestNearestNeighborAndTranspose(t *testing.T) {
+	m := topo.NewMesh(8)
+	for _, p := range []*Pattern{NearestNeighbor(m, 0.2, 4, 256), Transpose(m, 0.2, 4, 256)} {
+		if err := p.Validate(256); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		for _, f := range p.Flows {
+			if f.Src == f.Dst {
+				t.Fatalf("%s: self flow %d", p.Name, f.ID)
+			}
+		}
+	}
+}
+
+func TestFlowIDsAreDense(t *testing.T) {
+	m := topo.NewMesh(8)
+	p := Hotspot(m, 63, 0.5, 4, 256, 2, nil)
+	for i, f := range p.Flows {
+		if f.ID != flit.FlowID(i) {
+			t.Fatalf("flow ids not dense at %d", i)
+		}
+	}
+}
+
+func TestBurstyGeneratorAlternates(t *testing.T) {
+	m := topo.NewMesh(4)
+	p := Bursty(m, 0, 15, 40, 200, 4, 32)
+	in := NewInjector(p, 0, 5)
+	flits, busyWindows := 0, 0
+	const win = 100
+	const windows = 400
+	for w := 0; w < windows; w++ {
+		got := 0
+		for c := 0; c < win; c++ {
+			for _, pkt := range in.Next(uint64(w*win + c)) {
+				got += pkt.Flits
+			}
+		}
+		flits += got
+		if got > 0 {
+			busyWindows++
+		}
+	}
+	if flits == 0 {
+		t.Fatal("bursty generator produced nothing")
+	}
+	// On/off: a clear minority of windows are busy, but bursts hit near
+	// full rate when on (duty cycle ≈ 40/240).
+	if busyWindows == 0 || busyWindows == windows {
+		t.Fatalf("no on/off structure: %d/%d busy windows", busyWindows, windows)
+	}
+	duty := float64(flits) / float64(windows*win)
+	if duty < 0.05 || duty > 0.4 {
+		t.Fatalf("duty cycle %.3f outside expected band", duty)
+	}
+}
