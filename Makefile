@@ -1,0 +1,33 @@
+# Development targets. `make check` is the tier-1 gate plus static checks
+# and the race detector; CI and pre-commit should run it.
+
+GO ?= go
+
+.PHONY: build test race vet fmt check bench bench-probe
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+check: build vet fmt test race
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Probe-layer overhead: "off" must stay within 2% of the pre-probe simulator.
+bench-probe:
+	$(GO) test -run xxx -bench BenchmarkProbeOverhead -benchtime 5x .

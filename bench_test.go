@@ -11,6 +11,7 @@ import (
 	"loft/internal/config"
 	"loft/internal/core"
 	"loft/internal/exp"
+	"loft/internal/probe"
 	"loft/internal/tdm"
 	"loft/internal/topo"
 	"loft/internal/traffic"
@@ -219,6 +220,31 @@ func BenchmarkSimulatorSpeed(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(2000*b.N)/b.Elapsed().Seconds(), "sim-cycles/sec")
+}
+
+// BenchmarkProbeOverhead measures the observability layer's cost on the
+// acceptance workload (20k-cycle uniform LOFT at the paper scale): "off"
+// must stay within 2% of the pre-probe simulator (the disabled path is a
+// handful of nil checks), "on" shows the full tracing+sampling cost.
+func BenchmarkProbeOverhead(b *testing.B) {
+	cfg := config.PaperLOFT()
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			p := trafficUniform(cfg, 0.2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var pr *probe.Probe
+				if mode == "on" {
+					pr = probe.New(probe.Config{SampleEvery: 256})
+				}
+				spec := core.RunSpec{Seed: 1, Warmup: 0, Measure: 20000, Probe: pr}
+				if _, _, err := core.RunLOFT(cfg, p, spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(20000*b.N)/b.Elapsed().Seconds(), "sim-cycles/sec")
+		})
+	}
 }
 
 func setLast[T any](_, v T) T { return v }

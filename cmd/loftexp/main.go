@@ -15,17 +15,25 @@ import (
 	"loft/internal/config"
 	"loft/internal/core"
 	"loft/internal/exp"
+	"loft/internal/probe"
 )
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment: fig6, fig10, fig11a, fig11b, fig12, fig13, table2, bounds, areapower, all")
-		quick    = flag.Bool("quick", false, "reduced cycle counts and sweep densities")
-		seed     = flag.Uint64("seed", 1, "deterministic traffic seed")
-		jsonPath = flag.String("json", "", "also write all results as JSON to this file")
+		which       = flag.String("exp", "all", "experiment: fig6, fig10, fig11a, fig11b, fig12, fig13, table2, bounds, areapower, all")
+		quick       = flag.Bool("quick", false, "reduced cycle counts and sweep densities")
+		seed        = flag.Uint64("seed", 1, "deterministic traffic seed")
+		jsonPath    = flag.String("json", "", "also write all results as JSON to this file")
+		probeOn     = flag.Bool("probe", false, "attach the observability probe layer to every run")
+		probeOut    = flag.String("probe-out", "", "write probe data here (.jsonl events, .csv time series, otherwise Chrome trace JSON); implies -probe")
+		probeSample = flag.Uint64("probe-sample", 256, "gauge sampling period in cycles (0 disables time series)")
 	)
 	flag.Parse()
-	o := exp.Options{Seed: *seed, Quick: *quick}
+	var pr *probe.Probe
+	if *probeOn || *probeOut != "" {
+		pr = probe.New(probe.Config{SampleEvery: *probeSample})
+	}
+	o := exp.Options{Seed: *seed, Quick: *quick, Probe: pr}
 	report := map[string]any{}
 
 	runners := []struct {
@@ -73,6 +81,43 @@ func main() {
 		}
 		fmt.Printf("wrote JSON report to %s\n", *jsonPath)
 	}
+	if pr != nil {
+		if err := writeProbe(pr, *probeOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeProbe exports the probe data collected across all runs; the path's
+// extension selects the format, an empty path prints the event summary.
+func writeProbe(pr *probe.Probe, path string) error {
+	if path == "" {
+		fmt.Println("probe event summary (all runs combined):")
+		for _, line := range pr.Summary() {
+			fmt.Printf("  %s\n", line)
+		}
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch {
+	case strings.HasSuffix(path, ".jsonl"):
+		err = probe.WriteEventsJSONL(f, pr.Events())
+	case strings.HasSuffix(path, ".csv"):
+		err = probe.WriteSeriesCSV(f, pr.Series())
+	default:
+		err = probe.WriteChromeTrace(f, pr.Events(), pr.Series())
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote probe data to %s (%d events retained, %d dropped)\n",
+		path, pr.Tracer().Len(), pr.Tracer().Dropped())
+	return f.Close()
 }
 
 func fig6(exp.Options) (any, error) {

@@ -5,6 +5,14 @@
 //	loftsim -arch loft -pattern uniform -rate 0.3 -cycles 20000
 //	loftsim -arch gsf  -pattern hotspot -rate 0.01
 //	loftsim -arch loft -pattern case1 -rate 0.6 -spec 8 -v
+//	loftsim -arch loft -pattern case1 -rate 0.6 -probe -probe-out trace.json
+//
+// With -probe the observability layer traces scheduler, switch and frame
+// events and samples link/buffer/table gauges every -probe-sample cycles.
+// -probe-out picks the exporter by extension: .jsonl writes the event dump,
+// .csv the sampled time series, anything else (conventionally .json) a
+// Chrome trace_event file loadable at https://ui.perfetto.dev. Without
+// -probe-out a per-kind event summary is printed.
 package main
 
 import (
@@ -12,27 +20,34 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"loft/internal/config"
 	"loft/internal/core"
+	"loft/internal/gsf"
 	"loft/internal/loft"
+	"loft/internal/probe"
 	"loft/internal/topo"
 	"loft/internal/traffic"
 )
 
 func main() {
 	var (
-		arch     = flag.String("arch", "loft", "architecture: loft or gsf")
-		pattern  = flag.String("pattern", "uniform", "traffic: uniform, hotspot, case1, case2, neighbor, transpose")
-		rate     = flag.Float64("rate", 0.1, "offered load in flits/cycle/node (aggressor rate for case1)")
-		spec     = flag.Int("spec", 12, "LOFT speculative buffer size in flits (0 disables §4.3 optimizations)")
-		warmup   = flag.Uint64("warmup", 5000, "warmup cycles excluded from statistics")
-		cycles   = flag.Uint64("cycles", 20000, "measured cycles")
-		seed     = flag.Uint64("seed", 1, "deterministic traffic seed")
-		verbose  = flag.Bool("v", false, "print per-flow rates")
-		heatmap  = flag.Bool("heatmap", false, "print an ASCII link-utilization heatmap (LOFT only)")
-		trace    = flag.String("trace", "", "replay a workload trace file instead of a synthetic pattern")
-		genTrace = flag.Int("gentrace", 0, "emit a synthetic trace with this many packets to stdout and exit")
+		arch        = flag.String("arch", "loft", "architecture: loft or gsf")
+		pattern     = flag.String("pattern", "uniform", "traffic: uniform, hotspot, case1, case2, neighbor, transpose")
+		rate        = flag.Float64("rate", 0.1, "offered load in flits/cycle/node (aggressor rate for case1)")
+		spec        = flag.Int("spec", 12, "LOFT speculative buffer size in flits (0 disables §4.3 optimizations)")
+		warmup      = flag.Uint64("warmup", 5000, "warmup cycles excluded from statistics")
+		cycles      = flag.Uint64("cycles", 20000, "measured cycles")
+		seed        = flag.Uint64("seed", 1, "deterministic traffic seed")
+		verbose     = flag.Bool("v", false, "print per-flow rates")
+		heatmap     = flag.Bool("heatmap", false, "print an ASCII link-utilization heatmap")
+		trace       = flag.String("trace", "", "replay a workload trace file instead of a synthetic pattern")
+		genTrace    = flag.Int("gentrace", 0, "emit a synthetic trace with this many packets to stdout and exit")
+		probeOn     = flag.Bool("probe", false, "enable the observability probe layer")
+		probeOut    = flag.String("probe-out", "", "write probe data here (.jsonl events, .csv time series, otherwise Chrome trace JSON); implies -probe")
+		probeSample = flag.Uint64("probe-sample", 256, "gauge sampling period in cycles (0 disables time series)")
+		probeEvents = flag.Int("probe-events", 1<<20, "event ring buffer capacity")
 	)
 	flag.Parse()
 
@@ -96,15 +111,20 @@ func main() {
 			*warmup = 0
 		}
 	}
-	run := core.RunSpec{Seed: *seed, Warmup: *warmup, Measure: *cycles}
+	var pr *probe.Probe
+	if *probeOn || *probeOut != "" {
+		pr = probe.New(probe.Config{EventCap: *probeEvents, SampleEvery: *probeSample})
+	}
+	run := core.RunSpec{Seed: *seed, Warmup: *warmup, Measure: *cycles, Probe: pr}
 	var res core.Result
 	var err error
 	var lnet *loft.Network
+	var gnet *gsf.Network
 	switch *arch {
 	case "loft":
 		res, lnet, err = core.RunLOFT(lcfg, p, run)
 	case "gsf":
-		res, _, err = core.RunGSF(config.PaperGSF(), p, lcfg.FrameFlits, run)
+		res, gnet, err = core.RunGSF(config.PaperGSF(), p, lcfg.FrameFlits, run)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown architecture %q\n", *arch)
 		os.Exit(2)
@@ -127,9 +147,19 @@ func main() {
 	} else {
 		fmt.Printf("  source-queue drops: %d\n", res.Drops)
 	}
-	if *heatmap && lnet != nil {
+	if *heatmap {
 		fmt.Println("link utilization (digits = tenths; right = East link, below = South link):")
-		fmt.Print(lnet.Heatmap())
+		if lnet != nil {
+			fmt.Print(lnet.Heatmap())
+		} else if gnet != nil {
+			fmt.Print(gnet.Heatmap())
+		}
+	}
+	if pr != nil {
+		if err := writeProbe(pr, *probeOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	if *verbose {
 		ids := make([]int, 0, len(res.FlowRate))
@@ -143,4 +173,35 @@ func main() {
 				id, f.Src, f.Dst, res.FlowRate[f.ID], res.FlowLatency[f.ID])
 		}
 	}
+}
+
+// writeProbe exports the collected probe data. The path's extension selects
+// the format; an empty path prints the per-kind event summary.
+func writeProbe(pr *probe.Probe, path string) error {
+	if path == "" {
+		fmt.Println("probe event summary:")
+		for _, line := range pr.Summary() {
+			fmt.Printf("  %s\n", line)
+		}
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch {
+	case strings.HasSuffix(path, ".jsonl"):
+		err = probe.WriteEventsJSONL(f, pr.Events())
+	case strings.HasSuffix(path, ".csv"):
+		err = probe.WriteSeriesCSV(f, pr.Series())
+	default:
+		err = probe.WriteChromeTrace(f, pr.Events(), pr.Series())
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote probe data to %s (%d events retained, %d dropped)\n",
+		path, pr.Tracer().Len(), pr.Tracer().Dropped())
+	return f.Close()
 }

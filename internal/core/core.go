@@ -9,6 +9,7 @@ import (
 	"loft/internal/flit"
 	"loft/internal/gsf"
 	"loft/internal/loft"
+	"loft/internal/probe"
 	"loft/internal/stats"
 	"loft/internal/traffic"
 )
@@ -30,6 +31,9 @@ type RunSpec struct {
 	Warmup uint64
 	// Measure cycles are simulated after warmup.
 	Measure uint64
+	// Probe attaches the observability layer when non-nil. Probing never
+	// changes simulation results.
+	Probe *probe.Probe
 }
 
 // Total returns warmup + measure cycles.
@@ -84,7 +88,7 @@ func summarize(arch Arch, lat, latNet *stats.Latency, latFlow *stats.FlowLatency
 // RunLOFT builds a LOFT network for cfg and pattern, runs it, and returns
 // the result summary together with the network for further inspection.
 func RunLOFT(cfg config.LOFT, p *traffic.Pattern, spec RunSpec) (Result, *loft.Network, error) {
-	net, err := loft.New(cfg, p, loft.Options{Seed: spec.Seed, Warmup: spec.Warmup})
+	net, err := loft.New(cfg, p, loft.Options{Seed: spec.Seed, Warmup: spec.Warmup, Probe: spec.Probe})
 	if err != nil {
 		return Result{}, nil, err
 	}
@@ -101,7 +105,7 @@ func RunLOFT(cfg config.LOFT, p *traffic.Pattern, spec RunSpec) (Result, *loft.N
 // pattern's reservations (expressed against baseFrameFlits) are rescaled to
 // GSF's frame size.
 func RunGSF(cfg config.GSF, p *traffic.Pattern, baseFrameFlits int, spec RunSpec) (Result, *gsf.Network, error) {
-	net, err := gsf.New(cfg, p, gsf.Options{Seed: spec.Seed, Warmup: spec.Warmup, BaseFrameFlits: baseFrameFlits})
+	net, err := gsf.New(cfg, p, gsf.Options{Seed: spec.Seed, Warmup: spec.Warmup, BaseFrameFlits: baseFrameFlits, Probe: spec.Probe})
 	if err != nil {
 		return Result{}, nil, err
 	}

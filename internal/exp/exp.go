@@ -9,6 +9,7 @@ import (
 
 	"loft/internal/config"
 	"loft/internal/core"
+	"loft/internal/probe"
 )
 
 // Options tune experiment runs.
@@ -17,14 +18,19 @@ type Options struct {
 	Seed uint64
 	// Quick reduces cycle counts and sweep densities for tests/benches.
 	Quick bool
+	// Probe attaches the observability layer to every simulation the
+	// experiment runs. Runs reuse one probe, so events of consecutive
+	// simulations interleave in the trace (each run restarts at cycle 0);
+	// combine with a single-experiment selection for a readable trace.
+	Probe *probe.Probe
 }
 
 // runSpec returns the RunSpec for the chosen fidelity.
 func (o Options) runSpec() core.RunSpec {
 	if o.Quick {
-		return core.RunSpec{Seed: o.Seed, Warmup: 2000, Measure: 6000}
+		return core.RunSpec{Seed: o.Seed, Warmup: 2000, Measure: 6000, Probe: o.Probe}
 	}
-	return core.RunSpec{Seed: o.Seed, Warmup: 5000, Measure: 20000}
+	return core.RunSpec{Seed: o.Seed, Warmup: 5000, Measure: 20000, Probe: o.Probe}
 }
 
 // loftCfg returns the paper LOFT configuration with the given speculative

@@ -19,6 +19,7 @@ import (
 	"loft/internal/buffers"
 	"loft/internal/config"
 	"loft/internal/flit"
+	"loft/internal/probe"
 	"loft/internal/route"
 	"loft/internal/sim"
 	"loft/internal/topo"
@@ -78,6 +79,9 @@ type flowState struct {
 	r   int // budget per frame in flits
 	ifr int // current absolute injection frame
 	c   int // remaining budget in ifr
+	// throttled marks a source stalled on an exhausted window, so the
+	// probe emits one event per stall instead of one per stalled cycle.
+	throttled bool
 }
 
 // node is one GSF mesh node: router, source queue, sink.
@@ -98,6 +102,9 @@ type node struct {
 	pendCred [4]*creditMsg
 
 	pktFlits map[pktKey]pktProgress
+
+	// linkBusy counts flits forwarded per mesh output (link utilization).
+	linkBusy [4]uint64
 
 	drops uint64
 }
@@ -262,6 +269,7 @@ func (n *node) switchFlits(now uint64) {
 		} else {
 			n.outs[o].down[best.downVC].credits--
 			n.flitOut[o].Write(linkMsg{F: e.f, VC: best.downVC})
+			n.linkBusy[o]++
 		}
 		if bestDir != topo.Local {
 			// Return the credit; tail also frees the VC upstream.
@@ -364,11 +372,19 @@ func (n *node) inject(now uint64) {
 		}
 		if fs.c == 0 {
 			if fs.ifr >= h+cfg.FrameWindow-1 {
-				return // window exhausted: source throttled
+				// Window exhausted: source throttled. Emit one event per
+				// stall edge and count every stalled cycle.
+				n.net.throttleCycles.Inc()
+				if !fs.throttled {
+					fs.throttled = true
+					n.net.probe.Emit(now, probe.KindGSFThrottle, int32(n.id), -1, int32(fs.id), uint64(h))
+				}
+				return
 			}
 			fs.ifr++
 			fs.c = fs.r
 		}
+		fs.throttled = false
 		frame = fs.ifr
 		fs.c--
 	}

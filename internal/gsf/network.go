@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"loft/internal/config"
+	"loft/internal/probe"
 	"loft/internal/sim"
 	"loft/internal/stats"
 	"loft/internal/topo"
@@ -17,6 +18,7 @@ type Network struct {
 	pattern *traffic.Pattern
 	nodes   []*node
 	kernel  *sim.Kernel
+	probe   *probe.Probe
 
 	injectors []*traffic.Injector
 
@@ -24,6 +26,10 @@ type Network struct {
 	head       int // H: the head frame (absolute)
 	frameCount map[int]int
 	barrier    int // countdown; 0 = idle
+
+	// throttleCycles counts source-stall cycles for the probe registry
+	// (events fire only on the stall edge).
+	throttleCycles *probe.Counter
 
 	lat     *stats.Latency // total latency (generation → delivery)
 	latNet  *stats.Latency // network latency (injection → delivery)
@@ -39,6 +45,9 @@ type Options struct {
 	// computed against (the LOFT frame, 256); GSF budgets are rescaled to
 	// its own 2000-flit frames preserving each flow's bandwidth fraction.
 	BaseFrameFlits int
+	// Probe enables the observability layer when non-nil (frame rollover
+	// and source-throttle events, link-utilization gauges).
+	Probe *probe.Probe
 }
 
 // New builds a GSF network for the given pattern.
@@ -58,13 +67,15 @@ func New(cfg config.GSF, pattern *traffic.Pattern, opts Options) (*Network, erro
 		mesh:       mesh,
 		pattern:    pattern,
 		kernel:     sim.NewKernel(),
+		probe:      opts.Probe,
 		head:       0,
 		frameCount: make(map[int]int),
-		lat:        stats.NewLatency(opts.Warmup),
-		latNet:     stats.NewLatency(opts.Warmup),
+		lat:        stats.NewLatencySeeded(opts.Warmup, opts.Seed),
+		latNet:     stats.NewLatencySeeded(opts.Warmup, opts.Seed),
 		latFlow:    stats.NewFlowLatency(opts.Warmup),
 		thr:        stats.NewThroughput(opts.Warmup),
 	}
+	net.throttleCycles = net.probe.Registry().Counter("gsf.throttle.cycles")
 	for i := 0; i < mesh.N(); i++ {
 		net.nodes = append(net.nodes, newNode(topo.NodeID(i), cfg, net))
 		net.injectors = append(net.injectors, traffic.NewInjector(pattern, topo.NodeID(i), opts.Seed))
@@ -84,8 +95,34 @@ func New(cfg config.GSF, pattern *traffic.Pattern, opts Options) (*Network, erro
 		src.flows[f.ID] = &flowState{id: f.ID, r: r, ifr: 1, c: r}
 	}
 	net.wire()
+	net.registerGauges()
 	net.kernel.Add(net)
 	return net, nil
+}
+
+// registerGauges publishes per-link utilization (per-cycle flit rate) and
+// source-queue backlog gauges to the probe registry. The heatmap reads the
+// same counters, so `loftsim -heatmap` works for GSF exactly as for LOFT.
+func (net *Network) registerGauges() {
+	reg := net.probe.Registry()
+	if reg == nil {
+		return
+	}
+	for _, n := range net.nodes {
+		n := n
+		for d := topo.North; d < topo.Local; d++ {
+			d := d
+			if n.flitOut[d] == nil {
+				continue
+			}
+			reg.Rate(fmt.Sprintf("gsf.link.n%d.%s", n.id, d), func() float64 {
+				return float64(n.linkBusy[d])
+			})
+		}
+		reg.Gauge(fmt.Sprintf("gsf.srcq.n%d", n.id), func() float64 {
+			return float64(n.srcQueue.Len())
+		})
+	}
 }
 
 func (net *Network) wire() {
@@ -117,13 +154,14 @@ func (net *Network) Tick(now uint64) {
 		}
 		n.tick(now)
 	}
-	net.tickBarrier()
+	net.tickBarrier(now)
+	net.probe.MaybeSample(now)
 }
 
 // tickBarrier models the global barrier network: once no head-frame flit
 // remains in the network, the window shifts after the barrier round-trip
 // delay (16 cycles in Table 1). Best-effort mode has no barrier.
-func (net *Network) tickBarrier() {
+func (net *Network) tickBarrier(now uint64) {
 	if net.cfg.BestEffort {
 		return
 	}
@@ -132,6 +170,7 @@ func (net *Network) tickBarrier() {
 		if net.barrier == 0 {
 			delete(net.frameCount, net.head)
 			net.head++
+			net.probe.Emit(now, probe.KindGSFFrameRoll, -1, -1, -1, uint64(net.head))
 		}
 		return
 	}
@@ -189,4 +228,33 @@ func (net *Network) InFlight() int {
 		total += c
 	}
 	return total
+}
+
+// Probe returns the attached probe (nil when observability is disabled).
+func (net *Network) Probe() *probe.Probe { return net.probe }
+
+// LinkUtilization returns, for every live mesh output link, the fraction of
+// cycles it carried a flit over the run so far (links move at most one flit
+// per cycle).
+func (net *Network) LinkUtilization() map[topo.Link]float64 {
+	cycles := float64(net.kernel.Now())
+	if cycles == 0 {
+		return nil
+	}
+	out := make(map[topo.Link]float64)
+	for _, n := range net.nodes {
+		for d := topo.North; d < topo.Local; d++ {
+			if n.flitOut[d] == nil {
+				continue
+			}
+			out[topo.Link{From: n.id, D: d}] = float64(n.linkBusy[d]) / cycles
+		}
+	}
+	return out
+}
+
+// Heatmap renders per-node link utilization as an ASCII grid (see
+// topo.RenderHeatmap).
+func (net *Network) Heatmap() string {
+	return topo.RenderHeatmap(net.mesh, net.LinkUtilization())
 }

@@ -1,0 +1,58 @@
+package gsf
+
+import (
+	"testing"
+
+	"loft/internal/probe"
+	"loft/internal/topo"
+	"loft/internal/traffic"
+)
+
+func TestGSFProbeFrameRollAndThrottle(t *testing.T) {
+	cfg := smallGSF()
+	mesh := cfg.Mesh()
+	// A saturated hotspot exhausts frame windows, forcing source throttling.
+	p := traffic.Hotspot(mesh, topo.NodeID(mesh.N()-1), 0.9, cfg.PacketFlits, 32, 2, nil)
+	pr := probe.New(probe.Config{SampleEvery: 64})
+	net, err := New(cfg, p, Options{Seed: 1, Warmup: 0, BaseFrameFlits: 32, Probe: pr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(5000)
+	if pr.Tracer().Count(probe.KindGSFFrameRoll) == 0 {
+		t.Error("no frame rollover events")
+	}
+	if pr.Tracer().Count(probe.KindGSFThrottle) == 0 {
+		t.Error("no source-throttle events under saturation")
+	}
+	if pr.Registry().Counter("gsf.throttle.cycles").Value() == 0 {
+		t.Error("throttle cycle counter never incremented")
+	}
+	if len(pr.Series()) == 0 {
+		t.Fatal("no time series sampled")
+	}
+}
+
+func TestGSFHeatmapAndUtilization(t *testing.T) {
+	cfg := smallGSF()
+	p := traffic.Uniform(cfg.Mesh(), 0.2, cfg.PacketFlits, 32)
+	net := mustNet(t, cfg, p, 2, 0)
+	net.Run(4000)
+	util := net.LinkUtilization()
+	if len(util) == 0 {
+		t.Fatal("no link utilization reported")
+	}
+	busy := 0.0
+	for _, u := range util {
+		if u < 0 || u > 1 {
+			t.Fatalf("utilization out of range: %f", u)
+		}
+		busy += u
+	}
+	if busy == 0 {
+		t.Fatal("all links idle under uniform traffic")
+	}
+	if hm := net.Heatmap(); len(hm) == 0 {
+		t.Fatal("empty heatmap")
+	}
+}

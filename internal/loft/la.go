@@ -5,6 +5,7 @@ import (
 
 	"loft/internal/buffers"
 	"loft/internal/flit"
+	"loft/internal/probe"
 	"loft/internal/route"
 	"loft/internal/topo"
 )
@@ -179,6 +180,9 @@ func (la *laRouter) process(now uint64) {
 			fl.DepartPrev = depart
 			n.laOut[o].Write(fl)
 			la.credits[o].Consume()
+			if n.probe != nil {
+				n.probe.Emit(now, probe.KindLAIssue, int32(n.id), int32(o), int32(fl.Flow), depart*uint64(n.cfg.QuantumFlits))
+			}
 		}
 	}
 }

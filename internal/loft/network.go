@@ -2,11 +2,11 @@ package loft
 
 import (
 	"fmt"
-	"strings"
 
 	"loft/internal/config"
 	"loft/internal/flit"
 	"loft/internal/lsf"
+	"loft/internal/probe"
 	"loft/internal/sim"
 	"loft/internal/stats"
 	"loft/internal/topo"
@@ -20,6 +20,7 @@ type Network struct {
 	pattern *traffic.Pattern
 	nodes   []*Node
 	kernel  *sim.Kernel
+	probe   *probe.Probe
 
 	lat     *stats.Latency // total latency (generation → delivery)
 	latNet  *stats.Latency // network latency (injection → delivery)
@@ -33,6 +34,10 @@ type Options struct {
 	Seed uint64
 	// Warmup is the cycle before which packets are excluded from stats.
 	Warmup uint64
+	// Probe enables the observability layer when non-nil: event tracing at
+	// every scheduler and switch, plus periodic gauge sampling. Probing
+	// never changes simulation results.
+	Probe *probe.Probe
 }
 
 // New builds a LOFT network for the given configuration and traffic
@@ -54,8 +59,9 @@ func New(cfg config.LOFT, pattern *traffic.Pattern, opts Options) (*Network, err
 		mesh:    mesh,
 		pattern: pattern,
 		kernel:  sim.NewKernel(),
-		lat:     stats.NewLatency(opts.Warmup),
-		latNet:  stats.NewLatency(opts.Warmup),
+		probe:   opts.Probe,
+		lat:     stats.NewLatencySeeded(opts.Warmup, opts.Seed),
+		latNet:  stats.NewLatencySeeded(opts.Warmup, opts.Seed),
 		latFlow: stats.NewFlowLatency(opts.Warmup),
 		thr:     stats.NewThroughput(opts.Warmup),
 	}
@@ -69,8 +75,50 @@ func New(cfg config.LOFT, pattern *traffic.Pattern, opts Options) (*Network, err
 	for i, n := range net.nodes {
 		n.ni.setInjector(traffic.NewInjector(pattern, topo.NodeID(i), opts.Seed))
 	}
+	net.registerGauges()
 	net.kernel.Add(net)
 	return net, nil
+}
+
+// registerGauges publishes the sampled time series of the probe layer:
+// per-link utilization (per-cycle rate of flits forwarded), per-VC
+// look-ahead buffer occupancy, data input-buffer occupancy, and the fill of
+// every framed output reservation table. No-op when probing is disabled.
+func (net *Network) registerGauges() {
+	reg := net.probe.Registry()
+	if reg == nil {
+		return
+	}
+	q := float64(net.cfg.QuantumFlits)
+	for _, n := range net.nodes {
+		n := n
+		for d := topo.North; d < topo.NumDirs; d++ {
+			d := d
+			if n.outTables[d] != nil {
+				reg.Rate(fmt.Sprintf("loft.link.n%d.%s", n.id, d), func() float64 {
+					return float64(n.linkBusy[d]) * q
+				})
+				t := n.outTables[d]
+				reg.Gauge(fmt.Sprintf("loft.table.n%d.%s", n.id, d), func() float64 {
+					return float64(t.BookedSlots()) / float64(t.WindowSlots())
+				})
+			}
+			ip := n.inputs[d]
+			reg.Gauge(fmt.Sprintf("loft.buf.n%d.%s", n.id, d), func() float64 {
+				return float64(ip.nonspecUsed + ip.specUsed)
+			})
+			for v, vc := range n.la.vcs[d] {
+				vc := vc
+				reg.Gauge(fmt.Sprintf("loft.lavc.n%d.%s.vc%d", n.id, d, v), func() float64 {
+					return float64(vc.Len())
+				})
+			}
+		}
+		inj := n.injTable
+		reg.Gauge(fmt.Sprintf("loft.table.n%d.inject", n.id), func() float64 {
+			return float64(inj.BookedSlots()) / float64(inj.WindowSlots())
+		})
+	}
 }
 
 // wire creates the link registers between neighbors and registers every
@@ -156,7 +204,11 @@ func (net *Network) Tick(now uint64) {
 	for _, n := range net.nodes {
 		n.Tick(now)
 	}
+	net.probe.MaybeSample(now)
 }
+
+// Probe returns the attached probe (nil when observability is disabled).
+func (net *Network) Probe() *probe.Probe { return net.probe }
 
 // Run advances the simulation n cycles.
 func (net *Network) Run(n uint64) {
@@ -288,42 +340,8 @@ func (net *Network) LinkUtilization() map[topo.Link]float64 {
 	return out
 }
 
-// Heatmap renders per-node link utilization as an ASCII grid: each mesh
-// node shows its East (→) and South (↓) link loads as digits 0–9 (tenths of
-// full utilization), a quick visual for locating hot regions.
+// Heatmap renders per-node link utilization as an ASCII grid (see
+// topo.RenderHeatmap).
 func (net *Network) Heatmap() string {
-	util := net.LinkUtilization()
-	digit := func(l topo.Link) byte {
-		u, ok := util[l]
-		if !ok {
-			return ' '
-		}
-		d := int(u * 10)
-		if d > 9 {
-			d = 9
-		}
-		return byte('0' + d)
-	}
-	var b strings.Builder
-	for y := 0; y < net.mesh.K; y++ {
-		for x := 0; x < net.mesh.K; x++ {
-			id := net.mesh.ID(topo.Coord{X: x, Y: y})
-			fmt.Fprintf(&b, "%3d", id)
-			if x+1 < net.mesh.K {
-				fmt.Fprintf(&b, " %c ", digit(topo.Link{From: id, D: topo.East}))
-			}
-		}
-		b.WriteByte('\n')
-		if y+1 < net.mesh.K {
-			for x := 0; x < net.mesh.K; x++ {
-				id := net.mesh.ID(topo.Coord{X: x, Y: y})
-				fmt.Fprintf(&b, "  %c", digit(topo.Link{From: id, D: topo.South}))
-				if x+1 < net.mesh.K {
-					b.WriteString("   ")
-				}
-			}
-			b.WriteByte('\n')
-		}
-	}
-	return b.String()
+	return topo.RenderHeatmap(net.mesh, net.LinkUtilization())
 }

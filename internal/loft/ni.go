@@ -2,6 +2,7 @@ package loft
 
 import (
 	"loft/internal/flit"
+	"loft/internal/probe"
 	"loft/internal/topo"
 	"loft/internal/traffic"
 )
@@ -140,6 +141,9 @@ func (ni *netIface) book(now uint64) {
 		pq.booked = true
 		pq.departSlot = depart
 		n.stats.InjectedQuanta++
+		if n.probe != nil {
+			n.probe.Emit(now, probe.KindLAIssue, int32(n.id), int32(topo.NumDirs), int32(fq.id), depart*uint64(n.cfg.QuantumFlits))
+		}
 		n.la.accept(flit.Lookahead{
 			Dst:        pq.q.Dst,
 			Flow:       pq.q.ID.Flow,

@@ -7,6 +7,7 @@ import (
 	"loft/internal/config"
 	"loft/internal/flit"
 	"loft/internal/lsf"
+	"loft/internal/probe"
 	"loft/internal/sim"
 	"loft/internal/topo"
 )
@@ -112,6 +113,9 @@ type Node struct {
 	// linkBusy counts quanta forwarded per output (link utilization).
 	linkBusy [topo.NumDirs]uint64
 
+	// probe aliases net.probe (nil when observability is disabled).
+	probe *probe.Probe
+
 	stats NodeStats
 }
 
@@ -129,7 +133,7 @@ func (r *rrState) order() [topo.NumDirs]topo.Dir {
 func (r *rrState) granted(d topo.Dir) { r.next = (int(d) + 1) % int(topo.NumDirs) }
 
 func newNode(id topo.NodeID, cfg config.LOFT, mesh topo.Mesh, net *Network) *Node {
-	n := &Node{id: id, cfg: cfg, mesh: mesh, net: net}
+	n := &Node{id: id, cfg: cfg, mesh: mesh, net: net, probe: net.probe}
 	params := lsf.Params{
 		SlotsPerFrame: cfg.SlotsPerFrame(),
 		Frames:        cfg.FrameWindow,
@@ -150,6 +154,14 @@ func newNode(id topo.NodeID, cfg config.LOFT, mesh topo.Mesh, net *Network) *Nod
 		}
 	}
 	n.injTable = lsf.NewTable(fmt.Sprintf("n%d.inject", id), params)
+	if n.probe != nil {
+		for d := topo.North; d < topo.NumDirs; d++ {
+			if n.outTables[d] != nil {
+				n.outTables[d].SetProbe(n.probe, int32(id), int32(d), cfg.QuantumFlits)
+			}
+		}
+		n.injTable.SetProbe(n.probe, int32(id), int32(topo.NumDirs), cfg.QuantumFlits)
+	}
 	n.niCredNonSpec = buffers.NewCredits(fmt.Sprintf("n%d.ni.nonspec", id), cfg.BufferQuanta())
 	n.niCredSpec = buffers.NewCredits(fmt.Sprintf("n%d.ni.spec", id), cfg.SpecQuanta())
 	n.niData = sim.NewReg[dataMsg](fmt.Sprintf("n%d.nidata", id))
@@ -375,10 +387,16 @@ func (n *Node) forwardData(slot, now uint64) {
 				if e == nil || e.outDir != o {
 					continue
 				}
+				if n.probe != nil {
+					n.probe.Emit(now, probe.KindSpecAttempt, int32(n.id), int32(o), int32(e.q.ID.Flow), e.q.ID.Seq)
+				}
 				if n.canForward(o, e) {
 					winner, winnerIn = e, d
 					n.outRR[o].granted(d)
 					break
+				}
+				if n.probe != nil {
+					n.probe.Emit(now, probe.KindSpecAbort, int32(n.id), int32(o), int32(e.q.ID.Flow), e.q.ID.Seq)
 				}
 			}
 		}
@@ -430,6 +448,9 @@ func (n *Node) forward(o, in topo.Dir, e *inEntry, slot, now uint64) {
 		n.stats.SchedForwards++
 	} else {
 		n.stats.SpecForwards++
+		if n.probe != nil {
+			n.probe.Emit(now, probe.KindSpecHit, int32(n.id), int32(o), int32(e.q.ID.Flow), e.departSlot*uint64(n.cfg.QuantumFlits))
+		}
 	}
 	n.linkBusy[o]++
 	// Vacate this node's input buffer and return its real credit.

@@ -1,0 +1,100 @@
+package loft
+
+import (
+	"testing"
+
+	"loft/internal/probe"
+	"loft/internal/traffic"
+)
+
+// runProbed runs a small uniform-traffic LOFT network with a probe attached
+// and returns the probe plus the network for result comparison.
+func runProbed(t *testing.T, seed uint64, pr *probe.Probe) (*Network, *probe.Probe) {
+	t.Helper()
+	cfg := smallCfg(12)
+	p := traffic.Uniform(cfg.Mesh(), 0.2, cfg.PacketFlits, cfg.FrameFlits)
+	net, err := New(cfg, p, Options{Seed: seed, Warmup: 0, Probe: pr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(3000)
+	return net, pr
+}
+
+func TestProbeEventsDeterministic(t *testing.T) {
+	mk := func(seed uint64) []probe.Event {
+		_, pr := runProbed(t, seed, probe.New(probe.Config{SampleEvery: 64}))
+		return pr.Events()
+	}
+	a, b := mk(5), mk(5)
+	if len(a) == 0 {
+		t.Fatal("no events emitted")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ across same-seed runs: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := mk(6)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical event streams (suspicious)")
+	}
+}
+
+func TestProbeDoesNotPerturbSimulation(t *testing.T) {
+	bare, _ := runProbed(t, 9, nil)
+	probed, pr := runProbed(t, 9, probe.New(probe.Config{SampleEvery: 32}))
+	bs, ps := bare.TotalStats(), probed.TotalStats()
+	if bs != ps {
+		t.Fatalf("probe changed simulation stats:\nbare   %+v\nprobed %+v", bs, ps)
+	}
+	if bare.Latency().Count() != probed.Latency().Count() ||
+		bare.Latency().Mean() != probed.Latency().Mean() {
+		t.Fatalf("probe changed latency: %f/%d vs %f/%d",
+			bare.Latency().Mean(), bare.Latency().Count(),
+			probed.Latency().Mean(), probed.Latency().Count())
+	}
+	if pr.Tracer().Total() == 0 {
+		t.Fatal("probed run emitted no events")
+	}
+}
+
+func TestProbeCoversKeyEvents(t *testing.T) {
+	_, pr := runProbed(t, 2, probe.New(probe.Config{SampleEvery: 64}))
+	for _, k := range []probe.Kind{
+		probe.KindReserveGrant,
+		probe.KindFrameRecycle,
+		probe.KindLAIssue,
+		probe.KindVCreditGrant,
+		probe.KindSpecAttempt,
+	} {
+		if pr.Tracer().Count(k) == 0 {
+			t.Errorf("no %s events recorded", k)
+		}
+	}
+	if len(pr.Series()) == 0 {
+		t.Fatal("no time series sampled")
+	}
+	found := false
+	for _, s := range pr.Series() {
+		if len(s.Samples) > 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("all sampled series are empty")
+	}
+}

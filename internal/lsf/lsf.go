@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"loft/internal/flit"
+	"loft/internal/probe"
 )
 
 // TraceName enables throttle tracing for the named table (debug hook).
@@ -131,6 +132,13 @@ type Table struct {
 	// retries of throttled flows.
 	version uint64
 	stats   Stats
+
+	// Probe context (nil when observability is disabled). Event timestamps
+	// are slot times scaled to cycles by slotCycles so LSF events align
+	// with the cycle-granular events of the surrounding network.
+	probe        *probe.Probe
+	pNode, pLink int32
+	slotCycles   uint64
 }
 
 // NewTable returns an empty table. It panics on invalid params (a
@@ -157,6 +165,21 @@ func NewTable(name string, p Params) *Table {
 
 // Name returns the table's diagnostic name.
 func (t *Table) Name() string { return t.name }
+
+// SetProbe attaches an observability probe. node and link identify this
+// table in traces; cyclesPerSlot converts the table's slot times into cycles
+// for event timestamps. A nil probe keeps instrumentation disabled.
+func (t *Table) SetProbe(p *probe.Probe, node, link int32, cyclesPerSlot int) {
+	t.probe = p
+	t.pNode = node
+	t.pLink = link
+	t.slotCycles = uint64(cyclesPerSlot)
+}
+
+// emit records one probe event stamped with the current slot time.
+func (t *Table) emit(k probe.Kind, flow int32, arg uint64) {
+	t.probe.Emit(t.now*t.slotCycles, k, t.pNode, t.pLink, flow, arg)
+}
 
 // Stats returns a snapshot of the event counters.
 func (t *Table) Stats() Stats { return t.stats }
@@ -254,6 +277,9 @@ func (t *Table) Tick() {
 			}
 		}
 		t.skipped[oldHF] = 0
+		if t.probe != nil {
+			t.emit(probe.KindFrameRecycle, -1, uint64(t.hf()))
+		}
 	}
 }
 
@@ -327,15 +353,24 @@ func (t *Table) Request(f flit.FlowID, quantum uint64, minSlot uint64) (uint64, 
 				if slot, ok := t.trySchedule(f, quantum, st.ifr, minSlot, minValid); ok {
 					st.c--
 					t.stats.Scheduled++
+					if t.probe != nil {
+						t.emit(probe.KindReserveGrant, int32(f), slot*t.slotCycles)
+					}
 					return slot, true
 				}
 			} else {
 				t.stats.CondBlocks++
+				if t.probe != nil {
+					t.emit(probe.KindCondBlock, int32(f), uint64(st.ifr))
+				}
 			}
 		}
 		next := (st.ifr + 1) % t.p.Frames
 		if next == t.hf() {
 			t.stats.Throttled++
+			if t.probe != nil {
+				t.emit(probe.KindReserveDeny, int32(f), quantum)
+			}
 			if TraceName != "" && t.name == TraceName && t.stats.Throttled%500 == 0 {
 				fmt.Printf("TRACE %s now=%d cp=%d hf=%d flow=%d q=%d IF=%d C=%d minSlot=%d lastZero=%d endCredit=%d\n",
 					t.name, t.now, t.cp, t.hf(), f, quantum, st.ifr, st.c, minSlot, t.lastZero, t.slots[(t.cp-1+t.wt)%t.wt].credit)
@@ -345,6 +380,9 @@ func (t *Table) Request(f flit.FlowID, quantum uint64, minSlot uint64) (uint64, 
 		// Advancing abandons the unused reservation: record it in the
 		// skipped counter of the frame being left (§4.2).
 		t.skipped[st.ifr] += st.c
+		if t.probe != nil {
+			t.emit(probe.KindFrameSkip, int32(f), uint64(st.c))
+		}
 		st.c = minInt(st.r, st.c+st.r)
 		st.ifr = next
 		t.stats.FrameSkips++
@@ -485,6 +523,9 @@ func (t *Table) ReturnCredit(tag uint64) {
 		panic(fmt.Sprintf("lsf: more credit returns than bookings on %s", t.name))
 	}
 	t.version++
+	if t.probe != nil {
+		t.emit(probe.KindVCreditGrant, -1, tag*t.slotCycles)
+	}
 }
 
 // ClearBusy releases the booked slot at absolute time s after its quantum
@@ -569,6 +610,9 @@ func (t *Table) Reset() {
 	t.dirty = false
 	t.version++
 	t.stats.Resets++
+	if t.probe != nil {
+		t.emit(probe.KindLocalReset, -1, 0)
+	}
 }
 
 // FlowState reports a flow's (IF, C, R) for tests and diagnostics.
@@ -585,6 +629,10 @@ func (t *Table) Skipped(f int) int { return t.skipped[f] }
 
 // WindowSlots returns WT.
 func (t *Table) WindowSlots() int { return t.wt }
+
+// BookedSlots returns the number of busy slots in the window (reservation
+// table fill; exported for the probe layer's gauges).
+func (t *Table) BookedSlots() int { return t.busyCount }
 
 func minInt(a, b int) int {
 	if a < b {

@@ -1,0 +1,163 @@
+package probe
+
+import "sort"
+
+// Counter is a monotonically increasing metric. Counters are sampled into
+// time series alongside gauges, so their cumulative curves (e.g. skipped
+// slots over time) are exportable without per-increment events.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v++
+}
+
+// Add adds d.
+func (c *Counter) Add(d uint64) {
+	if c == nil {
+		return
+	}
+	c.v += d
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Sample is one point of a time series.
+type Sample struct {
+	Cycle uint64
+	Value float64
+}
+
+// Series is one named time series keyed by cycle.
+type Series struct {
+	Name    string
+	Samples []Sample
+}
+
+type gaugeEntry struct {
+	name string
+	fn   func() float64
+	// rate converts a cumulative reading into a per-cycle rate over the
+	// sampling interval (used for link utilization).
+	rate      bool
+	prev      float64
+	prevCycle uint64
+	started   bool
+	samples   []Sample
+}
+
+type counterEntry struct {
+	name    string
+	c       *Counter
+	samples []Sample
+}
+
+// Registry holds named counters and gauges. It is not safe for concurrent
+// use; each simulation owns its probe and the kernels are single-threaded.
+type Registry struct {
+	counters     []*counterEntry
+	counterIndex map[string]*counterEntry
+	gauges       []*gaugeEntry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counterIndex: make(map[string]*counterEntry)}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil counter whose methods are no-ops, so callers keep
+// the handle unconditionally.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if e, ok := r.counterIndex[name]; ok {
+		return e.c
+	}
+	e := &counterEntry{name: name, c: &Counter{}}
+	r.counterIndex[name] = e
+	r.counters = append(r.counters, e)
+	return e.c
+}
+
+// Gauge registers an instantaneous gauge polled at every sample point. A nil
+// registry ignores the registration.
+func (r *Registry) Gauge(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.gauges = append(r.gauges, &gaugeEntry{name: name, fn: fn})
+}
+
+// Rate registers a gauge over a cumulative reading: each sample records the
+// per-cycle increase since the previous sample (the first sample is dropped,
+// establishing the baseline). Link utilization uses this over the forwarded
+// flit counters.
+func (r *Registry) Rate(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.gauges = append(r.gauges, &gaugeEntry{name: name, fn: fn, rate: true})
+}
+
+// Sample polls every gauge and snapshots every counter at the given cycle.
+func (r *Registry) Sample(cycle uint64) {
+	if r == nil {
+		return
+	}
+	for _, g := range r.gauges {
+		v := g.fn()
+		if g.rate {
+			prev, prevCycle, started := g.prev, g.prevCycle, g.started
+			g.prev, g.prevCycle, g.started = v, cycle, true
+			if !started || cycle <= prevCycle {
+				continue
+			}
+			v = (v - prev) / float64(cycle-prevCycle)
+		}
+		g.samples = append(g.samples, Sample{Cycle: cycle, Value: v})
+	}
+	for _, c := range r.counters {
+		c.samples = append(c.samples, Sample{Cycle: cycle, Value: float64(c.c.v)})
+	}
+}
+
+// GaugeValue returns the most recent sampled value of the named gauge.
+func (r *Registry) GaugeValue(name string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	for _, g := range r.gauges {
+		if g.name == name && len(g.samples) > 0 {
+			return g.samples[len(g.samples)-1].Value, true
+		}
+	}
+	return 0, false
+}
+
+// Series returns every counter and gauge time series, sorted by name for
+// deterministic export.
+func (r *Registry) Series() []Series {
+	if r == nil {
+		return nil
+	}
+	out := make([]Series, 0, len(r.gauges)+len(r.counters))
+	for _, g := range r.gauges {
+		out = append(out, Series{Name: g.name, Samples: g.samples})
+	}
+	for _, c := range r.counters {
+		out = append(out, Series{Name: c.name, Samples: c.samples})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,281 @@
+// Package probe is the simulators' observability layer: a typed event
+// tracer, a registry of counters and sampled gauges, and exporters for the
+// captured data (JSONL event dumps, CSV time series and Chrome trace_event
+// JSON loadable in Perfetto).
+//
+// The layer is zero-overhead when disabled: every component holds a *Probe
+// that may be nil, and every method on *Probe is nil-receiver safe, so
+// instrumentation points are unconditional calls whose fast path is a single
+// pointer test. Simulation results are never affected by probing — probes
+// only read state the components already maintain.
+package probe
+
+import "fmt"
+
+// Kind is the type tag of a traced event. The set covers the mechanisms the
+// paper's evaluation turns on (§4): LSF scheduling outcomes, the skipped-slot
+// accounting and condition-(1) admissions behind the output scheduling
+// anomaly fix, local frame recycling, the look-ahead/virtual-credit protocol,
+// speculative switching, and the GSF baseline's global frame machinery.
+type Kind uint8
+
+// Event kinds. Loc and Arg are kind-specific; see the comments.
+const (
+	// KindReserveGrant: an LSF table booked a quantum. Loc = link, Arg =
+	// booked departure slot (absolute, in cycles).
+	KindReserveGrant Kind = iota
+	// KindReserveDeny: an LSF request was throttled with every frame of
+	// the window exhausted. Loc = link, Arg = quantum sequence.
+	KindReserveDeny
+	// KindFrameSkip: a flow advanced its injection frame, abandoning C
+	// unused reservations into skipped(IF). Loc = link, Arg = quanta
+	// abandoned.
+	KindFrameSkip
+	// KindCondBlock: a frame was rejected by the condition-(1) admission
+	// check. Loc = link, Arg = frame index.
+	KindCondBlock
+	// KindFrameRecycle: the head frame advanced and the expired frame was
+	// recycled (local frame recycling, Algorithm 3). Loc = link, Arg = new
+	// head frame index.
+	KindFrameRecycle
+	// KindLocalReset: a table performed the §4.3.2 local status reset.
+	// Loc = link.
+	KindLocalReset
+	// KindLAIssue: a look-ahead flit was issued onto a look-ahead link (or
+	// launched by the NI). Loc = output direction, Arg = booked departure
+	// slot on the previous link.
+	KindLAIssue
+	// KindVCreditGrant: a virtual credit returned to an upstream table was
+	// granted (applied to its slot ledger). Loc = upstream direction, Arg =
+	// departure-slot tag.
+	KindVCreditGrant
+	// KindSpecAttempt: the speculative pass of switch arbitration
+	// considered a candidate for an output. Loc = output direction.
+	KindSpecAttempt
+	// KindSpecHit: a quantum was forwarded ahead of its booked slot.
+	// Loc = output direction, Arg = booked departure slot.
+	KindSpecHit
+	// KindSpecAbort: a speculative candidate was denied by a full
+	// downstream buffer. Loc = output direction.
+	KindSpecAbort
+	// KindGSFFrameRoll: the GSF barrier recycled the head frame. Arg = new
+	// head frame (absolute).
+	KindGSFFrameRoll
+	// KindGSFThrottle: a GSF source exhausted its injection window and
+	// stalled (emitted on the idle→throttled edge, not every cycle).
+	// Arg = head frame at the stall.
+	KindGSFThrottle
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindReserveGrant: "reserve-grant",
+	KindReserveDeny:  "reserve-deny",
+	KindFrameSkip:    "frame-skip",
+	KindCondBlock:    "cond1-block",
+	KindFrameRecycle: "frame-recycle",
+	KindLocalReset:   "local-reset",
+	KindLAIssue:      "la-issue",
+	KindVCreditGrant: "vcredit-grant",
+	KindSpecAttempt:  "spec-attempt",
+	KindSpecHit:      "spec-hit",
+	KindSpecAbort:    "spec-abort",
+	KindGSFFrameRoll: "gsf-frame-roll",
+	KindGSFThrottle:  "gsf-throttle",
+}
+
+// String returns the kind's stable wire name (used by every exporter).
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind-%d", int(k))
+}
+
+// NumKinds returns the number of defined event kinds.
+func NumKinds() int { return int(numKinds) }
+
+// Event is one traced occurrence. The struct is fixed-size and pointer-free
+// so the ring buffer is a flat allocation the garbage collector never scans.
+type Event struct {
+	Cycle uint64
+	Kind  Kind
+	Node  int32 // node id; -1 when not applicable
+	Loc   int32 // kind-specific location (link/direction/frame); -1 n/a
+	Flow  int32 // flow id; -1 when not applicable
+	Arg   uint64
+}
+
+// Tracer is a fixed-capacity event ring buffer. When full, the oldest events
+// are overwritten: the tail of a run is usually the interesting part, and a
+// bounded buffer keeps tracing safe to leave enabled on long runs.
+type Tracer struct {
+	buf    []Event
+	next   int
+	total  uint64
+	counts [numKinds]uint64
+}
+
+// NewTracer returns a tracer holding up to capacity events.
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{buf: make([]Event, 0, capacity)}
+}
+
+// Emit records one event. Nil tracers discard silently.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.total++
+	t.counts[e.Kind]++
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+		return
+	}
+	t.buf[t.next] = e
+	t.next = (t.next + 1) % len(t.buf)
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.buf)
+}
+
+// Total returns the number of events ever emitted (including overwritten).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Dropped returns how many events were overwritten by ring wrap.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total - uint64(len(t.buf))
+}
+
+// Count returns the number of events of kind k ever emitted (ring wrap does
+// not affect counts).
+func (t *Tracer) Count(k Kind) uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.counts[k]
+}
+
+// Events returns the retained events in emission order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Config sizes a Probe.
+type Config struct {
+	// EventCap bounds the event ring buffer (default 1<<20 events).
+	EventCap int
+	// SampleEvery is the gauge sampling period in cycles; 0 disables the
+	// time-series sampler.
+	SampleEvery uint64
+}
+
+// Probe bundles a tracer and a metrics registry. A nil *Probe is the
+// disabled state: every method is nil-receiver safe and components keep
+// their *Probe unconditionally, so instrumentation points need no flags.
+type Probe struct {
+	tracer      *Tracer
+	reg         *Registry
+	sampleEvery uint64
+}
+
+// New returns an enabled probe.
+func New(cfg Config) *Probe {
+	if cfg.EventCap <= 0 {
+		cfg.EventCap = 1 << 20
+	}
+	return &Probe{
+		tracer:      NewTracer(cfg.EventCap),
+		reg:         NewRegistry(),
+		sampleEvery: cfg.SampleEvery,
+	}
+}
+
+// Enabled reports whether the probe is collecting.
+func (p *Probe) Enabled() bool { return p != nil }
+
+// Emit records one event (no-op when disabled).
+func (p *Probe) Emit(cycle uint64, k Kind, node, loc, flow int32, arg uint64) {
+	if p == nil {
+		return
+	}
+	p.tracer.Emit(Event{Cycle: cycle, Kind: k, Node: node, Loc: loc, Flow: flow, Arg: arg})
+}
+
+// Tracer returns the underlying tracer (nil when disabled).
+func (p *Probe) Tracer() *Tracer {
+	if p == nil {
+		return nil
+	}
+	return p.tracer
+}
+
+// Registry returns the metrics registry (nil when disabled). Components
+// register gauges at construction; a nil registry ignores registrations.
+func (p *Probe) Registry() *Registry {
+	if p == nil {
+		return nil
+	}
+	return p.reg
+}
+
+// MaybeSample records one gauge/counter sample when now falls on the
+// sampling period. Networks call it once per cycle.
+func (p *Probe) MaybeSample(now uint64) {
+	if p == nil || p.sampleEvery == 0 || now%p.sampleEvery != 0 {
+		return
+	}
+	p.reg.Sample(now)
+}
+
+// Events returns the retained events in emission order.
+func (p *Probe) Events() []Event { return p.Tracer().Events() }
+
+// Series returns every recorded time series.
+func (p *Probe) Series() []Series {
+	if p == nil {
+		return nil
+	}
+	return p.reg.Series()
+}
+
+// Summary returns per-kind event totals as "name: count" lines, skipping
+// kinds that never fired.
+func (p *Probe) Summary() []string {
+	if p == nil {
+		return nil
+	}
+	var out []string
+	for k := Kind(0); k < numKinds; k++ {
+		if c := p.tracer.Count(k); c > 0 {
+			out = append(out, fmt.Sprintf("%s: %d", k, c))
+		}
+	}
+	if d := p.tracer.Dropped(); d > 0 {
+		out = append(out, fmt.Sprintf("(ring dropped %d oldest events)", d))
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package probe
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(4)
+	for i := uint64(0); i < 6; i++ {
+		tr.Emit(Event{Cycle: i, Kind: KindSpecHit})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want 4", tr.Len())
+	}
+	if tr.Total() != 6 || tr.Dropped() != 2 {
+		t.Fatalf("total=%d dropped=%d, want 6/2", tr.Total(), tr.Dropped())
+	}
+	ev := tr.Events()
+	for i, e := range ev {
+		if want := uint64(i + 2); e.Cycle != want {
+			t.Fatalf("event %d cycle = %d, want %d (oldest overwritten, order kept)", i, e.Cycle, want)
+		}
+	}
+	if tr.Count(KindSpecHit) != 6 {
+		t.Fatalf("count survives wrap: got %d", tr.Count(KindSpecHit))
+	}
+}
+
+func TestNilProbeIsInert(t *testing.T) {
+	var p *Probe
+	if p.Enabled() {
+		t.Fatal("nil probe reports enabled")
+	}
+	// Every call on the nil probe must be a safe no-op.
+	p.Emit(1, KindReserveGrant, 0, 0, 0, 0)
+	p.MaybeSample(0)
+	if p.Events() != nil || p.Series() != nil || p.Summary() != nil {
+		t.Fatal("nil probe emitted data")
+	}
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("g", func() float64 { return 1 })
+	r.Rate("r", func() float64 { return 1 })
+	r.Sample(0)
+	if r.Series() != nil {
+		t.Fatal("nil registry recorded series")
+	}
+	var tr *Tracer
+	tr.Emit(Event{})
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer recorded events")
+	}
+}
+
+func TestRegistrySampling(t *testing.T) {
+	p := New(Config{EventCap: 16, SampleEvery: 10})
+	var cum float64
+	p.Registry().Gauge("occ", func() float64 { return 3 })
+	p.Registry().Rate("util", func() float64 { return cum })
+	c := p.Registry().Counter("skips")
+	for now := uint64(0); now < 30; now++ {
+		cum += 0.5 // half a flit per cycle
+		if now == 15 {
+			c.Add(7)
+		}
+		p.MaybeSample(now)
+	}
+	series := p.Series()
+	byName := map[string]Series{}
+	for _, s := range series {
+		byName[s.Name] = s
+	}
+	occ := byName["occ"]
+	if len(occ.Samples) != 3 || occ.Samples[1].Cycle != 10 || occ.Samples[2].Value != 3 {
+		t.Fatalf("occ samples = %+v", occ.Samples)
+	}
+	util := byName["util"]
+	// The first reading only establishes the baseline; later points are the
+	// per-cycle rate over each interval.
+	if len(util.Samples) != 2 {
+		t.Fatalf("util samples = %+v", util.Samples)
+	}
+	for _, s := range util.Samples {
+		if s.Value != 0.5 {
+			t.Fatalf("util rate = %g, want 0.5", s.Value)
+		}
+	}
+	sk := byName["skips"]
+	if len(sk.Samples) != 3 || sk.Samples[1].Value != 0 || sk.Samples[2].Value != 7 {
+		t.Fatalf("counter samples = %+v", sk.Samples)
+	}
+	if v, ok := p.Registry().GaugeValue("util"); !ok || v != 0.5 {
+		t.Fatalf("GaugeValue(util) = %g,%v", v, ok)
+	}
+}
+
+func TestWriteEventsJSONL(t *testing.T) {
+	events := []Event{
+		{Cycle: 5, Kind: KindReserveGrant, Node: 3, Loc: 1, Flow: 7, Arg: 42},
+		{Cycle: 6, Kind: KindLocalReset, Node: 2, Loc: -1, Flow: -1},
+	}
+	var buf bytes.Buffer
+	if err := WriteEventsJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 not valid JSON: %v", err)
+	}
+	if first["kind"] != "reserve-grant" || first["cycle"] != float64(5) {
+		t.Fatalf("line 0 = %v", first)
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	series := []Series{{Name: "u", Samples: []Sample{{Cycle: 10, Value: 0.25}}}}
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	want := "series,cycle,value\nu,10,0.25\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriteChromeTraceValidJSON(t *testing.T) {
+	events := []Event{
+		{Cycle: 1, Kind: KindSpecHit, Node: 4, Loc: 2, Flow: 9, Arg: 11},
+		{Cycle: 2, Kind: KindFrameRecycle, Node: 4, Loc: 0, Flow: -1, Arg: 1},
+	}
+	series := []Series{{Name: "link.u", Samples: []Sample{{Cycle: 2, Value: 0.75}}}}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events, series); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != 3 {
+		t.Fatalf("got %d trace events, want 3", len(parsed.TraceEvents))
+	}
+	kinds := map[string]bool{}
+	for _, te := range parsed.TraceEvents {
+		kinds[te["name"].(string)] = true
+		if _, ok := te["ph"].(string); !ok {
+			t.Fatalf("trace event missing phase: %v", te)
+		}
+	}
+	if !kinds["spec-hit"] || !kinds["frame-recycle"] || !kinds["link.u"] {
+		t.Fatalf("missing expected tracks: %v", kinds)
+	}
+}
+
+func TestKindNamesComplete(t *testing.T) {
+	for k := Kind(0); int(k) < NumKinds(); k++ {
+		if strings.HasPrefix(k.String(), "kind-") || k.String() == "" {
+			t.Fatalf("kind %d has no name", int(k))
+		}
+	}
+}

@@ -9,21 +9,43 @@ import (
 	"sort"
 
 	"loft/internal/flit"
+	"loft/internal/sim"
 )
 
 // Latency accumulates packet latencies observed after a warmup boundary.
+// Percentiles are computed over a uniform reservoir of bounded size: when
+// more than capHint packets arrive, each later packet replaces a random
+// retained sample with probability capHint/count (Vitter's algorithm R), so
+// every packet of the run is equally likely to be retained. The reservoir
+// RNG is deterministic (seeded from the run seed via sim.SeedFor), keeping
+// results bit-for-bit reproducible.
 type Latency struct {
 	warmup  uint64
 	sum     float64
 	count   uint64
 	max     uint64
-	samples []float64 // retained for percentiles; bounded by cap
+	samples []float64 // uniform reservoir for percentiles
 	capHint int
+	rng     *sim.RNG
 }
 
-// NewLatency returns a collector that ignores packets created before warmup.
-func NewLatency(warmup uint64) *Latency {
-	return &Latency{warmup: warmup, capHint: 1 << 16}
+// latencyStream decorrelates the reservoir RNG from the traffic streams
+// that share the same experiment seed.
+const latencyStream = 0x10a7e9c1
+
+// NewLatency returns a collector that ignores packets created before warmup,
+// with a fixed reservoir seed. Prefer NewLatencySeeded inside simulations so
+// the reservoir follows the run seed.
+func NewLatency(warmup uint64) *Latency { return NewLatencySeeded(warmup, 0) }
+
+// NewLatencySeeded returns a collector whose percentile reservoir is driven
+// by the given run seed.
+func NewLatencySeeded(warmup, seed uint64) *Latency {
+	return &Latency{
+		warmup:  warmup,
+		capHint: 1 << 16,
+		rng:     sim.NewRNG(sim.SeedFor(seed, latencyStream)),
+	}
 }
 
 // Observe records one packet latency for a packet created at created and
@@ -40,6 +62,11 @@ func (l *Latency) Observe(created, done uint64) {
 	}
 	if len(l.samples) < l.capHint {
 		l.samples = append(l.samples, float64(lat))
+		return
+	}
+	// Reservoir step: keep each of the count packets with equal probability.
+	if j := l.rng.Intn(int(l.count)); j < l.capHint {
+		l.samples[j] = float64(lat)
 	}
 }
 
@@ -125,14 +152,19 @@ func (l *FlowLatency) Max(f flit.FlowID) uint64 { return l.max[f] }
 func (l *FlowLatency) Count(f flit.FlowID) uint64 { return l.count[f] }
 
 // Throughput counts ejected flits per flow over a measurement window.
+//
+// Window rules: the window starts at warmup and ends at the Close cycle, or
+// — when Close is never called — one past the last *measured* (post-warmup)
+// ejection. Pre-warmup ejections never move the window: a run that ends
+// during warmup has an empty window, and flits ignored by the warmup cut
+// cannot inflate the denominator of every rate.
 type Throughput struct {
-	warmup  uint64
-	start   uint64 // first counted cycle (= warmup)
-	end     uint64 // last cycle seen + 1
-	byFlow  map[flit.FlowID]uint64
-	byNode  map[int]uint64
-	total   uint64
-	started bool
+	warmup uint64
+	start  uint64 // first counted cycle (= warmup)
+	end    uint64 // one past the last measured ejection, or the Close cycle
+	byFlow map[flit.FlowID]uint64
+	byNode map[int]uint64
+	total  uint64
 }
 
 // NewThroughput returns a collector ignoring flits ejected before warmup.
@@ -148,18 +180,19 @@ func NewThroughput(warmup uint64) *Throughput {
 // Observe records ejection of one flit of flow f, sourced at node src, at
 // cycle now.
 func (t *Throughput) Observe(f flit.FlowID, src int, now uint64) {
-	if now+1 > t.end {
-		t.end = now + 1
-	}
 	if now < t.warmup {
 		return
+	}
+	if now+1 > t.end {
+		t.end = now + 1
 	}
 	t.byFlow[f]++
 	t.byNode[src]++
 	t.total++
 }
 
-// Close fixes the measurement window end (call after the run).
+// Close fixes the measurement window end at the given cycle (call after the
+// run). It never shrinks a window already extended by later observations.
 func (t *Throughput) Close(now uint64) {
 	if now > t.end {
 		t.end = now

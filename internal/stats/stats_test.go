@@ -72,6 +72,89 @@ func TestThroughputWindows(t *testing.T) {
 	}
 }
 
+func TestLatencyReservoirDeterministic(t *testing.T) {
+	mk := func(seed uint64) *Latency {
+		l := NewLatencySeeded(0, seed)
+		l.capHint = 64
+		for i := uint64(0); i < 5000; i++ {
+			l.Observe(0, 1+i%977)
+		}
+		return l
+	}
+	a, b := mk(7), mk(7)
+	for _, p := range []float64{10, 50, 90, 99} {
+		if a.Percentile(p) != b.Percentile(p) {
+			t.Fatalf("p%.0f differs across same-seed runs: %f vs %f", p, a.Percentile(p), b.Percentile(p))
+		}
+	}
+	c := mk(8)
+	diff := false
+	for _, p := range []float64{10, 50, 90, 99} {
+		if a.Percentile(p) != c.Percentile(p) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical reservoirs (suspicious)")
+	}
+}
+
+func TestLatencyReservoirUniform(t *testing.T) {
+	// Feed an increasing ramp far larger than the reservoir. A uniform
+	// reservoir keeps late samples as readily as early ones, so the median
+	// of the retained set tracks the true median; the old first-capHint
+	// policy would have frozen the reservoir on the lowest values.
+	l := NewLatencySeeded(0, 3)
+	l.capHint = 200
+	const n = 20000
+	for i := uint64(1); i <= n; i++ {
+		l.Observe(0, i)
+	}
+	if len(l.samples) != l.capHint {
+		t.Fatalf("reservoir size = %d, want %d", len(l.samples), l.capHint)
+	}
+	med := l.Percentile(50)
+	if med < 0.35*n || med > 0.65*n {
+		t.Fatalf("median of retained samples = %f, want near %d", med, n/2)
+	}
+	if p99 := l.Percentile(99); p99 < 0.85*n {
+		t.Fatalf("p99 = %f, tail not represented", p99)
+	}
+}
+
+func TestThroughputPreWarmupWindow(t *testing.T) {
+	// Pre-warmup ejections must not open or extend the measurement window.
+	th := NewThroughput(100)
+	th.Observe(1, 0, 50)
+	th.Observe(1, 0, 99)
+	if th.TotalFlits() != 0 {
+		t.Fatalf("pre-warmup flits counted: %d", th.TotalFlits())
+	}
+	if th.end != 0 {
+		t.Fatalf("pre-warmup observation advanced end to %d", th.end)
+	}
+	if th.Total() != 0 {
+		t.Fatalf("rate with empty window = %f, want 0", th.Total())
+	}
+	// First measured ejection opens the window at warmup.
+	th.Observe(1, 0, 150)
+	if th.end != 151 {
+		t.Fatalf("end = %d, want 151", th.end)
+	}
+	if r := th.Flow(1); math.Abs(r-1.0/51) > 1e-12 {
+		t.Fatalf("flow rate = %f, want %f", r, 1.0/51)
+	}
+	// Close extends but never shrinks the window.
+	th.Close(120)
+	if th.end != 151 {
+		t.Fatalf("Close shrank end to %d", th.end)
+	}
+	th.Close(200)
+	if th.end != 200 {
+		t.Fatalf("Close did not extend end: %d", th.end)
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	s := Summarize([]float64{1, 2, 3, 4})
 	if s.Min != 1 || s.Max != 4 || s.Avg != 2.5 || s.N != 4 {

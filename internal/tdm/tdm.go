@@ -101,7 +101,7 @@ func New(cfg Config, pattern *traffic.Pattern, opts Options) (*Network, error) {
 		pattern:  pattern,
 		circuits: make(map[flit.FlowID]*circuit),
 		queues:   make(map[flit.FlowID][]flit.Flit),
-		lat:      stats.NewLatency(opts.Warmup),
+		lat:      stats.NewLatencySeeded(opts.Warmup, opts.Seed),
 		latFlow:  stats.NewFlowLatency(opts.Warmup),
 		thr:      stats.NewThroughput(opts.Warmup),
 		pktFlits: make(map[pktKey]int),

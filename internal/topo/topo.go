@@ -138,3 +138,43 @@ func InjectionLink(n NodeID) Link { return Link{From: n, D: NumDirs} }
 
 // EjectionLink returns node n's router-to-sink link.
 func EjectionLink(n NodeID) Link { return Link{From: n, D: Local} }
+
+// RenderHeatmap renders per-link utilization over the mesh as an ASCII
+// grid: each node shows its East (right) and South (below) link loads as
+// digits 0–9 (tenths of full utilization), a quick visual for locating hot
+// regions. Both the LOFT and GSF networks feed it from their link gauges.
+func RenderHeatmap(m Mesh, util map[Link]float64) string {
+	digit := func(l Link) byte {
+		u, ok := util[l]
+		if !ok {
+			return ' '
+		}
+		d := int(u * 10)
+		if d > 9 {
+			d = 9
+		}
+		return byte('0' + d)
+	}
+	var b []byte
+	for y := 0; y < m.K; y++ {
+		for x := 0; x < m.K; x++ {
+			id := m.ID(Coord{X: x, Y: y})
+			b = append(b, fmt.Sprintf("%3d", id)...)
+			if x+1 < m.K {
+				b = append(b, ' ', digit(Link{From: id, D: East}), ' ')
+			}
+		}
+		b = append(b, '\n')
+		if y+1 < m.K {
+			for x := 0; x < m.K; x++ {
+				id := m.ID(Coord{X: x, Y: y})
+				b = append(b, ' ', ' ', digit(Link{From: id, D: South}))
+				if x+1 < m.K {
+					b = append(b, ' ', ' ', ' ')
+				}
+			}
+			b = append(b, '\n')
+		}
+	}
+	return string(b)
+}
