@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt check bench bench-probe
+.PHONY: build test race race-sweep vet fmt check bench bench-save bench-check bench-probe
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The sweep worker pool and the parallel-vs-sequential determinism golden
+# under the race detector (the Fig. 10 golden; the heavier Fig. 11 golden
+# runs race-free in `test`).
+race-sweep:
+	$(GO) test -race ./internal/sweep
+	$(GO) test -race -run TestFig10SweepDeterminism ./internal/exp
+
 vet:
 	$(GO) vet ./...
 
@@ -23,10 +30,23 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-check: build vet fmt test race
+check: build vet fmt test race-sweep race
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Record the engineering benchmarks' headline metrics in BENCH_<date>.json.
+bench-save:
+	scripts/bench.sh
+
+# Re-run the engineering benchmarks against the recorded baseline: the
+# probe-off path and raw simulator speed must not regress more than 2%
+# (best of -count repetitions, so one descheduled run cannot flake the gate).
+BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+bench-check:
+	@test -n "$(BASELINE)" || { echo "no BENCH_*.json baseline recorded; run make bench-save"; exit 1; }
+	LOFT_BENCH_BASELINE=$(BASELINE) $(GO) test -run '^$$' \
+		-bench 'BenchmarkSimulatorSpeed|BenchmarkProbeOverhead' -benchtime 10x -count 3 .
 
 # Probe-layer overhead: "off" must stay within 2% of the pre-probe simulator.
 bench-probe:

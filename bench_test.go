@@ -5,6 +5,10 @@
 package loft
 
 import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
 	"testing"
 
 	"loft/internal/analysis"
@@ -207,6 +211,75 @@ func BenchmarkAblationSpecBuffer(b *testing.B) {
 	}
 }
 
+// baselineGuard asserts a measured metric has not fallen more than
+// allowedPct below the value recorded for name in the JSON baseline file
+// named by the LOFT_BENCH_BASELINE environment variable (written by
+// scripts/bench.sh / make bench-save). With the variable unset the guard is
+// a no-op, keeping ordinary test runs machine-independent; `make
+// bench-check` sets it to the committed BENCH_<date>.json.
+//
+// The assertion is best-of-N: each call records the measurement, and
+// TestMain compares the best repetition per benchmark against the floor
+// after all -count repetitions have run, so one descheduled run on a shared
+// machine cannot fail a benchmark whose best run meets the bar.
+func baselineGuard(b *testing.B, name string, got, allowedPct float64) {
+	if os.Getenv("LOFT_BENCH_BASELINE") == "" {
+		return
+	}
+	if best, ok := baselineBest[name]; !ok || got > best {
+		baselineBest[name] = got
+	}
+	baselineTol[name] = allowedPct
+}
+
+var (
+	baselineBest = map[string]float64{}
+	baselineTol  = map[string]float64{}
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if err := checkBaseline(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func checkBaseline() error {
+	path := os.Getenv("LOFT_BENCH_BASELINE")
+	if path == "" || len(baselineBest) == 0 {
+		return nil
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %v", err)
+	}
+	var base map[string]float64
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("baseline %s: %v", path, err)
+	}
+	names := make([]string, 0, len(baselineBest))
+	for name := range baselineBest {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		got := baselineBest[name]
+		want, ok := base[name]
+		if !ok {
+			return fmt.Errorf("baseline %s has no entry %q", path, name)
+		}
+		if tol := baselineTol[name]; got < want*(1-tol/100) {
+			return fmt.Errorf("%s regressed: best run %.0f vs baseline %.0f (-%.1f%%, allowed %.1f%%)",
+				name, got, want, 100*(1-got/want), tol)
+		}
+	}
+	return nil
+}
+
 // BenchmarkSimulatorSpeed measures raw simulation throughput (cycles/sec)
 // of the LOFT model on the paper configuration — an engineering metric, not
 // a paper artifact.
@@ -219,7 +292,9 @@ func BenchmarkSimulatorSpeed(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(float64(2000*b.N)/b.Elapsed().Seconds(), "sim-cycles/sec")
+	cps := float64(2000*b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(cps, "sim-cycles/sec")
+	baselineGuard(b, "BenchmarkSimulatorSpeed", cps, 2)
 }
 
 // BenchmarkProbeOverhead measures the observability layer's cost on the
@@ -242,7 +317,11 @@ func BenchmarkProbeOverhead(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(float64(20000*b.N)/b.Elapsed().Seconds(), "sim-cycles/sec")
+			cps := float64(20000*b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(cps, "sim-cycles/sec")
+			if mode == "off" {
+				baselineGuard(b, "BenchmarkProbeOverhead/off", cps, 2)
+			}
 		})
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"loft/internal/core"
 	"loft/internal/exp"
 	"loft/internal/probe"
+	"loft/internal/profiles"
 )
 
 func main() {
@@ -27,13 +28,22 @@ func main() {
 		probeOn     = flag.Bool("probe", false, "attach the observability probe layer to every run")
 		probeOut    = flag.String("probe-out", "", "write probe data here (.jsonl events, .csv time series, otherwise Chrome trace JSON); implies -probe")
 		probeSample = flag.Uint64("probe-sample", 256, "gauge sampling period in cycles (0 disables time series)")
+		workers     = flag.Int("j", 0, "concurrent simulations per experiment (0 = one per CPU; probe runs are forced sequential)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	stopProfiles, err := profiles.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 	var pr *probe.Probe
 	if *probeOn || *probeOut != "" {
 		pr = probe.New(probe.Config{SampleEvery: *probeSample})
 	}
-	o := exp.Options{Seed: *seed, Quick: *quick, Probe: pr}
+	o := exp.Options{Seed: *seed, Quick: *quick, Workers: *workers, Probe: pr}
 	report := map[string]any{}
 
 	runners := []struct {
@@ -131,12 +141,13 @@ func fig6(exp.Options) (any, error) {
 }
 
 func fig10(o exp.Options) (any, error) {
+	byAlloc, err := exp.Fig10All(o)
+	if err != nil {
+		return nil, err
+	}
 	all := map[string][]exp.FairnessRow{}
 	for _, alloc := range []exp.Allocation{exp.AllocEqual, exp.AllocDiff4, exp.AllocDiff2} {
-		rows, err := exp.Fig10Fairness(alloc, o)
-		if err != nil {
-			return nil, err
-		}
+		rows := byAlloc[alloc]
 		all[string(alloc)] = rows
 		fmt.Printf("Fig 10 (%s): hotspot throughput fairness (flits/cycle/node)\n", alloc)
 		fmt.Printf("  %-6s %8s %8s %8s %8s %6s\n", "region", "MAX", "MIN", "AVG", "STDEV%", "flows")

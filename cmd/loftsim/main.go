@@ -27,6 +27,9 @@ import (
 	"loft/internal/gsf"
 	"loft/internal/loft"
 	"loft/internal/probe"
+	"loft/internal/profiles"
+	"loft/internal/stats"
+	"loft/internal/sweep"
 	"loft/internal/topo"
 	"loft/internal/traffic"
 )
@@ -48,8 +51,18 @@ func main() {
 		probeOut    = flag.String("probe-out", "", "write probe data here (.jsonl events, .csv time series, otherwise Chrome trace JSON); implies -probe")
 		probeSample = flag.Uint64("probe-sample", 256, "gauge sampling period in cycles (0 disables time series)")
 		probeEvents = flag.Int("probe-events", 1<<20, "event ring buffer capacity")
+		seeds       = flag.Int("seeds", 1, "run this many seeds (seed, seed+1, ...) and report per-seed plus aggregate statistics")
+		workers     = flag.Int("j", 0, "concurrent runs for -seeds > 1 (0 = one per CPU; probe runs are forced sequential)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	stopProfiles, err := profiles.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	lcfg := config.PaperLOFTSpec(*spec)
 	mesh := lcfg.Mesh()
@@ -116,8 +129,14 @@ func main() {
 		pr = probe.New(probe.Config{EventCap: *probeEvents, SampleEvery: *probeSample})
 	}
 	run := core.RunSpec{Seed: *seed, Warmup: *warmup, Measure: *cycles, Probe: pr}
+	if *seeds > 1 {
+		if err := runSeeds(*arch, lcfg, p, run, *seeds, *workers, *rate, *probeOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	var res core.Result
-	var err error
 	var lnet *loft.Network
 	var gnet *gsf.Network
 	switch *arch {
@@ -173,6 +192,52 @@ func main() {
 				id, f.Src, f.Dst, res.FlowRate[f.ID], res.FlowLatency[f.ID])
 		}
 	}
+}
+
+// runSeeds fans n runs with consecutive seeds across the sweep worker pool
+// and prints per-seed plus aggregate statistics. Runs share the (read-only)
+// pattern; each owns its network and RNGs, so the output is independent of
+// the worker count.
+func runSeeds(arch string, lcfg config.LOFT, p *traffic.Pattern, run core.RunSpec, n, workers int, rate float64, probeOut string) error {
+	if arch != "loft" && arch != "gsf" {
+		return fmt.Errorf("unknown architecture %q", arch)
+	}
+	if run.Probe != nil {
+		workers = 1 // runs share one probe: keep its trace sequential
+	}
+	gcfg := config.PaperGSF()
+	results, err := sweep.Run(workers, n, func(i int) (core.Result, error) {
+		spec := run
+		spec.Seed = run.Seed + uint64(i)
+		var res core.Result
+		var err error
+		if arch == "loft" {
+			res, _, err = core.RunLOFT(lcfg, p, spec)
+		} else {
+			res, _, err = core.RunGSF(gcfg, p, lcfg.FrameFlits, spec)
+		}
+		return res, err
+	})
+	if err != nil {
+		return err
+	}
+	nodes := float64(lcfg.Mesh().N())
+	fmt.Printf("%s / %s @ %.3f flits/cycle/node (%d+%d cycles, %d seeds from %d, -j %d)\n",
+		results[0].Arch, p.Name, rate, run.Warmup, run.Measure, n, run.Seed, sweep.Workers(workers))
+	var lats, rates []float64
+	for i, r := range results {
+		fmt.Printf("  seed %-4d: avg latency %8.1f cycles, accepted %.4f flits/cycle/node\n",
+			run.Seed+uint64(i), r.AvgLatency, r.TotalRate/nodes)
+		lats = append(lats, r.AvgLatency)
+		rates = append(rates, r.TotalRate/nodes)
+	}
+	ls, rs := stats.Summarize(lats), stats.Summarize(rates)
+	fmt.Printf("  aggregate : latency %.1f ±%.1f%%, accepted %.4f ±%.1f%% (n=%d)\n",
+		ls.Avg, ls.Stdev*100, rs.Avg, rs.Stdev*100, ls.N)
+	if run.Probe != nil {
+		return writeProbe(run.Probe, probeOut)
+	}
+	return nil
 }
 
 // writeProbe exports the collected probe data. The path's extension selects

@@ -4,6 +4,7 @@ import (
 	"loft/internal/analysis"
 	"loft/internal/core"
 	"loft/internal/route"
+	"loft/internal/sweep"
 	"loft/internal/traffic"
 )
 
@@ -29,30 +30,32 @@ func DelayBounds(o Options) ([]DelayBoundRow, error) {
 	hops := route.Hops(mesh, p.Flows[0].Src, p.Flows[0].Dst)
 
 	spec := o.runSpec()
-	var rows []DelayBoundRow
-
-	lres, lnet, err := core.RunLOFT(lcfg, p, spec)
-	if err != nil {
-		return nil, err
-	}
-	_ = lres
-	lmax := lnet.NetLatency().Max()
-	lbound := analysis.DelayBoundLOFT(lcfg, hops)
-	rows = append(rows, DelayBoundRow{
-		Arch: "LOFT", Hops: hops, BoundCycles: lbound,
-		MaxObserved: lmax, Holds: lmax <= lbound,
+	gcfg := gsfCfg()
+	// Job 0 is LOFT, job 1 is GSF; each builds its own pattern copy (the
+	// original pattern p stays untouched for the hops computation above).
+	return sweep.Run(o.workers(), 2, func(i int) (DelayBoundRow, error) {
+		pi := traffic.CaseStudyI(mesh, 0.2, 0.8, lcfg.PacketFlits, lcfg.FrameFlits)
+		if i == 0 {
+			_, lnet, err := core.RunLOFT(lcfg, pi, spec)
+			if err != nil {
+				return DelayBoundRow{}, err
+			}
+			lmax := lnet.NetLatency().Max()
+			lbound := analysis.DelayBoundLOFT(lcfg, hops)
+			return DelayBoundRow{
+				Arch: "LOFT", Hops: hops, BoundCycles: lbound,
+				MaxObserved: lmax, Holds: lmax <= lbound,
+			}, nil
+		}
+		_, gnet, err := core.RunGSF(gcfg, pi, lcfg.FrameFlits, spec)
+		if err != nil {
+			return DelayBoundRow{}, err
+		}
+		gmax := gnet.NetLatency().Max()
+		gbound := analysis.DelayBoundGSF(gcfg)
+		return DelayBoundRow{
+			Arch: "GSF", Hops: hops, BoundCycles: gbound,
+			MaxObserved: gmax, Holds: gmax <= gbound,
+		}, nil
 	})
-
-	p2 := traffic.CaseStudyI(mesh, 0.2, 0.8, lcfg.PacketFlits, lcfg.FrameFlits)
-	_, gnet, err := core.RunGSF(gsfCfg(), p2, lcfg.FrameFlits, spec)
-	if err != nil {
-		return nil, err
-	}
-	gmax := gnet.NetLatency().Max()
-	gbound := analysis.DelayBoundGSF(gsfCfg())
-	rows = append(rows, DelayBoundRow{
-		Arch: "GSF", Hops: hops, BoundCycles: gbound,
-		MaxObserved: gmax, Holds: gmax <= gbound,
-	})
-	return rows, nil
 }

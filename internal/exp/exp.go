@@ -10,6 +10,7 @@ import (
 	"loft/internal/config"
 	"loft/internal/core"
 	"loft/internal/probe"
+	"loft/internal/sweep"
 )
 
 // Options tune experiment runs.
@@ -18,11 +19,26 @@ type Options struct {
 	Seed uint64
 	// Quick reduces cycle counts and sweep densities for tests/benches.
 	Quick bool
+	// Workers bounds the number of simulations an experiment runs
+	// concurrently; <= 0 selects GOMAXPROCS. Every run owns its RNGs,
+	// pattern state, and network, so results are identical whatever the
+	// worker count (the cmd-level -j flag lands here).
+	Workers int
 	// Probe attaches the observability layer to every simulation the
 	// experiment runs. Runs reuse one probe, so events of consecutive
 	// simulations interleave in the trace (each run restarts at cycle 0);
 	// combine with a single-experiment selection for a readable trace.
 	Probe *probe.Probe
+}
+
+// workers resolves the effective worker count. Probe runs are forced
+// sequential: all runs share one probe, which is neither safe nor readable
+// under concurrent emission.
+func (o Options) workers() int {
+	if o.Probe != nil {
+		return 1
+	}
+	return sweep.Workers(o.Workers)
 }
 
 // runSpec returns the RunSpec for the chosen fidelity.

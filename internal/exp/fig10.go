@@ -5,6 +5,7 @@ import (
 
 	"loft/internal/core"
 	"loft/internal/stats"
+	"loft/internal/sweep"
 	"loft/internal/topo"
 	"loft/internal/traffic"
 )
@@ -28,6 +29,23 @@ const (
 	AllocDiff4 Allocation = "diff4"
 	AllocDiff2 Allocation = "diff2"
 )
+
+// Fig10All runs all three Fig. 10 allocations, fanned across the sweep
+// worker pool (each allocation is one independent simulation).
+func Fig10All(o Options) (map[Allocation][]FairnessRow, error) {
+	allocs := []Allocation{AllocEqual, AllocDiff4, AllocDiff2}
+	rows, err := sweep.Run(o.workers(), len(allocs), func(i int) ([]FairnessRow, error) {
+		return Fig10Fairness(allocs[i], o)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[Allocation][]FairnessRow, len(allocs))
+	for i, a := range allocs {
+		out[a] = rows[i]
+	}
+	return out, nil
+}
 
 // Fig10Fairness reproduces Fig. 10: hotspot traffic (every node sends to
 // node 63) at saturating injection, with equal or differentiated

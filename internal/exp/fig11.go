@@ -3,7 +3,9 @@ package exp
 import (
 	"fmt"
 
+	"loft/internal/config"
 	"loft/internal/core"
+	"loft/internal/sweep"
 	"loft/internal/topo"
 	"loft/internal/traffic"
 )
@@ -56,37 +58,56 @@ func Fig11(pattern string, o Options) (*Fig11Result, error) {
 	for _, s := range specs {
 		res.Archs = append(res.Archs, archLabel(core.ArchLOFT, s))
 	}
-	for _, load := range loads {
+	// Invariant inputs, hoisted out of the sweep: the base config, the
+	// per-spec configs, the node count, and one traffic pattern per load
+	// point. Patterns are read-only during runs, so every architecture at a
+	// load point shares the same one.
+	cfg := loftCfg(12)
+	gcfg := gsfCfg()
+	nodes := float64(cfg.Mesh().N())
+	specCfgs := make([]config.LOFT, len(specs))
+	for i, s := range specs {
+		specCfgs[i] = loftCfg(s)
+	}
+	patterns := make([]*traffic.Pattern, len(loads))
+	for i, load := range loads {
+		p, err := fig11Pattern(cfg, pattern, load)
+		if err != nil {
+			return nil, err
+		}
+		patterns[i] = p
+	}
+	// One job per (load, architecture) cell; arch 0 is GSF, arch k is
+	// LOFT spec=specs[k-1].
+	archs := 1 + len(specs)
+	type cell struct{ lat, thr float64 }
+	cells, err := sweep.Run(o.workers(), len(loads)*archs, func(i int) (cell, error) {
+		p := patterns[i/archs]
+		var r core.Result
+		var err error
+		if a := i % archs; a == 0 {
+			r, _, err = core.RunGSF(gcfg, p, cfg.FrameFlits, o.runSpec())
+		} else {
+			r, _, err = core.RunLOFT(specCfgs[a-1], p, o.runSpec())
+		}
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{lat: r.AvgNetLatency, thr: r.TotalRate / nodes}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li, load := range loads {
 		pt := LoadPoint{
 			Load:       load,
 			Latency:    make(map[string]float64),
 			Throughput: make(map[string]float64),
 		}
-		nodes := float64(loftCfg(12).Mesh().N())
-		{
-			p, err := fig11Pattern(pattern, load)
-			if err != nil {
-				return nil, err
-			}
-			r, _, err := core.RunGSF(gsfCfg(), p, loftCfg(12).FrameFlits, o.runSpec())
-			if err != nil {
-				return nil, err
-			}
-			pt.Latency["GSF"] = r.AvgNetLatency
-			pt.Throughput["GSF"] = r.TotalRate / nodes
-		}
-		for _, s := range specs {
-			label := archLabel(core.ArchLOFT, s)
-			p, err := fig11Pattern(pattern, load)
-			if err != nil {
-				return nil, err
-			}
-			r, _, err := core.RunLOFT(loftCfg(s), p, o.runSpec())
-			if err != nil {
-				return nil, err
-			}
-			pt.Latency[label] = r.AvgNetLatency
-			pt.Throughput[label] = r.TotalRate / nodes
+		for ai, label := range res.Archs {
+			c := cells[li*archs+ai]
+			pt.Latency[label] = c.lat
+			pt.Throughput[label] = c.thr
 		}
 		res.Points = append(res.Points, pt)
 	}
@@ -100,8 +121,7 @@ func Fig11(pattern string, o Options) (*Fig11Result, error) {
 	return res, nil
 }
 
-func fig11Pattern(pattern string, load float64) (*traffic.Pattern, error) {
-	cfg := loftCfg(12)
+func fig11Pattern(cfg config.LOFT, pattern string, load float64) (*traffic.Pattern, error) {
 	mesh := cfg.Mesh()
 	switch pattern {
 	case "uniform":

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"loft/internal/core"
+	"loft/internal/sweep"
 	"loft/internal/traffic"
 )
 
@@ -30,26 +31,26 @@ func Fig12CaseI(arch core.Arch, o Options) ([]CaseIRow, error) {
 		rates = []float64{0.1, 0.4, 0.8}
 	}
 	cfg := loftCfg(12)
-	var rows []CaseIRow
-	for _, rate := range rates {
+	gcfg := gsfCfg()
+	return sweep.Run(o.workers(), len(rates), func(i int) (CaseIRow, error) {
+		rate := rates[i]
 		p := traffic.CaseStudyI(cfg.Mesh(), 0.2, rate, cfg.PacketFlits, cfg.FrameFlits)
 		var res core.Result
 		var err error
 		if arch == core.ArchGSF {
-			res, _, err = core.RunGSF(gsfCfg(), p, cfg.FrameFlits, o.runSpec())
+			res, _, err = core.RunGSF(gcfg, p, cfg.FrameFlits, o.runSpec())
 		} else {
 			res, _, err = core.RunLOFT(cfg, p, o.runSpec())
 		}
 		if err != nil {
-			return nil, err
+			return CaseIRow{}, err
 		}
 		row := CaseIRow{AggressorRate: rate}
-		for i, id := range []int{0, 1, 2} {
-			row.Throughput[i] = res.FlowRate[p.Flows[id].ID]
-			row.Latency[i] = res.FlowLatency[p.Flows[id].ID]
-			row.Aggregate += row.Throughput[i]
+		for j, id := range []int{0, 1, 2} {
+			row.Throughput[j] = res.FlowRate[p.Flows[id].ID]
+			row.Latency[j] = res.FlowLatency[p.Flows[id].ID]
+			row.Aggregate += row.Throughput[j]
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }

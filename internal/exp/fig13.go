@@ -2,6 +2,7 @@ package exp
 
 import (
 	"loft/internal/core"
+	"loft/internal/sweep"
 	"loft/internal/traffic"
 )
 
@@ -26,18 +27,19 @@ func Fig13CaseII(arch core.Arch, o Options) ([]CaseIIRow, error) {
 		rates = []float64{0.02, 0.16, 0.95}
 	}
 	cfg := loftCfg(12)
-	var rows []CaseIIRow
-	for _, rate := range rates {
+	gcfg := gsfCfg()
+	return sweep.Run(o.workers(), len(rates), func(i int) (CaseIIRow, error) {
+		rate := rates[i]
 		p := traffic.CaseStudyII(cfg.Mesh(), rate, cfg.PacketFlits, cfg.FrameFlits)
 		var res core.Result
 		var err error
 		if arch == core.ArchGSF {
-			res, _, err = core.RunGSF(gsfCfg(), p, cfg.FrameFlits, o.runSpec())
+			res, _, err = core.RunGSF(gcfg, p, cfg.FrameFlits, o.runSpec())
 		} else {
 			res, _, err = core.RunLOFT(cfg, p, o.runSpec())
 		}
 		if err != nil {
-			return nil, err
+			return CaseIIRow{}, err
 		}
 		row := CaseIIRow{Rate: rate}
 		grey := traffic.CaseStudyIIGrey(p)
@@ -46,7 +48,6 @@ func Fig13CaseII(arch core.Arch, o Options) ([]CaseIIRow, error) {
 		}
 		row.Grey /= float64(len(grey))
 		row.Stripped = res.FlowRate[traffic.CaseStudyIIStripped(p)]
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }

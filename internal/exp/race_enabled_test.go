@@ -1,0 +1,7 @@
+//go:build race
+
+package exp
+
+// raceEnabled reports whether this test binary runs under the race
+// detector (the race build tag is set by -race).
+const raceEnabled = true

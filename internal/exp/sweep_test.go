@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The sweep determinism contract: every simulation owns its RNGs, pattern
+// state, and network, so a parallel sweep (-j 8) must reproduce the
+// sequential runner (-j 1) exactly — not approximately. These goldens gate
+// the parallel experiment engine; go test ./internal/sweep -race covers the
+// pool itself.
+
+func TestFig11SweepDeterminism(t *testing.T) {
+	if raceEnabled {
+		// The full Fig. 11 grid is ~42 runs; under the race detector's
+		// slowdown that dwarfs the rest of the suite. TestFig10SweepDeterminism
+		// exercises the same shared-state surface under -race.
+		t.Skip("skipped under -race; covered by TestFig10SweepDeterminism")
+	}
+	seq, err := Fig11("uniform", Options{Seed: 11, Quick: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig11("uniform", Options{Seed: 11, Quick: true, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("Fig11 parallel run diverged from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+func TestFig10SweepDeterminism(t *testing.T) {
+	seq, err := Fig10All(Options{Seed: 10, Quick: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig10All(Options{Seed: 10, Quick: true, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("Fig10 parallel run diverged from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+}

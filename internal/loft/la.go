@@ -13,6 +13,7 @@ import (
 // laEnt is a look-ahead flit progressing through the look-ahead router.
 type laEnt struct {
 	fl      flit.Lookahead
+	entry   *inEntry // the input reservation entry written on accept
 	inDir   topo.Dir
 	outDir  topo.Dir
 	readyAt uint64 // cycle the flit has passed RC/VA and may arbitrate
@@ -78,7 +79,7 @@ func (la *laRouter) accept(fl flit.Lookahead, d topo.Dir, now uint64) {
 	if _, dup := n.inputs[d].entries[qid]; dup {
 		panic(fmt.Sprintf("loft: node %d: duplicate look-ahead for %+v", n.id, qid))
 	}
-	n.inputs[d].entries[qid] = &inEntry{
+	entry := &inEntry{
 		q: Quantum{
 			ID:  qid,
 			Src: fl.Src, Dst: fl.Dst,
@@ -88,6 +89,7 @@ func (la *laRouter) accept(fl flit.Lookahead, d topo.Dir, now uint64) {
 		outDir:     outDir,
 		arriveSlot: fl.DepartPrev + 1,
 	}
+	n.inputs[d].entries[qid] = entry
 	// Pick the shortest VC with space; flow control guarantees one exists.
 	var best *buffers.FIFO[*laEnt]
 	for _, vc := range la.vcs[d] {
@@ -101,7 +103,7 @@ func (la *laRouter) accept(fl flit.Lookahead, d topo.Dir, now uint64) {
 	if best == nil {
 		panic(fmt.Sprintf("loft: node %d: look-ahead buffer overflow on input %s", n.id, d))
 	}
-	best.Push(&laEnt{fl: fl, inDir: d, outDir: outDir, readyAt: now + uint64(n.cfg.LAStages) - 1})
+	best.Push(&laEnt{fl: fl, entry: entry, inDir: d, outDir: outDir, readyAt: now + uint64(n.cfg.LAStages) - 1})
 	la.pending[outDir]++
 }
 
@@ -161,7 +163,7 @@ func (la *laRouter) process(now uint64) {
 		}
 		la.pending[o]--
 		d := won.inDir
-		entry := n.inputs[d].entries[flit.QuantumID{Flow: won.fl.Flow, Seq: won.fl.Quantum}]
+		entry := won.entry // written by accept; skips the map lookup
 		entry.booked = true
 		entry.departSlot = depart
 		if entry.arrived {

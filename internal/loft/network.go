@@ -219,11 +219,10 @@ func (net *Network) Run(n uint64) {
 // Now returns the current cycle.
 func (net *Network) Now() uint64 { return net.kernel.Now() }
 
-// observeFlits records throughput at ejection.
+// observeFlits records throughput at ejection. A quantum ejects as a unit,
+// so the whole flit count lands in one ObserveN call.
 func (net *Network) observeFlits(q Quantum, now uint64) {
-	for i := 0; i < q.Flits; i++ {
-		net.thr.Observe(q.ID.Flow, int(q.Src), now)
-	}
+	net.thr.ObserveN(q.ID.Flow, int(q.Src), q.Flits, now)
 }
 
 // observePacket records a completed packet's total and network latencies.

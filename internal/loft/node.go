@@ -119,16 +119,13 @@ type Node struct {
 	stats NodeStats
 }
 
-// rrState is a rotating priority pointer over input ports.
+// rrState is a rotating priority pointer over input ports. Iterate it as
+// dir(i) = (next + i) mod NumDirs rather than materializing an order array:
+// the copy showed up as duffcopy in speculative-switching profiles.
 type rrState struct{ next int }
 
-func (r *rrState) order() [topo.NumDirs]topo.Dir {
-	var o [topo.NumDirs]topo.Dir
-	for i := 0; i < int(topo.NumDirs); i++ {
-		o[i] = topo.Dir((r.next + i) % int(topo.NumDirs))
-	}
-	return o
-}
+// dir returns the i-th input direction in rotating-priority order.
+func (r *rrState) dir(i int) topo.Dir { return topo.Dir((r.next + i) % int(topo.NumDirs)) }
 
 func (r *rrState) granted(d topo.Dir) { r.next = (int(d) + 1) % int(topo.NumDirs) }
 
@@ -382,7 +379,9 @@ func (n *Node) forwardData(slot, now uint64) {
 		emergent := winner != nil
 		if !emergent && n.cfg.SpeculativeSwitching {
 			// Speculative pass: round-robin among remaining candidates.
-			for _, d := range n.outRR[o].order() {
+			rr := &n.outRR[o]
+			for i := 0; i < int(topo.NumDirs); i++ {
+				d := rr.dir(i)
 				e := cands[d]
 				if e == nil || e.outDir != o {
 					continue

@@ -106,15 +106,19 @@ type Stats struct {
 
 // Table is one framed output reservation table with its scheduler state.
 type Table struct {
-	p           Params
-	name        string
-	wt          int // total slots = SlotsPerFrame * Frames
-	slots       []slotState
-	cp          int    // ring index of the current slot
-	now         uint64 // absolute slot time of the current slot
-	skipped     []int  // per-frame yielded reservations (quanta)
-	flows       map[flit.FlowID]*flowState
-	flowList    []*flowState // iteration-friendly view of flows
+	p       Params
+	name    string
+	wt      int // total slots = SlotsPerFrame * Frames
+	slots   []slotState
+	cp      int    // ring index of the current slot
+	now     uint64 // absolute slot time of the current slot
+	skipped []int  // per-frame yielded reservations (quanta)
+	// flows is a dense table indexed by flit.FlowID (traffic assigns flow
+	// ids contiguously from zero, so the table stays small); nil entries are
+	// unregistered flows. The per-request lookup is the hottest read in the
+	// simulator, and a slice index beats the previous map access.
+	flows       []*flowState
+	flowList    []*flowState // registration-ordered view of live flows
 	sumR        int          // admission accounting: Σ R_ij over contending flows
 	outstanding int          // scheduled quanta minus returned virtual credits
 	busyCount   int
@@ -154,7 +158,6 @@ func NewTable(name string, p Params) *Table {
 		wt:      wt,
 		slots:   make([]slotState, wt),
 		skipped: make([]int, p.Frames),
-		flows:   make(map[flit.FlowID]*flowState),
 	}
 	for i := range t.slots {
 		t.slots[i].credit = p.BufferQuanta
@@ -184,13 +187,24 @@ func (t *Table) emit(k probe.Kind, flow int32, arg uint64) {
 // Stats returns a snapshot of the event counters.
 func (t *Table) Stats() Stats { return t.stats }
 
+// flow returns flow id's state, or nil when unregistered.
+func (t *Table) flow(id flit.FlowID) *flowState {
+	if id < 0 || int(id) >= len(t.flows) {
+		return nil
+	}
+	return t.flows[id]
+}
+
 // AddFlow registers a contending flow with reservation r quanta per frame.
 // It enforces the LSF admission constraint Σ R_ij ≤ F.
 func (t *Table) AddFlow(id flit.FlowID, r int) error {
 	if r < 1 {
 		return fmt.Errorf("lsf: flow %d reservation %d < 1 quantum on %s", id, r, t.name)
 	}
-	if _, dup := t.flows[id]; dup {
+	if id < 0 {
+		return fmt.Errorf("lsf: negative flow id %d on %s", id, t.name)
+	}
+	if t.flow(id) != nil {
 		return fmt.Errorf("lsf: flow %d registered twice on %s", id, t.name)
 	}
 	if t.sumR+r > t.p.SlotsPerFrame {
@@ -199,17 +213,20 @@ func (t *Table) AddFlow(id flit.FlowID, r int) error {
 	t.sumR += r
 	// Initialize: IF ← HF, C ← R (Algorithm 1 lines 1-2).
 	st := &flowState{r: r, ifr: t.hf(), c: r}
+	for int(id) >= len(t.flows) {
+		t.flows = append(t.flows, nil)
+	}
 	t.flows[id] = st
 	t.flowList = append(t.flowList, st)
 	return nil
 }
 
 // HasFlow reports whether the flow is registered.
-func (t *Table) HasFlow(id flit.FlowID) bool { _, ok := t.flows[id]; return ok }
+func (t *Table) HasFlow(id flit.FlowID) bool { return t.flow(id) != nil }
 
 // Reservation returns R_ij in quanta for a registered flow (0 otherwise).
 func (t *Table) Reservation(id flit.FlowID) int {
-	if st, ok := t.flows[id]; ok {
+	if st := t.flow(id); st != nil {
 		return st.r
 	}
 	return 0
@@ -335,8 +352,8 @@ func (t *Table) conditionOne(self *flowState, f int) bool {
 // frame of the window are exhausted (or unusable), and the caller must
 // retry after the head frame advances.
 func (t *Table) Request(f flit.FlowID, quantum uint64, minSlot uint64) (uint64, bool) {
-	st, ok := t.flows[f]
-	if !ok {
+	st := t.flow(f)
+	if st == nil {
 		panic(fmt.Sprintf("lsf: request from unregistered flow %d on %s", f, t.name))
 	}
 	t.stats.Requests++
@@ -443,47 +460,57 @@ func (t *Table) firstSafeOffset() int { return t.lastZero + 1 }
 
 // consumeCredits decrements the virtual credit of every slot from ring
 // index p to the window end (cumulative occupancy of the downstream buffer
-// from the departure slot onward).
+// from the departure slot onward). The ring suffix is walked as two linear
+// array segments with the loop bodies written out directly: this and
+// ReturnCredit are the two hottest loops in the whole simulator, and the
+// previous closure-based iterator (an indirect call per slot) dominated
+// CPU profiles.
 func (t *Table) consumeCredits(p int) {
 	from := (p - t.cp + t.wt) % t.wt
-	t.forSuffix(from, func(i int, s *slotState) {
-		s.credit--
-		if s.credit < 0 {
-			if t.p.Strict {
-				panic(fmt.Sprintf("lsf: negative virtual credit on %s (Theorem I violation)", t.name))
-			}
-			s.credit = 0
-			t.stats.CreditClamps++
-		}
-		if s.credit == 0 && i > t.lastZero {
-			t.lastZero = i
-		}
-	})
-}
-
-// forSuffix visits every slot at window offset >= from in offset order,
-// split into the two linear array segments of the ring (avoiding a modulo
-// per step in the hottest loops of the simulator).
-func (t *Table) forSuffix(from int, fn func(offset int, s *slotState)) {
+	slots := t.slots
+	lastZero := t.lastZero
 	start := t.cp + from
-	if start < t.wt {
-		off := from
-		for idx := start; idx < t.wt; idx++ {
-			fn(off, &t.slots[idx])
-			off++
-		}
-		off = t.wt - t.cp
-		for idx := 0; idx < t.cp; idx++ {
-			fn(off, &t.slots[idx])
-			off++
-		}
-		return
-	}
 	off := from
-	for idx := start - t.wt; idx < t.cp; idx++ {
-		fn(off, &t.slots[idx])
+	if start < t.wt {
+		for idx := start; idx < t.wt; idx++ {
+			slots[idx].credit--
+			if c := slots[idx].credit; c <= 0 {
+				if c < 0 {
+					t.creditUnderflow(&slots[idx])
+				}
+				if off > lastZero {
+					lastZero = off
+				}
+			}
+			off++
+		}
+		start, off = 0, t.wt-t.cp
+	} else {
+		start -= t.wt
+	}
+	for idx := start; idx < t.cp; idx++ {
+		slots[idx].credit--
+		if c := slots[idx].credit; c <= 0 {
+			if c < 0 {
+				t.creditUnderflow(&slots[idx])
+			}
+			if off > lastZero {
+				lastZero = off
+			}
+		}
 		off++
 	}
+	t.lastZero = lastZero
+}
+
+// creditUnderflow is the cold path of consumeSlot: a booking drove a credit
+// negative, which strict mode treats as a Theorem I violation.
+func (t *Table) creditUnderflow(s *slotState) {
+	if t.p.Strict {
+		panic(fmt.Sprintf("lsf: negative virtual credit on %s (Theorem I violation)", t.name))
+	}
+	s.credit = 0
+	t.stats.CreditClamps++
 }
 
 // ReturnCredit applies a virtual credit return tagged with the downstream
@@ -497,16 +524,43 @@ func (t *Table) ReturnCredit(tag uint64) {
 		}
 		from = int(tag - t.now)
 	}
-	t.forSuffix(from, func(_ int, s *slotState) {
-		s.credit++
-		if s.credit > t.p.BufferQuanta {
-			if t.p.Strict {
-				panic(fmt.Sprintf("lsf: virtual credit above capacity on %s", t.name))
-			}
-			s.credit = t.p.BufferQuanta
-			t.stats.CreditClamps++
+	start := t.cp + from
+	if start < t.wt {
+		for idx := start; idx < t.wt; idx++ {
+			t.returnSlot(idx)
 		}
-	})
+		start = 0
+	} else {
+		start -= t.wt
+	}
+	for idx := start; idx < t.cp; idx++ {
+		t.returnSlot(idx)
+	}
+	t.finishReturn(from, tag)
+}
+
+// returnSlot increments one slot's credit during a credit return. Kept
+// small enough to inline into ReturnCredit's loops.
+func (t *Table) returnSlot(idx int) {
+	s := &t.slots[idx]
+	s.credit++
+	if s.credit > t.p.BufferQuanta {
+		t.creditOverflow(s)
+	}
+}
+
+// creditOverflow is the cold path of returnSlot: a return drove a credit
+// above the downstream buffer capacity.
+func (t *Table) creditOverflow(s *slotState) {
+	if t.p.Strict {
+		panic(fmt.Sprintf("lsf: virtual credit above capacity on %s", t.name))
+	}
+	s.credit = t.p.BufferQuanta
+	t.stats.CreditClamps++
+}
+
+// finishReturn completes ReturnCredit's bookkeeping after the suffix walk.
+func (t *Table) finishReturn(from int, tag uint64) {
 	// Every slot from the tag onward is now positive: if the last zero was
 	// in that range, rescan below the tag for the new last zero.
 	if t.lastZero >= from {
@@ -617,8 +671,8 @@ func (t *Table) Reset() {
 
 // FlowState reports a flow's (IF, C, R) for tests and diagnostics.
 func (t *Table) FlowState(id flit.FlowID) (ifr, c, r int, ok bool) {
-	st, found := t.flows[id]
-	if !found {
+	st := t.flow(id)
+	if st == nil {
 		return 0, 0, 0, false
 	}
 	return st.ifr, st.c, st.r, true

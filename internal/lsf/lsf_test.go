@@ -687,3 +687,117 @@ func TestQuickReferenceCredits(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestQuickDenseFlowTableEquivalence guards the dense-slice flow table
+// refactor: it drives random Request/Tick/credit-return traces over a sparse
+// flow-id universe (exercising slice growth and holes) against a map-backed
+// shadow of the pre-refactor representation plus a cumulative credit ledger,
+// and requires every observable — membership, reservations, admission
+// decisions, outstanding count, the live credit window — to agree exactly.
+func TestQuickDenseFlowTableEquivalence(t *testing.T) {
+	type op struct {
+		Kind  uint8
+		Flow  uint8
+		Delta uint8
+	}
+	check := func(ops []op) bool {
+		const F, WF, BN = 8, 2, 8
+		tb := NewTable("dense", Params{SlotsPerFrame: F, Frames: WF, BufferQuanta: BN, Strict: true})
+		// Shadow of the old representation: flows keyed by map.
+		shadow := map[flit.FlowID]int{} // id -> reservation
+		sumR := 0
+		// Cumulative credit ledger in absolute slot time.
+		var bookings, returns []uint64
+		var booked []uint64
+		outstanding := 0
+		q := uint64(0)
+		// Sparse ids force the dense table to grow past holes.
+		ids := []flit.FlowID{0, 3, 7, 12, 31}
+		for _, o := range ops {
+			id := ids[int(o.Flow)%len(ids)]
+			switch o.Kind % 4 {
+			case 0: // register
+				r := int(o.Delta%3) + 1
+				err := tb.AddFlow(id, r)
+				_, dup := shadow[id]
+				if wantErr := dup || sumR+r > F; wantErr != (err != nil) {
+					t.Logf("AddFlow(%d,%d): table err=%v, shadow wantErr=%v", id, r, err, wantErr)
+					return false
+				}
+				if err == nil {
+					shadow[id] = r
+					sumR += r
+				}
+			case 1: // request (only registered flows may request)
+				if _, ok := shadow[id]; !ok {
+					continue
+				}
+				if slot, ok := tb.Request(id, q, tb.NowSlot()+uint64(o.Delta%3)); ok {
+					bookings = append(bookings, slot)
+					booked = append(booked, slot)
+					outstanding++
+					q++
+				}
+			case 2: // downstream books onward: credit returns
+				if len(booked) > 0 {
+					s := booked[0]
+					booked = booked[1:]
+					tag := s + 1 + uint64(o.Delta%3)
+					if tag >= tb.NowSlot()+uint64(tb.WindowSlots()) {
+						tag = tb.NowSlot() + uint64(tb.WindowSlots()) - 1
+					}
+					tb.ReturnCredit(tag)
+					returns = append(returns, tag)
+					outstanding--
+				}
+			case 3: // time passes
+				tb.Tick()
+			}
+			// Flow-table observables across the whole id universe, plus ids
+			// outside it (never registered, beyond the slice, negative).
+			for _, pid := range append([]flit.FlowID{-1, 1, 1 << 20}, ids...) {
+				r, registered := shadow[pid]
+				if tb.HasFlow(pid) != registered {
+					t.Logf("HasFlow(%d) = %v, shadow %v", pid, !registered, registered)
+					return false
+				}
+				if got := tb.Reservation(pid); got != r {
+					t.Logf("Reservation(%d) = %d, shadow %d", pid, got, r)
+					return false
+				}
+				_, _, fr, ok := tb.FlowState(pid)
+				if ok != registered || fr != r {
+					t.Logf("FlowState(%d) = (r=%d, ok=%v), shadow (r=%d, ok=%v)", pid, fr, ok, r, registered)
+					return false
+				}
+			}
+			if tb.Outstanding() != outstanding {
+				t.Logf("Outstanding() = %d, ledger %d", tb.Outstanding(), outstanding)
+				return false
+			}
+			// Credit window vs the cumulative ledger (exercises the inlined
+			// suffix walks in consumeCredits/ReturnCredit).
+			for s := tb.NowSlot(); s < tb.NowSlot()+uint64(tb.WindowSlots()); s++ {
+				want := BN
+				for _, b := range bookings {
+					if b <= s {
+						want--
+					}
+				}
+				for _, r := range returns {
+					if r <= s {
+						want++
+					}
+				}
+				if got := tb.CreditAt(s); got != want {
+					t.Logf("slot %d: credit %d, ledger %d", s, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -180,15 +180,22 @@ func NewThroughput(warmup uint64) *Throughput {
 // Observe records ejection of one flit of flow f, sourced at node src, at
 // cycle now.
 func (t *Throughput) Observe(f flit.FlowID, src int, now uint64) {
-	if now < t.warmup {
+	t.ObserveN(f, src, 1, now)
+}
+
+// ObserveN records ejection of n flits of flow f, sourced at node src, all
+// at cycle now. Quantum ejections land whole quanta per cycle, so batching
+// the count into one call replaces n map updates with one on the hot path.
+func (t *Throughput) ObserveN(f flit.FlowID, src, n int, now uint64) {
+	if n <= 0 || now < t.warmup {
 		return
 	}
 	if now+1 > t.end {
 		t.end = now + 1
 	}
-	t.byFlow[f]++
-	t.byNode[src]++
-	t.total++
+	t.byFlow[f] += uint64(n)
+	t.byNode[src] += uint64(n)
+	t.total += uint64(n)
 }
 
 // Close fixes the measurement window end at the given cycle (call after the

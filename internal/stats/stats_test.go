@@ -3,6 +3,8 @@ package stats
 import (
 	"math"
 	"testing"
+
+	"loft/internal/flit"
 )
 
 func TestLatencyBasics(t *testing.T) {
@@ -166,5 +168,52 @@ func TestSummarize(t *testing.T) {
 	}
 	if z := Summarize(nil); z.N != 0 || z.Avg != 0 {
 		t.Fatalf("empty summary = %+v", z)
+	}
+}
+
+// TestThroughputObserveNEquivalence checks that one ObserveN(n) call is
+// indistinguishable from n Observe calls at the same cycle — the contract
+// the LOFT network's batched quantum ejection accounting relies on — and
+// that non-positive counts and pre-warmup batches are ignored.
+func TestThroughputObserveNEquivalence(t *testing.T) {
+	one := NewThroughput(10)
+	batch := NewThroughput(10)
+	obs := []struct {
+		flow flit.FlowID
+		src  int
+		n    int
+		now  uint64
+	}{
+		{1, 0, 4, 5},  // pre-warmup: both must drop it
+		{1, 0, 4, 12}, // measured
+		{2, 3, 1, 12},
+		{1, 0, 7, 20},
+		{2, 3, 0, 25},  // n=0: no-op, must not extend the window
+		{2, 3, -2, 25}, // negative: no-op
+	}
+	for _, o := range obs {
+		for i := 0; i < o.n; i++ {
+			one.Observe(o.flow, o.src, o.now)
+		}
+		batch.ObserveN(o.flow, o.src, o.n, o.now)
+	}
+	if a, b := one.TotalFlits(), batch.TotalFlits(); a != b {
+		t.Fatalf("TotalFlits: per-flit %d, batched %d", a, b)
+	}
+	for _, f := range []flit.FlowID{1, 2, 3} {
+		if a, b := one.Flow(f), batch.Flow(f); a != b {
+			t.Fatalf("Flow(%d): per-flit %v, batched %v", f, a, b)
+		}
+	}
+	for _, n := range []int{0, 3, 5} {
+		if a, b := one.Node(n), batch.Node(n); a != b {
+			t.Fatalf("Node(%d): per-flit %v, batched %v", n, a, b)
+		}
+	}
+	if a, b := one.Total(), batch.Total(); a != b {
+		t.Fatalf("Total: per-flit %v, batched %v", a, b)
+	}
+	if got, want := batch.Total(), 12.0/11.0; got != want {
+		t.Fatalf("Total = %v, want %v (12 flits over window [10,21))", got, want)
 	}
 }

@@ -1,0 +1,148 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"loft/internal/sim"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	out, err := Run(4, 0, func(i int) (int, error) { return i, nil })
+	if err != nil || out != nil {
+		t.Fatalf("Run(n=0) = %v, %v", out, err)
+	}
+}
+
+func TestRunOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		out, err := Run(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestRunDeterministic asserts the core determinism contract: jobs that own
+// their RNGs produce identical results whatever the worker count.
+func TestRunDeterministic(t *testing.T) {
+	job := func(i int) ([]uint64, error) {
+		rng := sim.NewRNG(sim.SeedFor(uint64(i), 42))
+		out := make([]uint64, 32)
+		for j := range out {
+			out[j] = uint64(rng.Intn(1 << 30))
+		}
+		return out, nil
+	}
+	seq, err := Run(1, 16, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, err := Run(workers, 16, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d diverged from sequential", workers)
+		}
+	}
+}
+
+func TestRunFirstErrorWins(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		out, err := Run(workers, 10, func(i int) (int, error) {
+			if i == 7 || i == 3 {
+				return 0, fmt.Errorf("job %d failed", i)
+			}
+			return i, nil
+		})
+		if out != nil {
+			t.Fatalf("workers=%d: results returned despite error", workers)
+		}
+		if err == nil {
+			t.Fatalf("workers=%d: error swallowed", workers)
+		}
+		// The parallel pool must surface the lowest-indexed failure, exactly
+		// as a sequential loop would (modulo the sequential loop stopping
+		// early — index 3 fails before 7 either way).
+		if workers > 1 && err.Error() != "job 3 failed" {
+			t.Fatalf("workers=%d: err = %q, want job 3's", workers, err)
+		}
+	}
+}
+
+func TestRunConvertsPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Run(workers, 4, func(i int) (int, error) {
+			if i == 2 {
+				panic("boom")
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic not converted to error", workers)
+		}
+	}
+}
+
+// TestRunBoundedConcurrency verifies the pool never runs more than the
+// requested number of jobs at once.
+func TestRunBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var live, peak atomic.Int64
+	_, err := Run(workers, 64, func(i int) (int, error) {
+		n := live.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		for j := 0; j < 1000; j++ {
+			_ = j * j // busy moment so jobs overlap
+		}
+		live.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent jobs, pool bound is %d", p, workers)
+	}
+}
+
+func TestRunErrorIsTheJobsError(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	_, err := Run(4, 8, func(i int) (int, error) {
+		if i == 0 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}

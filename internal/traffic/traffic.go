@@ -129,8 +129,11 @@ type Injector struct {
 	node topo.NodeID
 	gens []Gen
 	rng  *sim.RNG
-	seq  map[flit.FlowID]uint64
-	p    *Pattern
+	// seq holds the next packet sequence per flow. Flow ids are dense
+	// indices into Pattern.Flows, so a slice replaces the map the hot
+	// injection loop used to hash into every packet.
+	seq []uint64
+	p   *Pattern
 	// on tracks the burst state per generator index for on/off generators.
 	on []bool
 	// trace replay state: remaining events for this node, cycle-sorted.
@@ -140,16 +143,26 @@ type Injector struct {
 // NewInjector returns the injector for node n under pattern p.
 func NewInjector(p *Pattern, n topo.NodeID, seed uint64) *Injector {
 	if p.Trace != nil {
-		return &Injector{node: n, p: p, seq: make(map[flit.FlowID]uint64), trace: p.Trace[n]}
+		return &Injector{node: n, p: p, seq: make([]uint64, len(p.Flows)), trace: p.Trace[n]}
 	}
 	return &Injector{
 		node: n,
 		gens: p.Gens[n],
 		rng:  sim.NewRNG(sim.SeedFor(seed, int(n))),
-		seq:  make(map[flit.FlowID]uint64),
+		seq:  make([]uint64, len(p.Flows)),
 		p:    p,
 		on:   make([]bool, len(p.Gens[n])),
 	}
+}
+
+// nextSeq returns flow id's next packet sequence number and advances it.
+func (in *Injector) nextSeq(id flit.FlowID) uint64 {
+	for int(id) >= len(in.seq) {
+		in.seq = append(in.seq, 0)
+	}
+	s := in.seq[id]
+	in.seq[id]++
+	return s
 }
 
 // Next returns the packets generated at cycle now (usually zero or one per
@@ -163,9 +176,8 @@ func (in *Injector) Next(now uint64) []flit.Packet {
 			id := in.p.traceFlow(ev.Src, ev.Dst)
 			out = append(out, flit.Packet{
 				Flow: id, Src: ev.Src, Dst: ev.Dst,
-				Seq: in.seq[id], Flits: ev.Flits, Created: now,
+				Seq: in.nextSeq(id), Flits: ev.Flits, Created: now,
 			})
-			in.seq[id]++
 		}
 		return out
 	}
@@ -202,11 +214,10 @@ func (in *Injector) Next(now uint64) []flit.Packet {
 			Flow:    g.Flow,
 			Src:     in.node,
 			Dst:     dst,
-			Seq:     in.seq[g.Flow],
+			Seq:     in.nextSeq(g.Flow),
 			Flits:   in.p.PacketFlits,
 			Created: now,
 		})
-		in.seq[g.Flow]++
 	}
 	return out
 }

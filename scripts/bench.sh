@@ -1,0 +1,56 @@
+#!/usr/bin/env sh
+# Run the tier-2 engineering benchmarks and record each benchmark's headline
+# metric in BENCH_<year>-<month>.json (benchmark name -> metric value), the
+# perf trajectory the ROADMAP asks for. The headline metric is the last
+# custom metric a benchmark reports (e.g. sim-cycles/sec), falling back to
+# ns/op for benchmarks without one.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCH=<regex>     benchmarks to run  (default: SimulatorSpeed|ProbeOverhead)
+#   BENCHTIME=<n>x    iterations per benchmark (default: 10x)
+#   COUNT=<n>         repetitions; the minimum is recorded (default: 3)
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_$(date +%Y-%m).json}"
+bench="${BENCH:-BenchmarkSimulatorSpeed|BenchmarkProbeOverhead}"
+benchtime="${BENCHTIME:-10x}"
+count="${COUNT:-3}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$bench" -benchtime "$benchtime" -count "$count" . | tee "$tmp"
+
+awk '
+BEGIN { n = 0 }   # explicit: an uninitialized n would subscript as ""
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)            # strip the -GOMAXPROCS suffix
+    value = ""; unit = ""
+    for (i = 3; i < NF; i++) {           # (value, unit) pairs after the count
+        u = $(i + 1)
+        if (u !~ /\//) continue
+        if (u == "B/op" || u == "allocs/op") continue
+        if (u == "ns/op" && unit != "") continue
+        value = $i; unit = u
+    }
+    if (value == "") next
+    # Keep the minimum across -count repetitions: a conservative floor the
+    # <2%-regression guard in bench-check compares against.
+    if (name in idx) {
+        if (value + 0 < values[idx[name]] + 0) values[idx[name]] = value
+    } else {
+        idx[name] = n; names[n] = name; values[n] = value; units[n] = unit; n++
+    }
+}
+END {
+    printf "{\n"
+    for (i = 0; i < n; i++)
+        printf "  \"%s\": %s%s\n", names[i], values[i], (i < n - 1 ? "," : "")
+    printf "}\n"
+}
+' "$tmp" > "$out"
+
+echo "wrote $out:"
+cat "$out"
