@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-sweep vet fmt check bench bench-save bench-check bench-probe
+.PHONY: build test race race-sweep vet fmt check audit-smoke bench bench-save bench-check bench-probe
 
 build:
 	$(GO) build ./...
@@ -30,7 +30,14 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-check: build vet fmt test race-sweep race
+# A short audited simulation under the race detector: the runtime QoS
+# auditor checks every scheduler invariant and delay bound and the command
+# exits non-zero on any violation.
+audit-smoke:
+	$(GO) run -race ./cmd/loftsim -arch loft -pattern case1 -rate 0.6 \
+		-warmup 500 -cycles 2000 -audit
+
+check: build vet fmt test race-sweep race audit-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -40,13 +47,14 @@ bench-save:
 	scripts/bench.sh
 
 # Re-run the engineering benchmarks against the recorded baseline: the
-# probe-off path and raw simulator speed must not regress more than 2%
-# (best of -count repetitions, so one descheduled run cannot flake the gate).
+# probe-off and audit-off paths and raw simulator speed must not regress
+# more than 2% (best of -count repetitions, so one descheduled run cannot
+# flake the gate).
 BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 bench-check:
 	@test -n "$(BASELINE)" || { echo "no BENCH_*.json baseline recorded; run make bench-save"; exit 1; }
 	LOFT_BENCH_BASELINE=$(BASELINE) $(GO) test -run '^$$' \
-		-bench 'BenchmarkSimulatorSpeed|BenchmarkProbeOverhead' -benchtime 10x -count 3 .
+		-bench 'BenchmarkSimulatorSpeed|BenchmarkProbeOverhead|BenchmarkAuditOverhead' -benchtime 10x -count 3 .
 
 # Probe-layer overhead: "off" must stay within 2% of the pre-probe simulator.
 bench-probe:

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"loft/internal/analysis"
+	"loft/internal/audit"
 	"loft/internal/config"
 	"loft/internal/core"
 	"loft/internal/exp"
@@ -321,6 +322,39 @@ func BenchmarkProbeOverhead(b *testing.B) {
 			b.ReportMetric(cps, "sim-cycles/sec")
 			if mode == "off" {
 				baselineGuard(b, "BenchmarkProbeOverhead/off", cps, 2)
+			}
+		})
+	}
+}
+
+// BenchmarkAuditOverhead measures the runtime QoS auditor's cost on the
+// same workload as BenchmarkProbeOverhead: "off" must stay within 2% of
+// the un-audited simulator (the disabled path is nil checks on the probe
+// and audit hooks), "on" shows the full shadow-accounting + flight-recorder
+// cost.
+func BenchmarkAuditOverhead(b *testing.B) {
+	cfg := config.PaperLOFT()
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			p := trafficUniform(cfg, 0.2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var aud *audit.Auditor
+				if mode == "on" {
+					aud = audit.New(audit.Config{})
+				}
+				spec := core.RunSpec{Seed: 1, Warmup: 0, Measure: 20000, Audit: aud}
+				if _, _, err := core.RunLOFT(cfg, p, spec); err != nil {
+					b.Fatal(err)
+				}
+				if err := aud.Err(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			cps := float64(20000*b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(cps, "sim-cycles/sec")
+			if mode == "off" {
+				baselineGuard(b, "BenchmarkAuditOverhead/off", cps, 2)
 			}
 		})
 	}

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"loft/internal/analysis"
+	"loft/internal/audit"
 	"loft/internal/config"
 	"loft/internal/core"
 	"loft/internal/exp"
@@ -28,7 +29,9 @@ func main() {
 		probeOn     = flag.Bool("probe", false, "attach the observability probe layer to every run")
 		probeOut    = flag.String("probe-out", "", "write probe data here (.jsonl events, .csv time series, otherwise Chrome trace JSON); implies -probe")
 		probeSample = flag.Uint64("probe-sample", 256, "gauge sampling period in cycles (0 disables time series)")
-		workers     = flag.Int("j", 0, "concurrent simulations per experiment (0 = one per CPU; probe runs are forced sequential)")
+		auditOn     = flag.Bool("audit", false, "attach the runtime QoS auditor to every run; violations exit non-zero")
+		httpAddr    = flag.String("http", "", "serve live introspection (/metrics, /audit, /debug/pprof) on this address; implies -audit")
+		workers     = flag.Int("j", 0, "concurrent simulations per experiment (0 = one per CPU; probe and audit runs are forced sequential)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -43,7 +46,26 @@ func main() {
 	if *probeOn || *probeOut != "" {
 		pr = probe.New(probe.Config{SampleEvery: *probeSample})
 	}
-	o := exp.Options{Seed: *seed, Quick: *quick, Workers: *workers, Probe: pr}
+	var aud *audit.Auditor
+	if *auditOn || *httpAddr != "" {
+		aud = audit.New(audit.Config{})
+	}
+	var srv *audit.Server
+	if *httpAddr != "" {
+		srv, err = audit.NewServer(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		srv.SetTitle("loftexp " + *which)
+		aud.OnPublish(func() { srv.Publish(pr, aud) })
+		fmt.Fprintf(os.Stderr, "introspection server listening on %s\n", srv.URL())
+	}
+	o := exp.Options{Seed: *seed, Quick: *quick, Workers: *workers, Probe: pr, Audit: aud}
+	if srv != nil {
+		o.Progress = srv.JobProgress
+	}
 	report := map[string]any{}
 
 	runners := []struct {
@@ -97,11 +119,26 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if aud != nil {
+		for _, line := range aud.Summary() {
+			fmt.Printf("  %s\n", line)
+		}
+		for _, v := range aud.Violations() {
+			fmt.Fprintf(os.Stderr, "audit violation: %s\n", v)
+		}
+		if aud.Err() != nil {
+			os.Exit(1)
+		}
+	}
 }
 
 // writeProbe exports the probe data collected across all runs; the path's
-// extension selects the format, an empty path prints the event summary.
+// extension selects the format (probe.FormatForPath), an empty path prints
+// the event summary. Ring drops are warned about on stderr either way.
 func writeProbe(pr *probe.Probe, path string) error {
+	if d := pr.Tracer().Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "warning: probe ring overwrote %d oldest events; raise -probe-events for a complete trace\n", d)
+	}
 	if path == "" {
 		fmt.Println("probe event summary (all runs combined):")
 		for _, line := range pr.Summary() {
@@ -114,15 +151,7 @@ func writeProbe(pr *probe.Probe, path string) error {
 		return err
 	}
 	defer f.Close()
-	switch {
-	case strings.HasSuffix(path, ".jsonl"):
-		err = probe.WriteEventsJSONL(f, pr.Events())
-	case strings.HasSuffix(path, ".csv"):
-		err = probe.WriteSeriesCSV(f, pr.Series())
-	default:
-		err = probe.WriteChromeTrace(f, pr.Events(), pr.Series())
-	}
-	if err != nil {
+	if err := probe.Export(f, pr, probe.FormatForPath(path)); err != nil {
 		return err
 	}
 	fmt.Printf("wrote probe data to %s (%d events retained, %d dropped)\n",

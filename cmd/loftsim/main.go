@@ -11,8 +11,17 @@
 // events and samples link/buffer/table gauges every -probe-sample cycles.
 // -probe-out picks the exporter by extension: .jsonl writes the event dump,
 // .csv the sampled time series, anything else (conventionally .json) a
-// Chrome trace_event file loadable at https://ui.perfetto.dev. Without
-// -probe-out a per-kind event summary is printed.
+// Chrome trace_event file loadable at https://ui.perfetto.dev, .prom a
+// Prometheus text-format snapshot. Without -probe-out a per-kind event
+// summary is printed.
+//
+// With -audit the runtime QoS auditor shadows the schedulers: it checks
+// flit/credit conservation and the admission inequality on every grant,
+// records each packet's hop-by-hop flight timeline, and verifies delivered
+// latencies against the paper's analytical delay bounds. Violations are
+// printed and make the run exit non-zero. -http serves live introspection
+// (/metrics, /audit, a progress page, /debug/pprof) during the run and
+// implies -audit.
 package main
 
 import (
@@ -20,8 +29,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strings"
 
+	"loft/internal/audit"
 	"loft/internal/config"
 	"loft/internal/core"
 	"loft/internal/gsf"
@@ -51,6 +60,8 @@ func main() {
 		probeOut    = flag.String("probe-out", "", "write probe data here (.jsonl events, .csv time series, otherwise Chrome trace JSON); implies -probe")
 		probeSample = flag.Uint64("probe-sample", 256, "gauge sampling period in cycles (0 disables time series)")
 		probeEvents = flag.Int("probe-events", 1<<20, "event ring buffer capacity")
+		auditOn     = flag.Bool("audit", false, "enable the runtime QoS auditor (invariant checks + delay-bound conformance); violations exit non-zero")
+		httpAddr    = flag.String("http", "", "serve live introspection (/metrics, /audit, /debug/pprof) on this address, e.g. :8080; implies -audit")
 		seeds       = flag.Int("seeds", 1, "run this many seeds (seed, seed+1, ...) and report per-seed plus aggregate statistics")
 		workers     = flag.Int("j", 0, "concurrent runs for -seeds > 1 (0 = one per CPU; probe runs are forced sequential)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -128,9 +139,25 @@ func main() {
 	if *probeOn || *probeOut != "" {
 		pr = probe.New(probe.Config{EventCap: *probeEvents, SampleEvery: *probeSample})
 	}
-	run := core.RunSpec{Seed: *seed, Warmup: *warmup, Measure: *cycles, Probe: pr}
+	var aud *audit.Auditor
+	if *auditOn || *httpAddr != "" {
+		aud = audit.New(audit.Config{})
+	}
+	var srv *audit.Server
+	if *httpAddr != "" {
+		srv, err = audit.NewServer(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		srv.SetTitle(fmt.Sprintf("loftsim %s / %s", *arch, p.Name))
+		aud.OnPublish(func() { srv.Publish(pr, aud) })
+		fmt.Fprintf(os.Stderr, "introspection server listening on %s\n", srv.URL())
+	}
+	run := core.RunSpec{Seed: *seed, Warmup: *warmup, Measure: *cycles, Probe: pr, Audit: aud}
 	if *seeds > 1 {
-		if err := runSeeds(*arch, lcfg, p, run, *seeds, *workers, *rate, *probeOut); err != nil {
+		if err := runSeeds(*arch, lcfg, p, run, *seeds, *workers, *rate, *probeOut, srv); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -192,18 +219,40 @@ func main() {
 				id, f.Src, f.Dst, res.FlowRate[f.ID], res.FlowLatency[f.ID])
 		}
 	}
+	if !reportAudit(aud) {
+		os.Exit(1)
+	}
+}
+
+// reportAudit prints the auditor's verdict and any violations; it returns
+// false when the run must exit non-zero. A nil auditor passes silently.
+func reportAudit(aud *audit.Auditor) bool {
+	if aud == nil {
+		return true
+	}
+	for _, line := range aud.Summary() {
+		fmt.Printf("  %s\n", line)
+	}
+	for _, v := range aud.Violations() {
+		fmt.Fprintf(os.Stderr, "audit violation: %s\n", v)
+	}
+	return aud.Err() == nil
 }
 
 // runSeeds fans n runs with consecutive seeds across the sweep worker pool
 // and prints per-seed plus aggregate statistics. Runs share the (read-only)
 // pattern; each owns its network and RNGs, so the output is independent of
 // the worker count.
-func runSeeds(arch string, lcfg config.LOFT, p *traffic.Pattern, run core.RunSpec, n, workers int, rate float64, probeOut string) error {
+func runSeeds(arch string, lcfg config.LOFT, p *traffic.Pattern, run core.RunSpec, n, workers int, rate float64, probeOut string, srv *audit.Server) error {
 	if arch != "loft" && arch != "gsf" {
 		return fmt.Errorf("unknown architecture %q", arch)
 	}
-	if run.Probe != nil {
-		workers = 1 // runs share one probe: keep its trace sequential
+	if run.Probe != nil || run.Audit != nil {
+		workers = 1 // runs share one probe/auditor: keep them sequential
+	}
+	var opts []sweep.Option
+	if srv != nil {
+		opts = append(opts, sweep.WithProgress(srv.JobProgress))
 	}
 	gcfg := config.PaperGSF()
 	results, err := sweep.Run(workers, n, func(i int) (core.Result, error) {
@@ -217,7 +266,7 @@ func runSeeds(arch string, lcfg config.LOFT, p *traffic.Pattern, run core.RunSpe
 			res, _, err = core.RunGSF(gcfg, p, lcfg.FrameFlits, spec)
 		}
 		return res, err
-	})
+	}, opts...)
 	if err != nil {
 		return err
 	}
@@ -235,14 +284,23 @@ func runSeeds(arch string, lcfg config.LOFT, p *traffic.Pattern, run core.RunSpe
 	fmt.Printf("  aggregate : latency %.1f ±%.1f%%, accepted %.4f ±%.1f%% (n=%d)\n",
 		ls.Avg, ls.Stdev*100, rs.Avg, rs.Stdev*100, ls.N)
 	if run.Probe != nil {
-		return writeProbe(run.Probe, probeOut)
+		if err := writeProbe(run.Probe, probeOut); err != nil {
+			return err
+		}
+	}
+	if !reportAudit(run.Audit) {
+		return fmt.Errorf("audit failed: %d violations across %d seeds", len(run.Audit.Violations()), n)
 	}
 	return nil
 }
 
 // writeProbe exports the collected probe data. The path's extension selects
-// the format; an empty path prints the per-kind event summary.
+// the format (probe.FormatForPath); an empty path prints the per-kind event
+// summary. Ring drops are warned about on stderr either way.
 func writeProbe(pr *probe.Probe, path string) error {
+	if d := pr.Tracer().Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "warning: probe ring overwrote %d oldest events; raise -probe-events for a complete trace\n", d)
+	}
 	if path == "" {
 		fmt.Println("probe event summary:")
 		for _, line := range pr.Summary() {
@@ -255,15 +313,7 @@ func writeProbe(pr *probe.Probe, path string) error {
 		return err
 	}
 	defer f.Close()
-	switch {
-	case strings.HasSuffix(path, ".jsonl"):
-		err = probe.WriteEventsJSONL(f, pr.Events())
-	case strings.HasSuffix(path, ".csv"):
-		err = probe.WriteSeriesCSV(f, pr.Series())
-	default:
-		err = probe.WriteChromeTrace(f, pr.Events(), pr.Series())
-	}
-	if err != nil {
+	if err := probe.Export(f, pr, probe.FormatForPath(path)); err != nil {
 		return err
 	}
 	fmt.Printf("wrote probe data to %s (%d events retained, %d dropped)\n",

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"loft/internal/probe"
+)
+
+// TestWriteProbeExtensionDispatch pins the -probe-out extension contract:
+// each suffix selects its exporter and produces that format's signature.
+func TestWriteProbeExtensionDispatch(t *testing.T) {
+	pr := probe.New(probe.Config{EventCap: 8, SampleEvery: 1})
+	pr.Emit(1, probe.KindSpecHit, 0, 0, 0, 0)
+	pr.MaybeSample(1)
+	dir := t.TempDir()
+	for name, sniff := range map[string]string{
+		"out.jsonl": `"kind":"spec-hit"`,
+		"out.csv":   "series,cycle,value",
+		"out.prom":  "# TYPE probe_events_total counter",
+		"out.json":  `"traceEvents"`,
+	} {
+		path := filepath.Join(dir, name)
+		if err := writeProbe(pr, path); err != nil {
+			t.Fatalf("writeProbe(%s): %v", name, err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), sniff) {
+			t.Errorf("%s missing %q:\n%s", name, sniff, data)
+		}
+	}
+}

@@ -1,0 +1,414 @@
+// Package audit is the runtime QoS auditor: a per-packet flight recorder
+// with delay-bound conformance checking, a scheduler invariant auditor, and
+// a live HTTP introspection server.
+//
+// The paper's claims are *guarantees* — Theorem I's per-flow delay bound
+// and the condition-(1)/skipped(i) safety argument — so the auditor checks
+// them packet by packet and grant by grant while a simulation runs, instead
+// of trusting aggregate latency curves:
+//
+//   - The flight recorder (recorder.go) follows every quantum from its
+//     injection-table booking through each hop's look-ahead reservation and
+//     switch traversal to ejection, and verdicts every completed packet's
+//     network latency against its flow's analytical delay bound. A GS
+//     packet over its bound is a hard audit failure carrying the
+//     reconstructed hop-by-hop timeline.
+//   - The invariant auditor (this file) taps every LSF table through
+//     lsf.AuditSink: shadow grant/return/skipped accounting, the
+//     condition-(1)/Theorem-I admission inequality at every grant (window-
+//     end credit == BN − outstanding, and non-negative), and a periodic
+//     full-window sweep of credit bounds and busy-slot consistency, plus
+//     architecture-registered checks (flit conservation, buffer occupancy,
+//     GSF frame accounting).
+//   - The introspection server (server.go) publishes /metrics (Prometheus
+//     text), /audit (JSON snapshot of this package's state), a progress/
+//     heatmap page, and net/http/pprof.
+//
+// All Auditor methods are nil-receiver safe: a disabled auditor costs the
+// simulator one pointer test per hook site.
+package audit
+
+import (
+	"fmt"
+
+	"loft/internal/flit"
+	"loft/internal/lsf"
+)
+
+// Config sizes an Auditor.
+type Config struct {
+	// CheckEvery is the cycle period of the full invariant sweep (every
+	// table's whole window plus the registered checks). 0 means the default
+	// (1024); the O(1) per-grant checks always run.
+	CheckEvery uint64
+	// MaxViolations caps the retained violation log (the total count is
+	// always exact). 0 means the default (32).
+	MaxViolations int
+	// PublishEvery is the cycle period of the publish callback (the HTTP
+	// server snapshot). 0 means the default (4096).
+	PublishEvery uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.CheckEvery == 0 {
+		c.CheckEvery = 1024
+	}
+	if c.MaxViolations == 0 {
+		c.MaxViolations = 32
+	}
+	if c.PublishEvery == 0 {
+		c.PublishEvery = 4096
+	}
+	return c
+}
+
+// Violation is one audit failure: a broken invariant or a packet over its
+// delay bound.
+type Violation struct {
+	Kind   string `json:"kind"`
+	Cycle  uint64 `json:"cycle"`
+	Where  string `json:"where,omitempty"` // table name, check name, or flow
+	Detail string `json:"detail"`
+	// Conformance violations carry the packet identity and the
+	// reconstructed hop-by-hop timeline.
+	Flow     int32      `json:"flow,omitempty"`
+	Packet   uint64     `json:"packet,omitempty"`
+	Latency  uint64     `json:"latency_cycles,omitempty"`
+	Bound    uint64     `json:"bound_cycles,omitempty"`
+	Timeline []HopEvent `json:"timeline,omitempty"`
+}
+
+func (v Violation) String() string {
+	s := fmt.Sprintf("cycle %d: %s", v.Cycle, v.Kind)
+	if v.Where != "" {
+		s += " at " + v.Where
+	}
+	return s + ": " + v.Detail
+}
+
+type namedCheck struct {
+	name string
+	fn   func() error
+}
+
+// Auditor is the runtime QoS auditor. A nil *Auditor is a valid, inert
+// auditor: every method no-ops.
+type Auditor struct {
+	cfg  Config
+	arch string // "loft" or "gsf" (last Begin*)
+	runs int
+
+	now         uint64
+	totalCycles uint64 // current run's planned length (StartRun)
+
+	tables  []*tableState
+	checks  []namedCheck
+	heatmap func() string
+	publish func()
+
+	rec recorder
+
+	violations      []Violation
+	totalViolations uint64
+	sweeps          uint64
+	grantChecks     uint64
+}
+
+// New returns an enabled auditor.
+func New(cfg Config) *Auditor {
+	return &Auditor{cfg: cfg.withDefaults()}
+}
+
+// Enabled reports whether the auditor is live (non-nil).
+func (a *Auditor) Enabled() bool { return a != nil }
+
+// beginRun resets the per-run state (taps, checks, recorder) while keeping
+// the violation log and counters: one auditor accumulates across the runs
+// of a sweep.
+func (a *Auditor) beginRun(arch string) {
+	a.arch = arch
+	a.runs++
+	a.tables = nil
+	a.checks = nil
+	a.heatmap = nil
+	a.rec.reset()
+}
+
+// WatchTable attaches invariant taps to one LSF table. name identifies the
+// table in violations.
+func (a *Auditor) WatchTable(t *lsf.Table, name string) {
+	if a == nil {
+		return
+	}
+	ts := &tableState{
+		a:             a,
+		t:             t,
+		name:          name,
+		shadowSkipped: make([]int, t.FrameCount()),
+		minEndCredit:  t.BufferCap(),
+	}
+	a.tables = append(a.tables, ts)
+	t.SetAudit(ts)
+}
+
+// RegisterCheck adds an architecture-specific invariant evaluated on every
+// periodic sweep; a non-nil error is a violation.
+func (a *Auditor) RegisterCheck(name string, fn func() error) {
+	if a == nil {
+		return
+	}
+	a.checks = append(a.checks, namedCheck{name, fn})
+}
+
+// SetHeatmap attaches a live link-utilization renderer for the HTTP page.
+func (a *Auditor) SetHeatmap(fn func() string) {
+	if a == nil {
+		return
+	}
+	a.heatmap = fn
+}
+
+// Heatmap renders the attached heatmap ("" when none). Must be called from
+// the simulation thread (it reads live network state).
+func (a *Auditor) Heatmap() string {
+	if a == nil || a.heatmap == nil {
+		return ""
+	}
+	return a.heatmap()
+}
+
+// OnPublish attaches a callback invoked from the simulation thread every
+// cfg.PublishEvery cycles and at run end (the HTTP server's snapshot hook).
+func (a *Auditor) OnPublish(fn func()) {
+	if a == nil {
+		return
+	}
+	a.publish = fn
+}
+
+// StartRun records the planned run length (for progress reporting).
+func (a *Auditor) StartRun(totalCycles uint64) {
+	if a == nil {
+		return
+	}
+	a.totalCycles = totalCycles
+	a.now = 0
+}
+
+// OnCycle advances the auditor's clock; on the configured periods it runs
+// the full invariant sweep and the publish callback. Called once per cycle
+// from the network tick, on the simulation thread.
+func (a *Auditor) OnCycle(now uint64) {
+	if a == nil {
+		return
+	}
+	a.now = now
+	if now > 0 && now%a.cfg.CheckEvery == 0 {
+		a.sweep()
+	}
+	if a.publish != nil && now > 0 && now%a.cfg.PublishEvery == 0 {
+		a.publish()
+	}
+}
+
+// FinishRun runs a final sweep and publish at the end of a run.
+func (a *Auditor) FinishRun(now uint64) {
+	if a == nil {
+		return
+	}
+	a.now = now
+	a.sweep()
+	if a.publish != nil {
+		a.publish()
+	}
+}
+
+// NowCycle returns the auditor's clock (the last OnCycle/FinishRun time).
+func (a *Auditor) NowCycle() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.now
+}
+
+// violate records one audit failure.
+func (a *Auditor) violate(v Violation) {
+	v.Cycle = a.now
+	a.totalViolations++
+	if len(a.violations) < a.cfg.MaxViolations {
+		a.violations = append(a.violations, v)
+	}
+}
+
+// sweep runs the full O(window) table checks and the registered checks.
+func (a *Auditor) sweep() {
+	for _, ts := range a.tables {
+		a.checkTable(ts)
+	}
+	for _, c := range a.checks {
+		if err := c.fn(); err != nil {
+			a.violate(Violation{Kind: "check-failed", Where: c.name, Detail: err.Error()})
+		}
+	}
+	a.sweeps++
+}
+
+// Violations returns the retained violation log.
+func (a *Auditor) Violations() []Violation {
+	if a == nil {
+		return nil
+	}
+	return a.violations
+}
+
+// Err returns nil when the audit is clean, or an error naming the first
+// violation and the total count.
+func (a *Auditor) Err() error {
+	if a == nil || a.totalViolations == 0 {
+		return nil
+	}
+	first := "(log empty)"
+	if len(a.violations) > 0 {
+		first = a.violations[0].String()
+	}
+	return fmt.Errorf("audit: %d violation(s); first: %s", a.totalViolations, first)
+}
+
+// tableState shadows one LSF table's bookkeeping. It implements
+// lsf.AuditSink; every hook cross-checks the table's own state against
+// independently-maintained shadow counters. The hooks fire adjacent to the
+// table's mutations within the single-threaded tick, so any divergence is a
+// real scheduler fault, not a race.
+type tableState struct {
+	a    *Auditor
+	t    *lsf.Table
+	name string
+
+	// shadowOutstanding counts observed grants minus observed returns; it
+	// must always equal the table's Outstanding().
+	shadowOutstanding int
+	// shadowSkipped mirrors the per-frame skipped(i) counters from observed
+	// frame advances and recycles.
+	shadowSkipped []int
+	granted       uint64
+	returned      uint64
+	clamps        uint64 // last seen CreditClamps
+	minEndCredit  int    // worst admission headroom seen (diagnostics)
+}
+
+// AuditGrant runs the O(1) per-injection admission check: after the booking
+// the window-end cumulative credit must equal BN − outstanding and stay
+// non-negative — the constructive form of the paper's condition-(1)/
+// Theorem I inequality (see lsf.EndCredit and DESIGN.md §10).
+func (ts *tableState) AuditGrant(f flit.FlowID, quantum, slot uint64, frame int) {
+	ts.granted++
+	ts.shadowOutstanding++
+	a := ts.a
+	a.grantChecks++
+	end := ts.t.EndCredit()
+	if end < ts.minEndCredit {
+		ts.minEndCredit = end
+	}
+	if end < 0 {
+		a.violate(Violation{Kind: "admission-negative-credit", Where: ts.name, Flow: int32(f),
+			Detail: fmt.Sprintf("grant of flow %d quantum %d at slot %d left window-end credit %d < 0", f, quantum, slot, end)})
+	}
+	out := ts.t.Outstanding()
+	if end != ts.t.BufferCap()-out {
+		a.violate(Violation{Kind: "credit-conservation", Where: ts.name, Flow: int32(f),
+			Detail: fmt.Sprintf("window-end credit %d != BN %d - outstanding %d after grant", end, ts.t.BufferCap(), out)})
+	}
+	if out != ts.shadowOutstanding {
+		a.violate(Violation{Kind: "outstanding-mismatch", Where: ts.name,
+			Detail: fmt.Sprintf("table outstanding %d != observed grants-returns %d", out, ts.shadowOutstanding)})
+	}
+	now := ts.t.NowSlot()
+	if slot <= now || slot >= now+uint64(ts.t.WindowSlots()) {
+		a.violate(Violation{Kind: "slot-outside-window", Where: ts.name, Flow: int32(f),
+			Detail: fmt.Sprintf("booked slot %d outside (%d, %d]", slot, now, now+uint64(ts.t.WindowSlots()))})
+	}
+}
+
+// AuditFrameAdvance cross-checks the skipped(i) accounting the §4.2 anomaly
+// fix depends on, at the moment a flow abandons reservations.
+func (ts *tableState) AuditFrameAdvance(f flit.FlowID, frame, abandoned int) {
+	ts.shadowSkipped[frame] += abandoned
+	if got := ts.t.Skipped(frame); got != ts.shadowSkipped[frame] {
+		ts.a.violate(Violation{Kind: "skipped-accounting", Where: ts.name, Flow: int32(f),
+			Detail: fmt.Sprintf("skipped(%d) = %d, observed abandonments say %d", frame, got, ts.shadowSkipped[frame])})
+	}
+}
+
+func (ts *tableState) AuditRecycle(frame int) { ts.shadowSkipped[frame] = 0 }
+
+func (ts *tableState) AuditReturn(tag uint64) {
+	ts.returned++
+	ts.shadowOutstanding--
+	if ts.shadowOutstanding < 0 {
+		ts.a.violate(Violation{Kind: "return-underflow", Where: ts.name,
+			Detail: fmt.Sprintf("more virtual-credit returns (%d) than grants (%d)", ts.returned, ts.granted)})
+		ts.shadowOutstanding = 0
+	}
+}
+
+func (ts *tableState) AuditReset() {
+	ts.shadowOutstanding = 0
+	for i := range ts.shadowSkipped {
+		ts.shadowSkipped[i] = 0
+	}
+}
+
+// checkTable is the periodic O(window) sweep of one table: every live
+// slot's credit within [0, BN], busy slots consistent with the booked
+// count, the end-of-window credit ledger conserved, and the shadow counters
+// in agreement with the table.
+func (a *Auditor) checkTable(ts *tableState) {
+	t := ts.t
+	bn := t.BufferCap()
+	now := t.NowSlot()
+	minC, maxC, busy := bn, 0, 0
+	for i := 0; i < t.WindowSlots(); i++ {
+		s := now + uint64(i)
+		c := t.CreditAt(s)
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+		if _, b := t.BusyAt(s); b {
+			busy++
+		}
+	}
+	if minC < 0 {
+		a.violate(Violation{Kind: "credit-negative", Where: ts.name,
+			Detail: fmt.Sprintf("window contains a slot with credit %d < 0", minC)})
+	}
+	if maxC > bn {
+		a.violate(Violation{Kind: "credit-overflow", Where: ts.name,
+			Detail: fmt.Sprintf("window contains a slot with credit %d > BN %d", maxC, bn)})
+	}
+	if end, out := t.EndCredit(), t.Outstanding(); end != bn-out {
+		a.violate(Violation{Kind: "credit-conservation", Where: ts.name,
+			Detail: fmt.Sprintf("window-end credit %d != BN %d - outstanding %d", end, bn, out)})
+	}
+	if busy != t.BookedSlots() {
+		a.violate(Violation{Kind: "busy-count", Where: ts.name,
+			Detail: fmt.Sprintf("window holds %d busy slots, table counts %d", busy, t.BookedSlots())})
+	}
+	if out := t.Outstanding(); out != ts.shadowOutstanding {
+		a.violate(Violation{Kind: "outstanding-mismatch", Where: ts.name,
+			Detail: fmt.Sprintf("table outstanding %d != observed grants-returns %d", out, ts.shadowOutstanding)})
+	}
+	for f := 0; f < t.FrameCount(); f++ {
+		if got := t.Skipped(f); got != ts.shadowSkipped[f] {
+			a.violate(Violation{Kind: "skipped-accounting", Where: ts.name,
+				Detail: fmt.Sprintf("skipped(%d) = %d, observed abandonments say %d", f, got, ts.shadowSkipped[f])})
+		}
+	}
+	if clamps := t.Stats().CreditClamps; clamps != ts.clamps {
+		a.violate(Violation{Kind: "credit-clamped", Where: ts.name,
+			Detail: fmt.Sprintf("%d credit updates clamped since last sweep (non-strict Theorem I violation)", clamps-ts.clamps)})
+		ts.clamps = clamps
+	}
+}

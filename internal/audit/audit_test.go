@@ -1,0 +1,240 @@
+package audit_test
+
+import (
+	"testing"
+
+	"loft/internal/audit"
+	"loft/internal/config"
+	"loft/internal/core"
+	"loft/internal/flit"
+	"loft/internal/loft"
+	"loft/internal/lsf"
+	"loft/internal/traffic"
+)
+
+func flitQID(f flit.FlowID, seq uint64) flit.QuantumID { return flit.QuantumID{Flow: f, Seq: seq} }
+
+// faultTable builds a small non-strict table under audit. Strict mode would
+// panic on the injected faults before the auditor sees them, which is
+// exactly the redundancy the auditor exists to provide for production
+// (non-strict) runs.
+func faultTable(t *testing.T) (*audit.Auditor, *lsf.Table) {
+	t.Helper()
+	aud := audit.New(audit.Config{})
+	tb := lsf.NewTable("faulty", lsf.Params{SlotsPerFrame: 4, Frames: 2, BufferQuanta: 4})
+	aud.WatchTable(tb, "faulty")
+	if err := tb.AddFlow(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	return aud, tb
+}
+
+func violationKinds(aud *audit.Auditor) map[string]int {
+	kinds := map[string]int{}
+	for _, v := range aud.Violations() {
+		kinds[v.Kind]++
+	}
+	return kinds
+}
+
+// TestFaultDropSkippedCaught injects the scheduler fault that silently
+// drops the skipped(i) accounting the §4.2 anomaly fix depends on, and
+// requires the auditor to flag it at the moment of the frame advance.
+func TestFaultDropSkippedCaught(t *testing.T) {
+	aud, tb := faultTable(t)
+	tb.InjectFault(lsf.FaultDropSkipped)
+	// minSlot 4 is in frame 1: the flow must abandon its full frame-0
+	// reservation (c=2), which the faulty table fails to record.
+	if _, ok := tb.Request(1, 0, 4); !ok {
+		t.Fatal("request denied")
+	}
+	if violationKinds(aud)["skipped-accounting"] == 0 {
+		t.Fatalf("dropped skipped(i) update not caught; violations: %v", aud.Violations())
+	}
+	if aud.Err() == nil {
+		t.Fatal("Err() is nil despite violations")
+	}
+}
+
+// TestFaultLeakCreditCaught injects a credit-return fault (the return is
+// acknowledged but the slot ledger is never incremented) and requires the
+// conservation check on the next grant to flag the divergence.
+func TestFaultLeakCreditCaught(t *testing.T) {
+	aud, tb := faultTable(t)
+	slot, ok := tb.Request(1, 0, 0)
+	if !ok {
+		t.Fatal("request denied")
+	}
+	tb.InjectFault(lsf.FaultLeakCredit)
+	tb.ReturnCredit(slot)
+	if _, ok := tb.Request(1, 1, 0); !ok {
+		t.Fatal("second request denied")
+	}
+	if violationKinds(aud)["credit-conservation"] == 0 {
+		t.Fatalf("leaked credit not caught; violations: %v", aud.Violations())
+	}
+}
+
+// TestFaultFreeTableIsClean is the control: the same drive without faults
+// must not trip any check.
+func TestFaultFreeTableIsClean(t *testing.T) {
+	aud, tb := faultTable(t)
+	s0, ok := tb.Request(1, 0, 0)
+	if !ok {
+		t.Fatal("request denied")
+	}
+	if _, ok := tb.Request(1, 1, 4); !ok {
+		t.Fatal("second request denied")
+	}
+	tb.ReturnCredit(s0)
+	for i := 0; i < 8; i++ {
+		tb.Tick()
+	}
+	aud.FinishRun(8)
+	if err := aud.Err(); err != nil {
+		t.Fatalf("clean drive flagged: %v", err)
+	}
+	if aud.Snapshot().GrantChecks != 2 {
+		t.Fatalf("grant checks = %d, want 2", aud.Snapshot().GrantChecks)
+	}
+}
+
+// caseIPattern is the paper's Case Study I (regulated GS victim vs DoS
+// aggressors) on the full 8x8 paper configuration — the highest-stakes QoS
+// scenario the repo models.
+func caseIPattern(cfg config.LOFT) *traffic.Pattern {
+	return traffic.CaseStudyI(cfg.Mesh(), 0.2, 0.6, cfg.PacketFlits, cfg.FrameFlits)
+}
+
+// TestAuditedCaseStudyIClean is the acceptance run: an unmodified 8x8 LOFT
+// simulation under high GS load must report zero invariant and delay-bound
+// violations, and attaching the auditor must not change the simulation.
+func TestAuditedCaseStudyIClean(t *testing.T) {
+	cfg := config.PaperLOFTSpec(12)
+	p := caseIPattern(cfg)
+	spec := core.RunSpec{Seed: 1, Warmup: 500, Measure: 2500}
+	bare, _, err := core.RunLOFT(cfg, p, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aud := audit.New(audit.Config{})
+	spec.Audit = aud
+	audited, _, err := core.RunLOFT(cfg, p, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aud.Err(); err != nil {
+		t.Fatalf("audit of an unmodified run failed: %v", err)
+	}
+	snap := aud.Snapshot()
+	if !snap.Clean || snap.PacketsChecked == 0 || snap.GrantChecks == 0 || snap.InvariantSweeps == 0 {
+		t.Fatalf("audit did no work: %+v", snap)
+	}
+	if snap.WorstMarginPct <= 0 || snap.WorstMarginPct > 100 {
+		t.Fatalf("worst margin %.1f%% outside (0, 100]", snap.WorstMarginPct)
+	}
+	booked, injected, ejected := aud.RecorderCounts()
+	if booked == 0 || injected == 0 || ejected == 0 {
+		t.Fatalf("recorder ledger empty: %d/%d/%d", booked, injected, ejected)
+	}
+	if bare.Packets != audited.Packets || bare.AvgLatency != audited.AvgLatency ||
+		bare.TotalRate != audited.TotalRate || bare.MaxLatency != audited.MaxLatency {
+		t.Fatalf("auditing changed the simulation: bare %+v vs audited %+v", bare, audited)
+	}
+}
+
+// TestAuditedGSFClean runs the same acceptance check on the GSF baseline
+// (packet-level conformance only, no tables to shadow).
+func TestAuditedGSFClean(t *testing.T) {
+	lcfg := config.PaperLOFTSpec(12)
+	p := caseIPattern(lcfg)
+	aud := audit.New(audit.Config{})
+	spec := core.RunSpec{Seed: 1, Warmup: 500, Measure: 2000, Audit: aud}
+	if _, _, err := core.RunGSF(config.PaperGSF(), p, lcfg.FrameFlits, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := aud.Err(); err != nil {
+		t.Fatalf("audit of an unmodified GSF run failed: %v", err)
+	}
+	if snap := aud.Snapshot(); snap.PacketsChecked == 0 {
+		t.Fatalf("no packets checked: %+v", snap)
+	}
+}
+
+// TestDelayBoundViolationTimeline forces a conformance failure (bound of 1
+// cycle on the victim flow) and checks the reconstructed hop-by-hop
+// timeline on the resulting violation.
+func TestDelayBoundViolationTimeline(t *testing.T) {
+	cfg := config.PaperLOFTSpec(12)
+	p := caseIPattern(cfg)
+	aud := audit.New(audit.Config{})
+	net, err := loft.New(cfg, p, loft.Options{Seed: 1, Audit: aud})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aud.SetFlowBound(traffic.CaseStudyIVictim, 1)
+	aud.StartRun(2000)
+	net.Run(2000)
+	aud.FinishRun(net.Now())
+	var hit *audit.Violation
+	for i, v := range aud.Violations() {
+		if v.Kind == "delay-bound-exceeded" {
+			hit = &aud.Violations()[i]
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no delay-bound-exceeded violation; got %v", aud.Violations())
+	}
+	if hit.Flow != int32(traffic.CaseStudyIVictim) || hit.Bound != 1 || hit.Latency <= hit.Bound {
+		t.Fatalf("violation fields wrong: %+v", hit)
+	}
+	if len(hit.Timeline) == 0 {
+		t.Fatal("violation carries no flight timeline")
+	}
+	stages := map[string]bool{}
+	last := int64(-1)
+	for _, h := range hit.Timeline {
+		stages[h.Stage] = true
+		if int64(h.Cycle) < last {
+			t.Fatalf("timeline not time-ordered: %+v", hit.Timeline)
+		}
+		last = int64(h.Cycle)
+	}
+	for _, want := range []string{"book", "inject", "eject"} {
+		if !stages[want] {
+			t.Fatalf("timeline missing stage %q: %+v", want, hit.Timeline)
+		}
+	}
+	summary := aud.Summary()
+	if len(summary) == 0 || summary[len(summary)-1][:11] != "audit: FAIL" {
+		t.Fatalf("summary does not report failure: %v", summary)
+	}
+}
+
+// TestNilAuditorInert pins the zero-overhead contract: every method on a
+// nil auditor must be a safe no-op.
+func TestNilAuditorInert(t *testing.T) {
+	var aud *audit.Auditor
+	if aud.Enabled() {
+		t.Fatal("nil auditor reports enabled")
+	}
+	aud.StartRun(100)
+	aud.OnCycle(50)
+	aud.FinishRun(100)
+	aud.RegisterCheck("x", func() error { return nil })
+	aud.SetHeatmap(func() string { return "" })
+	aud.OnPublish(func() {})
+	aud.SetFlowBound(0, 1)
+	aud.LOFTBook(flitQID(0, 0), 0, 0, 1, 0)
+	aud.LOFTInject(flitQID(0, 0), 8, 0, 0)
+	aud.GSFInject(0, 0, 0)
+	aud.GSFPacketDone(0, 0, 0, 1)
+	if aud.Violations() != nil || aud.Err() != nil || aud.Summary() != nil {
+		t.Fatal("nil auditor produced data")
+	}
+	cfg := config.PaperLOFTSpec(12)
+	if _, _, err := core.RunLOFT(cfg, caseIPattern(cfg), core.RunSpec{Seed: 1, Warmup: 100, Measure: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,390 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+
+	"loft/internal/analysis"
+	"loft/internal/config"
+	"loft/internal/flit"
+	"loft/internal/stats"
+	"loft/internal/topo"
+)
+
+// HopEvent is one reconstructed step of a packet's lifecycle.
+type HopEvent struct {
+	Cycle uint64 `json:"cycle"`
+	Node  int32  `json:"node"`
+	Link  int32  `json:"link"` // output direction; topo.NumDirs = injection link
+	// Stage: "book" (injection-table grant), "reserve" (per-hop look-ahead
+	// booking), "inject" (data leaves the NI), "forward" (switch
+	// traversal), "eject" (data enters the sink).
+	Stage string `json:"stage"`
+	Slot  uint64 `json:"slot,omitempty"` // booked departure slot, slot units
+	Spec  bool   `json:"spec,omitempty"` // speculative (ahead-of-schedule) traversal
+}
+
+type pktKey struct {
+	flow flit.FlowID
+	seq  uint64
+}
+
+// quantumRec accumulates the hop timeline of one in-flight quantum. The
+// look-ahead network books per-hop reservations by (flow, quantum sequence)
+// — the packet sequence is not carried by look-ahead flits — so records are
+// keyed by flit.QuantumID and folded into their packet at ejection.
+type quantumRec struct {
+	pkt  pktKey
+	hops []HopEvent
+}
+
+// pktRec collects the hop timelines of a packet's ejected quanta until the
+// packet completes.
+type pktRec struct {
+	hops []HopEvent
+}
+
+// flowConf is the per-flow conformance state: the analytical bound and the
+// observed latency distribution.
+type flowConf struct {
+	src, dst topo.NodeID
+	hops     int
+	bound    uint64 // 0 = best-effort, no bound
+	hist     stats.Histogram
+}
+
+// recorder is the flight-recorder state, reset per run.
+type recorder struct {
+	flows   map[flit.FlowID]*flowConf
+	quanta  map[flit.QuantumID]*quantumRec
+	packets map[pktKey]*pktRec
+
+	bookedQuanta   uint64
+	injectedQuanta uint64
+	ejectedQuanta  uint64
+	injectedFlits  uint64
+	ejectedFlits   uint64
+	packetsDone    uint64
+}
+
+func (r *recorder) reset() {
+	*r = recorder{
+		flows:   make(map[flit.FlowID]*flowConf),
+		quanta:  make(map[flit.QuantumID]*quantumRec),
+		packets: make(map[pktKey]*pktRec),
+	}
+}
+
+// BeginLOFT (re)arms the auditor for one LOFT run: per-flow delay bounds
+// over the full implemented path (analysis.DelayBoundLOFTPath) and fresh
+// recorder state. Called by loft.New before the run starts; violations and
+// totals accumulate across runs.
+func (a *Auditor) BeginLOFT(cfg config.LOFT, m topo.Mesh, flows []flit.Flow) {
+	if a == nil {
+		return
+	}
+	a.beginRun("loft")
+	for _, f := range flows {
+		h := analysis.FlowHops(m, f)
+		a.rec.flows[f.ID] = &flowConf{
+			src: f.Src, dst: f.Dst, hops: h,
+			bound: analysis.DelayBoundLOFTPath(cfg, h),
+		}
+	}
+}
+
+// BeginGSF (re)arms the auditor for one GSF run: the path-independent GSF
+// bound for every flow (no bound in best-effort mode, where the QoS
+// machinery is disabled).
+func (a *Auditor) BeginGSF(cfg config.GSF, m topo.Mesh, flows []flit.Flow) {
+	if a == nil {
+		return
+	}
+	a.beginRun("gsf")
+	bound := analysis.DelayBoundGSF(cfg)
+	if cfg.BestEffort {
+		bound = 0
+	}
+	for _, f := range flows {
+		a.rec.flows[f.ID] = &flowConf{
+			src: f.Src, dst: f.Dst, hops: analysis.FlowHops(m, f),
+			bound: bound,
+		}
+	}
+}
+
+// LOFTBook records an injection-table grant: the birth of a quantum's
+// flight record.
+func (a *Auditor) LOFTBook(id flit.QuantumID, pktSeq uint64, node int32, depart, now uint64) {
+	if a == nil {
+		return
+	}
+	if _, dup := a.rec.quanta[id]; dup {
+		a.violate(Violation{Kind: "duplicate-booking", Flow: int32(id.Flow),
+			Detail: fmt.Sprintf("quantum %d of flow %d booked twice at the injection table", id.Seq, id.Flow)})
+		return
+	}
+	a.rec.bookedQuanta++
+	a.rec.quanta[id] = &quantumRec{
+		pkt:  pktKey{id.Flow, pktSeq},
+		hops: []HopEvent{{Cycle: now, Node: node, Link: int32(topo.NumDirs), Stage: "book", Slot: depart}},
+	}
+}
+
+// LOFTReserve records a per-hop look-ahead reservation.
+func (a *Auditor) LOFTReserve(id flit.QuantumID, node, out int32, depart, now uint64) {
+	if a == nil {
+		return
+	}
+	q := a.rec.quanta[id]
+	if q == nil {
+		a.violate(Violation{Kind: "reserve-unrecorded", Flow: int32(id.Flow),
+			Detail: fmt.Sprintf("look-ahead reservation for quantum %d of flow %d with no injection booking", id.Seq, id.Flow)})
+		return
+	}
+	q.hops = append(q.hops, HopEvent{Cycle: now, Node: node, Link: out, Stage: "reserve", Slot: depart})
+}
+
+// LOFTInject records the data quantum physically leaving its NI.
+func (a *Auditor) LOFTInject(id flit.QuantumID, flits int, node int32, now uint64) {
+	if a == nil {
+		return
+	}
+	a.rec.injectedQuanta++
+	a.rec.injectedFlits += uint64(flits)
+	if q := a.rec.quanta[id]; q != nil {
+		q.hops = append(q.hops, HopEvent{Cycle: now, Node: node, Link: int32(topo.NumDirs), Stage: "inject"})
+	}
+}
+
+// LOFTForward records one switch traversal (spec marks an ahead-of-schedule
+// speculative forward).
+func (a *Auditor) LOFTForward(id flit.QuantumID, node, out int32, spec bool, now uint64) {
+	if a == nil {
+		return
+	}
+	if q := a.rec.quanta[id]; q != nil {
+		q.hops = append(q.hops, HopEvent{Cycle: now, Node: node, Link: out, Stage: "forward", Spec: spec})
+	}
+}
+
+// LOFTEject folds an ejected quantum's timeline into its packet record.
+func (a *Auditor) LOFTEject(id flit.QuantumID, flits int, node int32, now uint64) {
+	if a == nil {
+		return
+	}
+	a.rec.ejectedQuanta++
+	a.rec.ejectedFlits += uint64(flits)
+	q := a.rec.quanta[id]
+	if q == nil {
+		a.violate(Violation{Kind: "eject-unrecorded", Flow: int32(id.Flow),
+			Detail: fmt.Sprintf("quantum %d of flow %d ejected with no flight record", id.Seq, id.Flow)})
+		return
+	}
+	q.hops = append(q.hops, HopEvent{Cycle: now, Node: node, Link: int32(topo.Local), Stage: "eject"})
+	delete(a.rec.quanta, id)
+	p := a.rec.packets[q.pkt]
+	if p == nil {
+		p = &pktRec{}
+		a.rec.packets[q.pkt] = p
+	}
+	p.hops = append(p.hops, q.hops...)
+}
+
+// LOFTPacketDone verdicts one completed packet: its network latency
+// (injection of the first quantum to ejection of the last) against the
+// flow's analytical bound. Exceeding the bound is a hard audit failure
+// carrying the packet's reconstructed hop-by-hop timeline.
+func (a *Auditor) LOFTPacketDone(flow flit.FlowID, pktSeq, injected, done uint64) {
+	if a == nil {
+		return
+	}
+	key := pktKey{flow, pktSeq}
+	p := a.rec.packets[key]
+	delete(a.rec.packets, key)
+	a.packetDone(flow, pktSeq, injected, done, p)
+}
+
+// GSFInject records a GSF packet's head-flit injection.
+func (a *Auditor) GSFInject(flow flit.FlowID, pktSeq, now uint64) {
+	if a == nil {
+		return
+	}
+	a.rec.injectedQuanta++
+	key := pktKey{flow, pktSeq}
+	if _, dup := a.rec.packets[key]; dup {
+		a.violate(Violation{Kind: "duplicate-injection", Flow: int32(flow),
+			Detail: fmt.Sprintf("packet %d of flow %d injected twice", pktSeq, flow)})
+		return
+	}
+	a.rec.packets[key] = &pktRec{hops: []HopEvent{{Cycle: now, Link: int32(topo.NumDirs), Stage: "inject"}}}
+}
+
+// GSFPacketDone verdicts one completed GSF packet against the
+// path-independent GSF bound.
+func (a *Auditor) GSFPacketDone(flow flit.FlowID, pktSeq, injected, done uint64) {
+	if a == nil {
+		return
+	}
+	a.rec.ejectedQuanta++
+	key := pktKey{flow, pktSeq}
+	p := a.rec.packets[key]
+	delete(a.rec.packets, key)
+	if p == nil {
+		a.violate(Violation{Kind: "eject-unrecorded", Flow: int32(flow),
+			Detail: fmt.Sprintf("packet %d of flow %d ejected with no flight record", pktSeq, flow)})
+	}
+	a.packetDone(flow, pktSeq, injected, done, p)
+}
+
+// packetDone is the shared conformance verdict.
+func (a *Auditor) packetDone(flow flit.FlowID, pktSeq, injected, done uint64, p *pktRec) {
+	a.rec.packetsDone++
+	fc := a.rec.flows[flow]
+	if fc == nil {
+		a.violate(Violation{Kind: "unknown-flow", Flow: int32(flow),
+			Detail: fmt.Sprintf("completed packet %d belongs to unregistered flow %d", pktSeq, flow)})
+		return
+	}
+	if done < injected {
+		a.violate(Violation{Kind: "time-reversal", Flow: int32(flow),
+			Detail: fmt.Sprintf("packet %d completed at %d before its injection at %d", pktSeq, done, injected)})
+		return
+	}
+	lat := done - injected
+	fc.hist.Observe(lat)
+	if fc.bound > 0 && lat > fc.bound {
+		v := Violation{Kind: "delay-bound-exceeded", Flow: int32(flow), Packet: pktSeq,
+			Latency: lat, Bound: fc.bound,
+			Where: fmt.Sprintf("flow %d (%d hops)", flow, fc.hops),
+			Detail: fmt.Sprintf("packet %d: network latency %d cycles exceeds the %d-cycle bound (injected %d, done %d)",
+				pktSeq, lat, fc.bound, injected, done)}
+		if p != nil {
+			v.Timeline = append(v.Timeline, p.hops...)
+			sort.SliceStable(v.Timeline, func(i, j int) bool { return v.Timeline[i].Cycle < v.Timeline[j].Cycle })
+			const maxTimeline = 64
+			if len(v.Timeline) > maxTimeline {
+				v.Timeline = v.Timeline[:maxTimeline]
+			}
+		}
+		a.violate(v)
+	}
+}
+
+// SetFlowBound overrides one flow's delay bound (test hook for exercising
+// the violation/timeline path without breaking the scheduler).
+func (a *Auditor) SetFlowBound(flow flit.FlowID, bound uint64) {
+	if a == nil {
+		return
+	}
+	if fc := a.rec.flows[flow]; fc != nil {
+		fc.bound = bound
+	}
+}
+
+// RecorderCounts returns the flight recorder's quantum ledger (booked,
+// physically injected, ejected); architectures cross-check these against
+// their own counters in a registered conservation check.
+func (a *Auditor) RecorderCounts() (booked, injected, ejected uint64) {
+	if a == nil {
+		return 0, 0, 0
+	}
+	return a.rec.bookedQuanta, a.rec.injectedQuanta, a.rec.ejectedQuanta
+}
+
+// FlowConformance is the per-flow verdict in a Snapshot.
+type FlowConformance struct {
+	Flow      int32   `json:"flow"`
+	Src       int32   `json:"src"`
+	Dst       int32   `json:"dst"` // -1: random destination per packet
+	Hops      int     `json:"hops"`
+	Bound     uint64  `json:"bound_cycles"` // 0: best-effort, unbounded
+	Packets   uint64  `json:"packets"`
+	Worst     uint64  `json:"worst_observed_cycles"`
+	Mean      float64 `json:"mean_cycles"`
+	MarginPct float64 `json:"worst_pct_of_bound"`
+	Histogram string  `json:"histogram"`
+}
+
+// Snapshot is the JSON conformance snapshot served at /audit.
+type Snapshot struct {
+	Arch            string            `json:"arch"`
+	Cycle           uint64            `json:"cycle"`
+	TotalCycles     uint64            `json:"total_cycles"`
+	Runs            int               `json:"runs"`
+	Clean           bool              `json:"clean"`
+	Violations      uint64            `json:"violations"`
+	PacketsChecked  uint64            `json:"packets_checked"`
+	QuantaBooked    uint64            `json:"quanta_booked"`
+	QuantaInjected  uint64            `json:"quanta_injected"`
+	QuantaEjected   uint64            `json:"quanta_ejected"`
+	InFlightQuanta  int               `json:"in_flight_quanta"`
+	InFlightPackets int               `json:"in_flight_packets"`
+	InvariantSweeps uint64            `json:"invariant_sweeps"`
+	GrantChecks     uint64            `json:"grant_checks"`
+	WorstMarginPct  float64           `json:"worst_pct_of_bound"`
+	Flows           []FlowConformance `json:"flows"`
+	ViolationLog    []Violation       `json:"violation_log,omitempty"`
+}
+
+// Snapshot assembles the current audit state. Must be called from the
+// simulation thread (it reads live recorder maps).
+func (a *Auditor) Snapshot() Snapshot {
+	if a == nil {
+		return Snapshot{Clean: true}
+	}
+	s := Snapshot{
+		Arch:            a.arch,
+		Cycle:           a.now,
+		TotalCycles:     a.totalCycles,
+		Runs:            a.runs,
+		Clean:           a.totalViolations == 0,
+		Violations:      a.totalViolations,
+		PacketsChecked:  a.rec.packetsDone,
+		QuantaBooked:    a.rec.bookedQuanta,
+		QuantaInjected:  a.rec.injectedQuanta,
+		QuantaEjected:   a.rec.ejectedQuanta,
+		InFlightQuanta:  len(a.rec.quanta),
+		InFlightPackets: len(a.rec.packets),
+		InvariantSweeps: a.sweeps,
+		GrantChecks:     a.grantChecks,
+		ViolationLog:    a.violations,
+	}
+	for id, fc := range a.rec.flows {
+		f := FlowConformance{
+			Flow: int32(id), Src: int32(fc.src), Dst: int32(fc.dst),
+			Hops: fc.hops, Bound: fc.bound,
+			Packets: fc.hist.Count(), Worst: fc.hist.Max(), Mean: fc.hist.Mean(),
+			Histogram: fc.hist.String(),
+		}
+		if fc.bound > 0 {
+			f.MarginPct = 100 * float64(fc.hist.Max()) / float64(fc.bound)
+			if f.MarginPct > s.WorstMarginPct {
+				s.WorstMarginPct = f.MarginPct
+			}
+		}
+		s.Flows = append(s.Flows, f)
+	}
+	sort.Slice(s.Flows, func(i, j int) bool { return s.Flows[i].Flow < s.Flows[j].Flow })
+	return s
+}
+
+// Summary renders the audit verdict as human-readable lines.
+func (a *Auditor) Summary() []string {
+	if a == nil {
+		return nil
+	}
+	s := a.Snapshot()
+	lines := []string{
+		fmt.Sprintf("audit: %d run(s) (%s), %d invariant sweep(s) over %d table(s), %d per-grant checks",
+			s.Runs, s.Arch, s.InvariantSweeps, len(a.tables), s.GrantChecks),
+		fmt.Sprintf("audit: %d packet(s) checked against delay bounds, worst case at %.1f%% of bound",
+			s.PacketsChecked, s.WorstMarginPct),
+	}
+	if s.Clean {
+		lines = append(lines, "audit: PASS — no invariant or conformance violations")
+	} else {
+		lines = append(lines, fmt.Sprintf("audit: FAIL — %d violation(s); first: %s", s.Violations, a.violations[0].String()))
+	}
+	return lines
+}

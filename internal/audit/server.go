@@ -1,0 +1,214 @@
+package audit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"loft/internal/probe"
+)
+
+// Server is the live introspection endpoint: /metrics (Prometheus text),
+// /audit (JSON Snapshot), / (progress + heatmap HTML), and /debug/pprof.
+//
+// The simulator is single-threaded and its probe/audit state is not
+// concurrency-safe, so the server never reads live simulator state:
+// Publish, called on the simulation thread, renders everything to bytes
+// under a mutex, and the HTTP handlers only serve the last published copy.
+// Sweep workers report coarse job progress through the thread-safe
+// JobProgress.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+
+	mu        sync.Mutex
+	title     string
+	metrics   []byte
+	auditJSON []byte
+	cycle     uint64
+	total     uint64
+	heatmap   string
+	summary   []string
+	jobsDone  int
+	jobsTotal int
+}
+
+// NewServer starts an introspection server on addr (":0" picks a free
+// port). The returned server is already serving; Close releases it.
+func NewServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("audit: introspection server: %w", err)
+	}
+	s := &Server{ln: ln, done: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/audit", s.handleAudit)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln) // returns on Close
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}
+
+// SetTitle labels the index page (e.g. the experiment name).
+func (s *Server) SetTitle(t string) {
+	s.mu.Lock()
+	s.title = t
+	s.mu.Unlock()
+}
+
+// JobProgress reports sweep progress (thread-safe; sweep workers call it
+// concurrently).
+func (s *Server) JobProgress(done, total int) {
+	s.mu.Lock()
+	s.jobsDone, s.jobsTotal = done, total
+	s.mu.Unlock()
+}
+
+// Publish renders the current probe and audit state and swaps it in for the
+// HTTP handlers. It MUST be called from the simulation thread: probe
+// gauges and the audit snapshot read live simulator state. Either argument
+// may be nil.
+func (s *Server) Publish(p *probe.Probe, a *Auditor) {
+	var metrics bytes.Buffer
+	_ = probe.WritePrometheus(&metrics, p)
+	a.writePrometheus(&metrics)
+
+	var auditJSON []byte
+	var summary []string
+	var heatmap string
+	var cycle, total uint64
+	if a != nil {
+		snap := a.Snapshot()
+		auditJSON, _ = json.MarshalIndent(snap, "", "  ")
+		summary = a.Summary()
+		heatmap = a.Heatmap()
+		cycle, total = snap.Cycle, snap.TotalCycles
+	}
+
+	s.mu.Lock()
+	s.metrics = metrics.Bytes()
+	s.auditJSON = auditJSON
+	s.summary = summary
+	s.heatmap = heatmap
+	s.cycle, s.total = cycle, total
+	s.mu.Unlock()
+}
+
+// writePrometheus appends the auditor's own metrics to a /metrics payload.
+func (a *Auditor) writePrometheus(w *bytes.Buffer) {
+	if a == nil {
+		return
+	}
+	s := a.Snapshot()
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("audit_violations_total", "Invariant and conformance violations detected.", s.Violations)
+	counter("audit_packets_checked_total", "Completed packets verdicted against their delay bound.", s.PacketsChecked)
+	counter("audit_invariant_sweeps_total", "Full-window invariant sweeps executed.", s.InvariantSweeps)
+	counter("audit_grant_checks_total", "Per-grant admission checks executed.", s.GrantChecks)
+	gauge("audit_in_flight_quanta", "Quanta booked but not yet ejected.", float64(s.InFlightQuanta))
+	gauge("audit_cycle", "Auditor clock in cycles.", float64(s.Cycle))
+	gauge("audit_worst_margin_pct", "Worst observed latency as a percentage of its bound.", s.WorstMarginPct)
+}
+
+var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><meta http-equiv="refresh" content="2">
+<title>loft introspection{{with .Title}} — {{.}}{{end}}</title>
+<style>body{font-family:monospace;margin:2em}pre{background:#f4f4f4;padding:1em}
+.bar{width:30em;height:1em;background:#ddd}.bar div{height:100%;background:#4a8}</style>
+</head><body>
+<h1>loft introspection{{with .Title}} — {{.}}{{end}}</h1>
+{{if .Total}}<p>run: cycle {{.Cycle}} / {{.Total}}</p>
+<div class="bar"><div style="width:{{.RunPct}}%"></div></div>{{end}}
+{{if .JobsTotal}}<p>sweep: {{.JobsDone}} / {{.JobsTotal}} runs</p>
+<div class="bar"><div style="width:{{.JobsPct}}%"></div></div>{{end}}
+{{range .Summary}}<p>{{.}}</p>{{end}}
+{{with .Heatmap}}<h2>link utilization</h2><pre>{{.}}</pre>{{end}}
+<p><a href="/metrics">/metrics</a> · <a href="/audit">/audit</a> · <a href="/debug/pprof/">/debug/pprof</a></p>
+</body></html>
+`))
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	s.mu.Lock()
+	data := struct {
+		Title               string
+		Cycle, Total        uint64
+		RunPct, JobsPct     int
+		JobsDone, JobsTotal int
+		Summary             []string
+		Heatmap             string
+	}{
+		Title: s.title, Cycle: s.cycle, Total: s.total,
+		JobsDone: s.jobsDone, JobsTotal: s.jobsTotal,
+		Summary: append([]string(nil), s.summary...), Heatmap: s.heatmap,
+	}
+	s.mu.Unlock()
+	if data.Total > 0 {
+		data.RunPct = int(100 * data.Cycle / data.Total)
+	}
+	if data.JobsTotal > 0 {
+		data.JobsPct = 100 * data.JobsDone / data.JobsTotal
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = indexTmpl.Execute(w, data)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	body := append([]byte(nil), s.metrics...)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if len(body) == 0 {
+		fmt.Fprint(w, "# no metrics published yet\n")
+		return
+	}
+	_, _ = w.Write(body)
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	body := append([]byte(nil), s.auditJSON...)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if len(body) == 0 {
+		fmt.Fprint(w, "{}\n")
+		return
+	}
+	_, _ = w.Write(body)
+}

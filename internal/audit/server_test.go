@@ -1,0 +1,141 @@
+package audit_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"loft/internal/audit"
+	"loft/internal/config"
+	"loft/internal/core"
+	"loft/internal/probe"
+)
+
+func get(t *testing.T, url string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestServerEndpoints(t *testing.T) {
+	srv, err := audit.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.SetTitle("unit test")
+
+	// Before any publish: placeholder payloads, correct content types.
+	body, ctype := get(t, srv.URL()+"/metrics")
+	if !strings.HasPrefix(body, "#") || !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Fatalf("pre-publish /metrics = %q (%s)", body, ctype)
+	}
+	if body, ctype = get(t, srv.URL()+"/audit"); body != "{}\n" && body != "{}" || ctype != "application/json" {
+		t.Fatalf("pre-publish /audit = %q (%s)", body, ctype)
+	}
+
+	// Publish a real probe + auditor snapshot and re-read everything.
+	pr := probe.New(probe.Config{EventCap: 16, SampleEvery: 1})
+	pr.Emit(1, probe.KindSpecHit, 0, 0, 0, 0)
+	aud := audit.New(audit.Config{})
+	aud.StartRun(1000)
+	aud.OnCycle(500)
+	srv.JobProgress(2, 4)
+	srv.Publish(pr, aud)
+
+	body, _ = get(t, srv.URL()+"/metrics")
+	for _, want := range []string{"probe_events_total", "audit_violations_total 0", "audit_cycle 500"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	body, _ = get(t, srv.URL()+"/audit")
+	var snap audit.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/audit not valid JSON: %v\n%s", err, body)
+	}
+	if snap.Cycle != 500 || snap.TotalCycles != 1000 || !snap.Clean {
+		t.Fatalf("/audit snapshot = %+v", snap)
+	}
+	body, ctype = get(t, srv.URL()+"/")
+	if !strings.Contains(ctype, "text/html") || !strings.Contains(body, "unit test") ||
+		!strings.Contains(body, "2 / 4") {
+		t.Fatalf("index page wrong (%s):\n%s", ctype, body)
+	}
+	if body, _ = get(t, srv.URL()+"/debug/pprof/cmdline"); body == "" {
+		t.Fatal("pprof cmdline empty")
+	}
+}
+
+// TestServerLiveDuringRun exercises the real publish path: HTTP clients
+// hammer the endpoints while an audited simulation runs and publishes from
+// the simulation goroutine. Run under -race this pins the thread-safety
+// contract (Publish renders on the sim thread, handlers copy under mutex).
+func TestServerLiveDuringRun(t *testing.T) {
+	srv, err := audit.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	pr := probe.New(probe.Config{EventCap: 1 << 12, SampleEvery: 64})
+	aud := audit.New(audit.Config{CheckEvery: 128, PublishEvery: 64})
+	aud.OnPublish(func() { srv.Publish(pr, aud) })
+
+	done := make(chan error, 1)
+	go func() {
+		cfg := config.PaperLOFTSpec(12)
+		p := caseIPattern(cfg)
+		_, _, err := core.RunLOFT(cfg, p, core.RunSpec{Seed: 1, Warmup: 200, Measure: 1500, Probe: pr, Audit: aud})
+		done <- err
+	}()
+
+	sawMetrics := false
+	for running := true; running; {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			running = false
+		default:
+			body, _ := get(t, srv.URL()+"/metrics")
+			if strings.Contains(body, "audit_grant_checks_total") {
+				sawMetrics = true
+			}
+			body, _ = get(t, srv.URL()+"/audit")
+			if body != "{}" {
+				var snap audit.Snapshot
+				if err := json.Unmarshal([]byte(body), &snap); err != nil {
+					t.Fatalf("/audit mid-run not valid JSON: %v", err)
+				}
+			}
+			get(t, srv.URL()+"/")
+		}
+	}
+	if err := aud.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// The run publishes at least once (FinishRun), so the final state must
+	// be visible even if every mid-run poll raced ahead of the first tick.
+	if body, _ := get(t, srv.URL()+"/metrics"); !strings.Contains(body, "audit_grant_checks_total") {
+		t.Fatalf("final /metrics missing audit metrics:\n%s", body)
+	} else {
+		sawMetrics = true
+	}
+	if !sawMetrics {
+		t.Fatal("never observed audit metrics")
+	}
+}

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"loft/internal/audit"
 	"loft/internal/config"
 	"loft/internal/flit"
 	"loft/internal/gsf"
@@ -34,6 +35,12 @@ type RunSpec struct {
 	// Probe attaches the observability layer when non-nil. Probing never
 	// changes simulation results.
 	Probe *probe.Probe
+	// Audit attaches the runtime QoS auditor when non-nil: it shadows
+	// scheduler invariants, records per-packet flight timelines and checks
+	// delivered latencies against the analytical delay bounds. Auditing
+	// never changes simulation results. Violations accumulate on the
+	// auditor across runs; callers decide whether they are fatal.
+	Audit *audit.Auditor
 }
 
 // Total returns warmup + measure cycles.
@@ -88,11 +95,13 @@ func summarize(arch Arch, lat, latNet *stats.Latency, latFlow *stats.FlowLatency
 // RunLOFT builds a LOFT network for cfg and pattern, runs it, and returns
 // the result summary together with the network for further inspection.
 func RunLOFT(cfg config.LOFT, p *traffic.Pattern, spec RunSpec) (Result, *loft.Network, error) {
-	net, err := loft.New(cfg, p, loft.Options{Seed: spec.Seed, Warmup: spec.Warmup, Probe: spec.Probe})
+	net, err := loft.New(cfg, p, loft.Options{Seed: spec.Seed, Warmup: spec.Warmup, Probe: spec.Probe, Audit: spec.Audit})
 	if err != nil {
 		return Result{}, nil, err
 	}
+	spec.Audit.StartRun(spec.Total())
 	net.Run(spec.Total())
+	spec.Audit.FinishRun(net.Now())
 	res := summarize(ArchLOFT, net.Latency(), net.NetLatency(), net.FlowLatency(), net.Throughput(), p.Flows, p.Mesh.N())
 	s := net.TotalStats()
 	res.SpecForward = s.SpecForwards
@@ -105,11 +114,13 @@ func RunLOFT(cfg config.LOFT, p *traffic.Pattern, spec RunSpec) (Result, *loft.N
 // pattern's reservations (expressed against baseFrameFlits) are rescaled to
 // GSF's frame size.
 func RunGSF(cfg config.GSF, p *traffic.Pattern, baseFrameFlits int, spec RunSpec) (Result, *gsf.Network, error) {
-	net, err := gsf.New(cfg, p, gsf.Options{Seed: spec.Seed, Warmup: spec.Warmup, BaseFrameFlits: baseFrameFlits, Probe: spec.Probe})
+	net, err := gsf.New(cfg, p, gsf.Options{Seed: spec.Seed, Warmup: spec.Warmup, BaseFrameFlits: baseFrameFlits, Probe: spec.Probe, Audit: spec.Audit})
 	if err != nil {
 		return Result{}, nil, err
 	}
+	spec.Audit.StartRun(spec.Total())
 	net.Run(spec.Total())
+	spec.Audit.FinishRun(net.Now())
 	res := summarize(ArchGSF, net.Latency(), net.NetLatency(), net.FlowLatency(), net.Throughput(), p.Flows, p.Mesh.N())
 	res.Drops = net.Drops()
 	return res, net, nil

@@ -57,5 +57,5 @@ func DelayBounds(o Options) ([]DelayBoundRow, error) {
 			Arch: "GSF", Hops: hops, BoundCycles: gbound,
 			MaxObserved: gmax, Holds: gmax <= gbound,
 		}, nil
-	})
+	}, o.sweepOpts()...)
 }

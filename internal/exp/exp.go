@@ -7,6 +7,7 @@ package exp
 import (
 	"fmt"
 
+	"loft/internal/audit"
 	"loft/internal/config"
 	"loft/internal/core"
 	"loft/internal/probe"
@@ -29,24 +30,41 @@ type Options struct {
 	// simulations interleave in the trace (each run restarts at cycle 0);
 	// combine with a single-experiment selection for a readable trace.
 	Probe *probe.Probe
+	// Audit attaches the runtime QoS auditor to every simulation the
+	// experiment runs. Like Probe, all runs share the one auditor, so
+	// audited experiments are forced sequential; violations accumulate
+	// across runs and the caller checks Audit.Err() at the end.
+	Audit *audit.Auditor
+	// Progress, when non-nil, is called after every finished simulation
+	// with (done, total) for that experiment's sweep. It must be safe for
+	// concurrent use (parallel sweeps call it from worker goroutines).
+	Progress func(done, total int)
 }
 
-// workers resolves the effective worker count. Probe runs are forced
-// sequential: all runs share one probe, which is neither safe nor readable
-// under concurrent emission.
+// workers resolves the effective worker count. Probe and audit runs are
+// forced sequential: all runs share one probe/auditor, which is neither
+// safe nor readable under concurrent emission.
 func (o Options) workers() int {
-	if o.Probe != nil {
+	if o.Probe != nil || o.Audit != nil {
 		return 1
 	}
 	return sweep.Workers(o.Workers)
 }
 
+// sweepOpts translates Options into sweep.Run options.
+func (o Options) sweepOpts() []sweep.Option {
+	if o.Progress == nil {
+		return nil
+	}
+	return []sweep.Option{sweep.WithProgress(o.Progress)}
+}
+
 // runSpec returns the RunSpec for the chosen fidelity.
 func (o Options) runSpec() core.RunSpec {
 	if o.Quick {
-		return core.RunSpec{Seed: o.Seed, Warmup: 2000, Measure: 6000, Probe: o.Probe}
+		return core.RunSpec{Seed: o.Seed, Warmup: 2000, Measure: 6000, Probe: o.Probe, Audit: o.Audit}
 	}
-	return core.RunSpec{Seed: o.Seed, Warmup: 5000, Measure: 20000, Probe: o.Probe}
+	return core.RunSpec{Seed: o.Seed, Warmup: 5000, Measure: 20000, Probe: o.Probe, Audit: o.Audit}
 }
 
 // loftCfg returns the paper LOFT configuration with the given speculative

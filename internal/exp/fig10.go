@@ -36,7 +36,7 @@ func Fig10All(o Options) (map[Allocation][]FairnessRow, error) {
 	allocs := []Allocation{AllocEqual, AllocDiff4, AllocDiff2}
 	rows, err := sweep.Run(o.workers(), len(allocs), func(i int) ([]FairnessRow, error) {
 		return Fig10Fairness(allocs[i], o)
-	})
+	}, o.sweepOpts()...)
 	if err != nil {
 		return nil, err
 	}

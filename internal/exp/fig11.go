@@ -94,7 +94,7 @@ func Fig11(pattern string, o Options) (*Fig11Result, error) {
 			return cell{}, err
 		}
 		return cell{lat: r.AvgNetLatency, thr: r.TotalRate / nodes}, nil
-	})
+	}, o.sweepOpts()...)
 	if err != nil {
 		return nil, err
 	}

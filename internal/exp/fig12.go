@@ -52,5 +52,5 @@ func Fig12CaseI(arch core.Arch, o Options) ([]CaseIRow, error) {
 			row.Aggregate += row.Throughput[j]
 		}
 		return row, nil
-	})
+	}, o.sweepOpts()...)
 }

@@ -49,5 +49,5 @@ func Fig13CaseII(arch core.Arch, o Options) ([]CaseIIRow, error) {
 		row.Grey /= float64(len(grey))
 		row.Stripped = res.FlowRate[traffic.CaseStudyIIStripped(p)]
 		return row, nil
-	})
+	}, o.sweepOpts()...)
 }

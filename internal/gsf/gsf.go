@@ -310,6 +310,9 @@ func (n *node) eject(f flit.Flit, now uint64) {
 	if f.Created >= n.net.latNet.Warmup() {
 		n.net.latNet.Observe(prog.injected, now+1)
 	}
+	if n.net.audit != nil {
+		n.net.audit.GSFPacketDone(f.Flow, f.PktSeq, prog.injected, now+1)
+	}
 }
 
 // enqueue adds a freshly generated packet to the source queue, dropping it
@@ -391,6 +394,9 @@ func (n *node) inject(now uint64) {
 	f, _ := n.srcQueue.Pop()
 	f.Frame = frame
 	f.Injected = now
+	if n.net.audit != nil && f.Head {
+		n.net.audit.GSFInject(f.Flow, f.PktSeq, now)
+	}
 	if !vc.routed {
 		vc.outDir = topo.Local
 		if f.Dst != n.id {

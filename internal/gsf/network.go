@@ -3,6 +3,7 @@ package gsf
 import (
 	"fmt"
 
+	"loft/internal/audit"
 	"loft/internal/config"
 	"loft/internal/probe"
 	"loft/internal/sim"
@@ -19,6 +20,7 @@ type Network struct {
 	nodes   []*node
 	kernel  *sim.Kernel
 	probe   *probe.Probe
+	audit   *audit.Auditor
 
 	injectors []*traffic.Injector
 
@@ -48,6 +50,9 @@ type Options struct {
 	// Probe enables the observability layer when non-nil (frame rollover
 	// and source-throttle events, link-utilization gauges).
 	Probe *probe.Probe
+	// Audit enables runtime invariant checking and per-packet delay-bound
+	// conformance when non-nil. Auditing never changes simulation results.
+	Audit *audit.Auditor
 }
 
 // New builds a GSF network for the given pattern.
@@ -68,6 +73,7 @@ func New(cfg config.GSF, pattern *traffic.Pattern, opts Options) (*Network, erro
 		pattern:    pattern,
 		kernel:     sim.NewKernel(),
 		probe:      opts.Probe,
+		audit:      opts.Audit,
 		head:       0,
 		frameCount: make(map[int]int),
 		lat:        stats.NewLatencySeeded(opts.Warmup, opts.Seed),
@@ -96,8 +102,32 @@ func New(cfg config.GSF, pattern *traffic.Pattern, opts Options) (*Network, erro
 	}
 	net.wire()
 	net.registerGauges()
+	net.bindAudit()
 	net.kernel.Add(net)
 	return net, nil
+}
+
+// bindAudit registers the GSF-side conformance and invariant hooks. GSF has
+// no reservation tables to shadow, so the auditor only tracks per-packet
+// latency against analysis.DelayBoundGSF plus the head-frame flit census.
+func (net *Network) bindAudit() {
+	aud := net.audit
+	if aud == nil {
+		return
+	}
+	aud.BeginGSF(net.cfg, net.mesh, net.pattern.Flows)
+	aud.SetHeatmap(net.Heatmap)
+	aud.RegisterCheck("gsf.frame-count", func() error {
+		for frame, c := range net.frameCount {
+			if c < 0 {
+				return fmt.Errorf("frame %d flit census is negative (%d)", frame, c)
+			}
+			if c > 0 && !net.cfg.BestEffort && frame < net.head {
+				return fmt.Errorf("retired frame %d still holds %d flits (head %d)", frame, c, net.head)
+			}
+		}
+		return nil
+	})
 }
 
 // registerGauges publishes per-link utilization (per-cycle flit rate) and
@@ -156,6 +186,7 @@ func (net *Network) Tick(now uint64) {
 	}
 	net.tickBarrier(now)
 	net.probe.MaybeSample(now)
+	net.audit.OnCycle(now)
 }
 
 // tickBarrier models the global barrier network: once no head-frame flit
@@ -232,6 +263,9 @@ func (net *Network) InFlight() int {
 
 // Probe returns the attached probe (nil when observability is disabled).
 func (net *Network) Probe() *probe.Probe { return net.probe }
+
+// Audit returns the attached auditor (nil when -audit is off).
+func (net *Network) Audit() *audit.Auditor { return net.audit }
 
 // LinkUtilization returns, for every live mesh output link, the fraction of
 // cycles it carried a flit over the run so far (links move at most one flit

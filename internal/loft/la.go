@@ -166,6 +166,9 @@ func (la *laRouter) process(now uint64) {
 		entry := won.entry // written by accept; skips the map lookup
 		entry.booked = true
 		entry.departSlot = depart
+		if n.audit != nil {
+			n.audit.LOFTReserve(flit.QuantumID{Flow: won.fl.Flow, Seq: won.fl.Quantum}, int32(n.id), int32(o), depart, now)
+		}
 		if entry.arrived {
 			n.inputs[d].avail = append(n.inputs[d].avail, entry)
 		}

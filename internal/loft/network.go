@@ -3,6 +3,7 @@ package loft
 import (
 	"fmt"
 
+	"loft/internal/audit"
 	"loft/internal/config"
 	"loft/internal/flit"
 	"loft/internal/lsf"
@@ -21,6 +22,7 @@ type Network struct {
 	nodes   []*Node
 	kernel  *sim.Kernel
 	probe   *probe.Probe
+	audit   *audit.Auditor
 
 	lat     *stats.Latency // total latency (generation → delivery)
 	latNet  *stats.Latency // network latency (injection → delivery)
@@ -38,6 +40,11 @@ type Options struct {
 	// every scheduler and switch, plus periodic gauge sampling. Probing
 	// never changes simulation results.
 	Probe *probe.Probe
+	// Audit enables the runtime QoS auditor when non-nil: a per-packet
+	// flight recorder with delay-bound conformance checking plus scheduler
+	// invariant taps on every reservation table. Auditing never changes
+	// simulation results.
+	Audit *audit.Auditor
 }
 
 // New builds a LOFT network for the given configuration and traffic
@@ -60,6 +67,7 @@ func New(cfg config.LOFT, pattern *traffic.Pattern, opts Options) (*Network, err
 		pattern: pattern,
 		kernel:  sim.NewKernel(),
 		probe:   opts.Probe,
+		audit:   opts.Audit,
 		lat:     stats.NewLatencySeeded(opts.Warmup, opts.Seed),
 		latNet:  stats.NewLatencySeeded(opts.Warmup, opts.Seed),
 		latFlow: stats.NewFlowLatency(opts.Warmup),
@@ -76,8 +84,61 @@ func New(cfg config.LOFT, pattern *traffic.Pattern, opts Options) (*Network, err
 		n.ni.setInjector(traffic.NewInjector(pattern, topo.NodeID(i), opts.Seed))
 	}
 	net.registerGauges()
+	net.bindAudit()
 	net.kernel.Add(net)
 	return net, nil
+}
+
+// bindAudit arms the runtime QoS auditor for this run: per-flow delay
+// bounds from the pattern, invariant taps on every reservation table
+// (injection, mesh output and ejection links), the cross-layer quantum
+// conservation check, input-buffer occupancy bounds, and the live heatmap.
+// No-op when auditing is disabled.
+func (net *Network) bindAudit() {
+	aud := net.audit
+	if aud == nil {
+		return
+	}
+	aud.BeginLOFT(net.cfg, net.mesh, net.pattern.Flows)
+	for _, n := range net.nodes {
+		for d := topo.North; d < topo.NumDirs; d++ {
+			if t := n.outTables[d]; t != nil {
+				aud.WatchTable(t, t.Name())
+			}
+		}
+		aud.WatchTable(n.injTable, n.injTable.Name())
+	}
+	aud.SetHeatmap(net.Heatmap)
+	// The flight recorder's quantum ledger must agree with the nodes' own
+	// counters: every booked quantum was counted by an NI and every ejected
+	// quantum by a sink, with nothing lost or duplicated in between.
+	aud.RegisterCheck("loft.quantum-conservation", func() error {
+		s := net.TotalStats()
+		booked, _, ejected := aud.RecorderCounts()
+		if booked != s.InjectedQuanta || ejected != s.EjectedQuanta {
+			return fmt.Errorf("recorder saw %d booked / %d ejected quanta, nodes count %d / %d",
+				booked, ejected, s.InjectedQuanta, s.EjectedQuanta)
+		}
+		return nil
+	})
+	// Input buffer occupancy: the credit protocol must keep every port
+	// within its configured capacity and never drive it negative.
+	aud.RegisterCheck("loft.input-buffers", func() error {
+		for _, n := range net.nodes {
+			for d := topo.North; d < topo.NumDirs; d++ {
+				ip := n.inputs[d]
+				if ip.nonspecUsed < 0 || ip.nonspecUsed > net.cfg.BufferQuanta() {
+					return fmt.Errorf("n%d.%s non-speculative occupancy %d outside [0,%d]",
+						n.id, d, ip.nonspecUsed, net.cfg.BufferQuanta())
+				}
+				if ip.specUsed < 0 || ip.specUsed > net.cfg.SpecQuanta() {
+					return fmt.Errorf("n%d.%s speculative occupancy %d outside [0,%d]",
+						n.id, d, ip.specUsed, net.cfg.SpecQuanta())
+				}
+			}
+		}
+		return nil
+	})
 }
 
 // registerGauges publishes the sampled time series of the probe layer:
@@ -205,10 +266,14 @@ func (net *Network) Tick(now uint64) {
 		n.Tick(now)
 	}
 	net.probe.MaybeSample(now)
+	net.audit.OnCycle(now)
 }
 
 // Probe returns the attached probe (nil when observability is disabled).
 func (net *Network) Probe() *probe.Probe { return net.probe }
+
+// Audit returns the attached auditor (nil when auditing is disabled).
+func (net *Network) Audit() *audit.Auditor { return net.audit }
 
 // Run advances the simulation n cycles.
 func (net *Network) Run(n uint64) {

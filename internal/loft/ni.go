@@ -144,6 +144,9 @@ func (ni *netIface) book(now uint64) {
 		if n.probe != nil {
 			n.probe.Emit(now, probe.KindLAIssue, int32(n.id), int32(topo.NumDirs), int32(fq.id), depart*uint64(n.cfg.QuantumFlits))
 		}
+		if n.audit != nil {
+			n.audit.LOFTBook(pq.q.ID, pq.q.PktSeq, int32(n.id), depart, now)
+		}
 		n.la.accept(flit.Lookahead{
 			Dst:        pq.q.Dst,
 			Flow:       pq.q.ID.Flow,
@@ -209,6 +212,9 @@ func (ni *netIface) forward(slot, now uint64) {
 	bestFlow.queue = bestFlow.queue[1:]
 	q := best.q
 	q.Injected = now
+	if n.audit != nil {
+		n.audit.LOFTInject(q.ID, q.Flits, int32(n.id), now)
+	}
 	n.niData.Write(dataMsg{Q: q, Spec: spec})
 }
 
@@ -261,6 +267,9 @@ func (s *sinkState) receive(q Quantum, spec bool, slot, departSlot, now uint64) 
 	n := s.n
 	n.stats.EjectedQuanta++
 	n.stats.EjectedFlits += uint64(q.Flits)
+	if n.audit != nil {
+		n.audit.LOFTEject(q.ID, q.Flits, int32(n.id), now)
+	}
 	// The quantum drains at link rate: its buffer slot frees next slot.
 	if spec {
 		s.n.pendSinkRet.Spec++
@@ -294,5 +303,8 @@ func (s *sinkState) receive(q Quantum, spec bool, slot, departSlot, now uint64) 
 		// link: the end of this slot.
 		done := (slot + 1) * uint64(n.cfg.QuantumFlits)
 		n.net.observePacket(q, prog.injected, done)
+		if n.audit != nil {
+			n.audit.LOFTPacketDone(q.ID.Flow, q.PktSeq, prog.injected, done)
+		}
 	}
 }

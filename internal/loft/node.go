@@ -3,6 +3,7 @@ package loft
 import (
 	"fmt"
 
+	"loft/internal/audit"
 	"loft/internal/buffers"
 	"loft/internal/config"
 	"loft/internal/flit"
@@ -115,6 +116,8 @@ type Node struct {
 
 	// probe aliases net.probe (nil when observability is disabled).
 	probe *probe.Probe
+	// audit aliases net.audit (nil when -audit is off).
+	audit *audit.Auditor
 
 	stats NodeStats
 }
@@ -130,7 +133,7 @@ func (r *rrState) dir(i int) topo.Dir { return topo.Dir((r.next + i) % int(topo.
 func (r *rrState) granted(d topo.Dir) { r.next = (int(d) + 1) % int(topo.NumDirs) }
 
 func newNode(id topo.NodeID, cfg config.LOFT, mesh topo.Mesh, net *Network) *Node {
-	n := &Node{id: id, cfg: cfg, mesh: mesh, net: net, probe: net.probe}
+	n := &Node{id: id, cfg: cfg, mesh: mesh, net: net, probe: net.probe, audit: net.audit}
 	params := lsf.Params{
 		SlotsPerFrame: cfg.SlotsPerFrame(),
 		Frames:        cfg.FrameWindow,
@@ -479,6 +482,9 @@ func (n *Node) forward(o, in topo.Dir, e *inEntry, slot, now uint64) {
 		n.credSpec[o].Consume()
 	} else {
 		n.credNonSpec[o].Consume()
+	}
+	if n.audit != nil {
+		n.audit.LOFTForward(e.q.ID, int32(n.id), int32(o), spec, now)
 	}
 	if o == topo.Local {
 		n.sink.receive(e.q, spec, slot, e.departSlot, now)

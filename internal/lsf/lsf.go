@@ -143,6 +143,12 @@ type Table struct {
 	probe        *probe.Probe
 	pNode, pLink int32
 	slotCycles   uint64
+
+	// aud receives bookkeeping mutations for the runtime invariant auditor
+	// (nil when auditing is disabled); fault arms a deliberate corruption
+	// for the auditor's own tests.
+	aud   AuditSink
+	fault Fault
 }
 
 // NewTable returns an empty table. It panics on invalid params (a
@@ -297,6 +303,9 @@ func (t *Table) Tick() {
 		if t.probe != nil {
 			t.emit(probe.KindFrameRecycle, -1, uint64(t.hf()))
 		}
+		if t.aud != nil {
+			t.aud.AuditRecycle(oldHF)
+		}
 	}
 }
 
@@ -373,6 +382,9 @@ func (t *Table) Request(f flit.FlowID, quantum uint64, minSlot uint64) (uint64, 
 					if t.probe != nil {
 						t.emit(probe.KindReserveGrant, int32(f), slot*t.slotCycles)
 					}
+					if t.aud != nil {
+						t.aud.AuditGrant(f, quantum, slot, st.ifr)
+					}
 					return slot, true
 				}
 			} else {
@@ -396,9 +408,14 @@ func (t *Table) Request(f flit.FlowID, quantum uint64, minSlot uint64) (uint64, 
 		}
 		// Advancing abandons the unused reservation: record it in the
 		// skipped counter of the frame being left (§4.2).
-		t.skipped[st.ifr] += st.c
+		if t.fault != FaultDropSkipped {
+			t.skipped[st.ifr] += st.c
+		}
 		if t.probe != nil {
 			t.emit(probe.KindFrameSkip, int32(f), uint64(st.c))
+		}
+		if t.aud != nil {
+			t.aud.AuditFrameAdvance(f, st.ifr, st.c)
 		}
 		st.c = minInt(st.r, st.c+st.r)
 		st.ifr = next
@@ -524,6 +541,12 @@ func (t *Table) ReturnCredit(tag uint64) {
 		}
 		from = int(tag - t.now)
 	}
+	if t.fault == FaultLeakCredit {
+		// Deliberate corruption (see Fault): count the return without
+		// crediting any slot.
+		t.finishReturn(from, tag)
+		return
+	}
 	start := t.cp + from
 	if start < t.wt {
 		for idx := start; idx < t.wt; idx++ {
@@ -579,6 +602,9 @@ func (t *Table) finishReturn(from int, tag uint64) {
 	t.version++
 	if t.probe != nil {
 		t.emit(probe.KindVCreditGrant, -1, tag*t.slotCycles)
+	}
+	if t.aud != nil {
+		t.aud.AuditReturn(tag)
 	}
 }
 
@@ -666,6 +692,9 @@ func (t *Table) Reset() {
 	t.stats.Resets++
 	if t.probe != nil {
 		t.emit(probe.KindLocalReset, -1, 0)
+	}
+	if t.aud != nil {
+		t.aud.AuditReset()
 	}
 }
 

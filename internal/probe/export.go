@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 )
 
 // jsonlEvent is the JSONL wire form of an Event.
@@ -17,11 +18,27 @@ type jsonlEvent struct {
 	Arg   uint64 `json:"arg"`
 }
 
+// jsonlMeta is the header line of a truncated JSONL dump. It has no "kind"
+// key, so line-oriented consumers filtering on "kind" skip it naturally.
+type jsonlMeta struct {
+	Meta    string `json:"meta"`
+	Dropped uint64 `json:"dropped"`
+	Note    string `json:"note"`
+}
+
 // WriteEventsJSONL writes one JSON object per line per event, in emission
-// order.
-func WriteEventsJSONL(w io.Writer, events []Event) error {
+// order. dropped is the tracer's overwritten-event count; when non-zero a
+// meta header line records that the dump is the retained tail, not the full
+// stream.
+func WriteEventsJSONL(w io.Writer, events []Event, dropped uint64) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
+	if dropped > 0 {
+		if err := enc.Encode(jsonlMeta{Meta: "probe", Dropped: dropped,
+			Note: "ring overwrote the oldest events; this dump is the retained tail"}); err != nil {
+			return err
+		}
+	}
 	for _, e := range events {
 		if err := enc.Encode(jsonlEvent{
 			Cycle: e.Cycle, Kind: e.Kind.String(),
@@ -71,11 +88,17 @@ type traceFile struct {
 // WriteChromeTrace writes events as thread-scoped instant events (pid =
 // node, tid = location) and series as counter tracks, producing a file
 // loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
-func WriteChromeTrace(w io.Writer, events []Event, series []Series) error {
+// dropped (the tracer's overwritten-event count) is recorded in otherData
+// so a truncated trace is distinguishable from a complete one.
+func WriteChromeTrace(w io.Writer, events []Event, series []Series, dropped uint64) error {
 	tf := traceFile{
 		TraceEvents:     make([]traceEvent, 0, len(events)+16),
 		DisplayTimeUnit: "ms",
-		OtherData:       map[string]any{"source": "loft probe layer", "time_unit": "1 ts = 1 cycle"},
+		OtherData: map[string]any{
+			"source":         "loft probe layer",
+			"time_unit":      "1 ts = 1 cycle",
+			"dropped_events": dropped,
+		},
 	}
 	for _, e := range events {
 		pid := e.Node
@@ -113,4 +136,49 @@ func WriteChromeTrace(w io.Writer, events []Event, series []Series) error {
 		return err
 	}
 	return bw.Flush()
+}
+
+// Format selects a probe exporter.
+type Format int
+
+const (
+	// FormatChromeTrace is Chrome trace_event JSON (Perfetto).
+	FormatChromeTrace Format = iota
+	// FormatJSONL is one JSON event per line.
+	FormatJSONL
+	// FormatCSV is the sampled time series in long form.
+	FormatCSV
+	// FormatPrometheus is the Prometheus text exposition format.
+	FormatPrometheus
+)
+
+// FormatForPath picks the exporter from a file extension: .jsonl → events,
+// .csv → time series, .prom → Prometheus text, anything else → Chrome
+// trace. Both CLIs dispatch -probe-out through this.
+func FormatForPath(path string) Format {
+	switch {
+	case strings.HasSuffix(path, ".jsonl"):
+		return FormatJSONL
+	case strings.HasSuffix(path, ".csv"):
+		return FormatCSV
+	case strings.HasSuffix(path, ".prom"):
+		return FormatPrometheus
+	default:
+		return FormatChromeTrace
+	}
+}
+
+// Export writes the probe's data in the given format, propagating the
+// tracer's drop count to the exporters that record it.
+func Export(w io.Writer, p *Probe, f Format) error {
+	switch f {
+	case FormatJSONL:
+		return WriteEventsJSONL(w, p.Events(), p.Tracer().Dropped())
+	case FormatCSV:
+		return WriteSeriesCSV(w, p.Series())
+	case FormatPrometheus:
+		return WritePrometheus(w, p)
+	default:
+		return WriteChromeTrace(w, p.Events(), p.Series(), p.Tracer().Dropped())
+	}
 }

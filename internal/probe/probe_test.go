@@ -103,7 +103,7 @@ func TestWriteEventsJSONL(t *testing.T) {
 		{Cycle: 6, Kind: KindLocalReset, Node: 2, Loc: -1, Flow: -1},
 	}
 	var buf bytes.Buffer
-	if err := WriteEventsJSONL(&buf, events); err != nil {
+	if err := WriteEventsJSONL(&buf, events, 0); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -116,6 +116,28 @@ func TestWriteEventsJSONL(t *testing.T) {
 	}
 	if first["kind"] != "reserve-grant" || first["cycle"] != float64(5) {
 		t.Fatalf("line 0 = %v", first)
+	}
+}
+
+func TestWriteEventsJSONLDroppedHeader(t *testing.T) {
+	events := []Event{{Cycle: 9, Kind: KindSpecHit}}
+	var buf bytes.Buffer
+	if err := WriteEventsJSONL(&buf, events, 3); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want meta header + 1 event", len(lines))
+	}
+	var meta map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &meta); err != nil {
+		t.Fatalf("meta header not valid JSON: %v", err)
+	}
+	if meta["meta"] != "probe" || meta["dropped"] != float64(3) {
+		t.Fatalf("meta header = %v", meta)
+	}
+	if _, hasKind := meta["kind"]; hasKind {
+		t.Fatal("meta header must not carry a kind key (consumers filter on it)")
 	}
 }
 
@@ -138,7 +160,7 @@ func TestWriteChromeTraceValidJSON(t *testing.T) {
 	}
 	series := []Series{{Name: "link.u", Samples: []Sample{{Cycle: 2, Value: 0.75}}}}
 	var buf bytes.Buffer
-	if err := WriteChromeTrace(&buf, events, series); err != nil {
+	if err := WriteChromeTrace(&buf, events, series, 0); err != nil {
 		t.Fatal(err)
 	}
 	var parsed struct {
@@ -159,6 +181,59 @@ func TestWriteChromeTraceValidJSON(t *testing.T) {
 	}
 	if !kinds["spec-hit"] || !kinds["frame-recycle"] || !kinds["link.u"] {
 		t.Fatalf("missing expected tracks: %v", kinds)
+	}
+}
+
+// TestWriteChromeTraceCounterSeries pins the counter-track encoding: each
+// series sample must become a ph="C" event on pid 0 carrying args.value at
+// ts = cycle, and the drop count must land in otherData.
+func TestWriteChromeTraceCounterSeries(t *testing.T) {
+	series := []Series{
+		{Name: "buf.n0", Samples: []Sample{{Cycle: 10, Value: 2}, {Cycle: 20, Value: 5}}},
+		{Name: "link.u", Samples: []Sample{{Cycle: 10, Value: 0.5}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil, series, 7); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			PID   int32          `json:"pid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		OtherData map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != 3 {
+		t.Fatalf("got %d counter events, want 3", len(parsed.TraceEvents))
+	}
+	want := map[string][]Sample{"buf.n0": series[0].Samples, "link.u": series[1].Samples}
+	seen := map[string]int{}
+	for _, te := range parsed.TraceEvents {
+		if te.Phase != "C" {
+			t.Fatalf("series event phase = %q, want C", te.Phase)
+		}
+		if te.PID != 0 {
+			t.Fatalf("counter track pid = %d, want 0", te.PID)
+		}
+		samples, ok := want[te.Name]
+		if !ok {
+			t.Fatalf("unexpected track %q", te.Name)
+		}
+		s := samples[seen[te.Name]]
+		seen[te.Name]++
+		if te.TS != float64(s.Cycle) || te.Args["value"] != s.Value {
+			t.Fatalf("track %q point = ts %g value %v, want ts %d value %g",
+				te.Name, te.TS, te.Args["value"], s.Cycle, s.Value)
+		}
+	}
+	if parsed.OtherData["dropped_events"] != float64(7) {
+		t.Fatalf("otherData dropped_events = %v, want 7", parsed.OtherData["dropped_events"])
 	}
 }
 

@@ -1,0 +1,76 @@
+package probe
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// SanitizeMetricName maps an internal metric name (dotted, e.g.
+// "loft.link.n3.East") onto the Prometheus metric-name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*, replacing every invalid rune with '_'.
+func SanitizeMetricName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b[i] = '_'
+			}
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// WritePrometheus renders the probe's state in the Prometheus text
+// exposition format (0.0.4): the event tracer's per-kind counts and drop
+// count, the registry's counters (as "<name>_total" counters), and the
+// registry's gauges — rate-registered gauges read cumulative totals, so
+// they export as counters; plain gauges export as gauges, sampled live.
+//
+// Registry gauge functions read live simulator state: call this from the
+// simulation thread only (the introspection server publishes rendered
+// bytes rather than rendering in HTTP handlers). A nil probe writes a
+// single comment line.
+func WritePrometheus(w io.Writer, p *Probe) error {
+	bw := bufio.NewWriter(w)
+	if p == nil {
+		fmt.Fprintln(bw, "# probe disabled (run with -probe)")
+		return bw.Flush()
+	}
+	fmt.Fprintln(bw, "# HELP probe_events_total Traced scheduler/switch/frame events by kind (counts are exact even after ring wrap).")
+	fmt.Fprintln(bw, "# TYPE probe_events_total counter")
+	for k := Kind(0); k < numKinds; k++ {
+		fmt.Fprintf(bw, "probe_events_total{kind=%q} %d\n", k.String(), p.tracer.Count(k))
+	}
+	fmt.Fprintln(bw, "# HELP probe_events_dropped_total Oldest events overwritten by the fixed-size trace ring.")
+	fmt.Fprintln(bw, "# TYPE probe_events_dropped_total counter")
+	fmt.Fprintf(bw, "probe_events_dropped_total %d\n", p.tracer.Dropped())
+	if p.reg != nil {
+		for _, c := range p.reg.counters {
+			name := SanitizeMetricName(c.name) + "_total"
+			fmt.Fprintf(bw, "# HELP %s Probe registry counter %q.\n# TYPE %s counter\n%s %d\n",
+				name, c.name, name, name, c.c.Value())
+		}
+		for _, g := range p.reg.gauges {
+			name := SanitizeMetricName(g.name)
+			if g.rate {
+				// Rate gauges sample a cumulative quantity and report the
+				// per-cycle delta; the raw reading is the counter.
+				name += "_total"
+				fmt.Fprintf(bw, "# HELP %s Probe registry rate source %q (cumulative).\n# TYPE %s counter\n%s %g\n",
+					name, g.name, name, name, g.fn())
+			} else {
+				fmt.Fprintf(bw, "# HELP %s Probe registry gauge %q.\n# TYPE %s gauge\n%s %g\n",
+					name, g.name, name, name, g.fn())
+			}
+		}
+	}
+	return bw.Flush()
+}

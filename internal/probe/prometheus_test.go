@@ -1,0 +1,182 @@
+package probe
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"loft.link.n3.East":  "loft_link_n3_East",
+		"already_fine:sub":   "already_fine:sub",
+		"9starts.with.digit": "_starts_with_digit",
+		"":                   "_",
+		"a-b c%d":            "a_b_c_d",
+	}
+	for in, want := range cases {
+		if got := SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// validatePrometheus is a minimal exposition-format (0.0.4) checker: every
+// non-comment line is `name[{labels}] value`, every sample is preceded by
+// HELP and TYPE lines for its metric, and no metric name repeats a
+// HELP/TYPE block.
+func validatePrometheus(t *testing.T, text string) map[string]string {
+	t.Helper()
+	types := map[string]string{} // metric -> counter|gauge
+	helped := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("blank line in exposition output")
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			f := strings.SplitN(line[len("# HELP "):], " ", 2)
+			if len(f) != 2 || f[1] == "" {
+				t.Fatalf("malformed HELP line %q", line)
+			}
+			if helped[f[0]] {
+				t.Fatalf("duplicate HELP for %q", f[0])
+			}
+			helped[f[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line[len("# TYPE "):])
+			if len(f) != 2 || (f[1] != "counter" && f[1] != "gauge") {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if _, dup := types[f[0]]; dup {
+				t.Fatalf("duplicate TYPE for %q", f[0])
+			}
+			types[f[0]] = f[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // plain comment
+		}
+		// Sample line: name or name{labels}, then a value.
+		name := line
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			name = line[:i]
+			if !strings.Contains(line, "} ") {
+				t.Fatalf("malformed labeled sample %q", line)
+			}
+		} else if i := strings.IndexByte(line, ' '); i >= 0 {
+			name = line[:i]
+		} else {
+			t.Fatalf("sample line %q has no value", line)
+		}
+		if types[name] == "" {
+			t.Fatalf("sample %q has no preceding TYPE", name)
+		}
+		if !helped[name] {
+			t.Fatalf("sample %q has no preceding HELP", name)
+		}
+		for i, c := range []byte(name) {
+			valid := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+				(i > 0 && c >= '0' && c <= '9')
+			if !valid {
+				t.Fatalf("invalid metric name %q", name)
+			}
+		}
+	}
+	return types
+}
+
+func TestWritePrometheus(t *testing.T) {
+	p := New(Config{EventCap: 4, SampleEvery: 1})
+	p.Registry().Counter("loft.table.n0.skips").Add(3)
+	p.Registry().Gauge("loft.buf.n1.occ", func() float64 { return 2.5 })
+	p.Registry().Rate("loft.link.n0.East", func() float64 { return 640 })
+	for i := 0; i < 6; i++ { // 4-cap ring: 2 drops
+		p.Emit(uint64(i), KindReserveGrant, 0, 0, 1, 0)
+	}
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	types := validatePrometheus(t, out)
+
+	wantTypes := map[string]string{
+		"probe_events_total":         "counter",
+		"probe_events_dropped_total": "counter",
+		"loft_table_n0_skips_total":  "counter",
+		"loft_buf_n1_occ":            "gauge",
+		"loft_link_n0_East_total":    "counter", // rate source exports cumulative
+	}
+	for name, typ := range wantTypes {
+		if types[name] != typ {
+			t.Errorf("metric %s: type %q, want %q", name, types[name], typ)
+		}
+	}
+	wantLines := []string{
+		`probe_events_total{kind="reserve-grant"} 6`,
+		"probe_events_dropped_total 2",
+		"loft_table_n0_skips_total 3",
+		"loft_buf_n1_occ 2.5",
+		"loft_link_n0_East_total 640",
+	}
+	for _, l := range wantLines {
+		if !strings.Contains(out, l+"\n") {
+			t.Errorf("output missing line %q", l)
+		}
+	}
+	// Every kind must be present as a labeled sample, fired or not.
+	for k := Kind(0); int(k) < NumKinds(); k++ {
+		if !strings.Contains(out, fmt.Sprintf("probe_events_total{kind=%q}", k.String())) {
+			t.Errorf("missing per-kind sample for %s", k)
+		}
+	}
+}
+
+func TestWritePrometheusNilProbe(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "#") {
+		t.Fatalf("nil probe output %q is not a comment", buf.String())
+	}
+}
+
+func TestFormatForPath(t *testing.T) {
+	cases := map[string]Format{
+		"x.jsonl":    FormatJSONL,
+		"x.csv":      FormatCSV,
+		"x.prom":     FormatPrometheus,
+		"x.json":     FormatChromeTrace,
+		"trace":      FormatChromeTrace,
+		"a.b/c.prom": FormatPrometheus,
+	}
+	for path, want := range cases {
+		if got := FormatForPath(path); got != want {
+			t.Errorf("FormatForPath(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestExportDispatch(t *testing.T) {
+	p := New(Config{EventCap: 8, SampleEvery: 1})
+	p.Emit(1, KindSpecHit, 0, 0, 0, 0)
+	p.MaybeSample(1)
+	for f, sniff := range map[Format]string{
+		FormatJSONL:       `"kind":"spec-hit"`,
+		FormatCSV:         "series,cycle,value",
+		FormatPrometheus:  "# TYPE probe_events_total counter",
+		FormatChromeTrace: `"traceEvents"`,
+	} {
+		var buf bytes.Buffer
+		if err := Export(&buf, p, f); err != nil {
+			t.Fatalf("Export(%v): %v", f, err)
+		}
+		if !strings.Contains(buf.String(), sniff) {
+			t.Errorf("Export(%v) output missing %q", f, sniff)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Histogram is a fixed-size power-of-two-bucketed histogram of uint64
+// samples (cycle latencies). Bucket i holds the values whose bit length is
+// i, i.e. [2^(i-1), 2^i - 1] for i ≥ 1 and the single value 0 for i = 0, so
+// observation is O(1), allocation-free, and the full dynamic range of a
+// latency is covered with 65 counters. The zero value is ready to use.
+type Histogram struct {
+	buckets [65]uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bits.Len64(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Max returns the largest sample observed (0 when empty).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the arithmetic mean of the samples (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// HistBucket is one non-empty histogram bucket covering [Lo, Hi].
+type HistBucket struct {
+	Lo, Hi uint64
+	Count  uint64
+}
+
+// Buckets returns the non-empty buckets in increasing order.
+func (h *Histogram) Buckets() []HistBucket {
+	var out []HistBucket
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		b := HistBucket{Count: c}
+		if i > 0 {
+			b.Lo = uint64(1) << (i - 1)
+			b.Hi = b.Lo<<1 - 1
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// String renders the non-empty buckets as a compact one-line summary.
+func (h *Histogram) String() string {
+	s := ""
+	for _, b := range h.Buckets() {
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("[%d,%d]:%d", b.Lo, b.Hi, b.Count)
+	}
+	if s == "" {
+		return "(empty)"
+	}
+	return s
+}

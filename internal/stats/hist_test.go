@@ -1,0 +1,50 @@
+package stats
+
+import "testing"
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 4, 100, 100, 1 << 40} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d, want 8", h.Count())
+	}
+	if h.Max() != 1<<40 {
+		t.Fatalf("max = %d, want %d", h.Max(), uint64(1)<<40)
+	}
+	want := []HistBucket{
+		{0, 0, 1},    // 0
+		{1, 1, 1},    // 1
+		{2, 3, 2},    // 2, 3
+		{4, 7, 1},    // 4
+		{64, 127, 2}, // 100 ×2
+		{1 << 40, 1<<41 - 1, 1},
+	}
+	got := h.Buckets()
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	wantMean := float64(0+1+2+3+4+100+100+(1<<40)) / 8
+	if h.Mean() != wantMean {
+		t.Errorf("mean = %g, want %g", h.Mean(), wantMean)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not zero-valued")
+	}
+	if got := h.Buckets(); got != nil {
+		t.Fatalf("empty buckets = %v", got)
+	}
+	if h.String() != "(empty)" {
+		t.Fatalf("empty string = %q", h.String())
+	}
+}

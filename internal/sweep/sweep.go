@@ -31,6 +31,21 @@ func Workers(j int) int {
 	return j
 }
 
+// Option configures a Run call.
+type Option func(*options)
+
+type options struct {
+	progress func(done, total int)
+}
+
+// WithProgress registers fn to be invoked after every job finishes (whether
+// it succeeded or failed) with the count of finished jobs so far and the
+// total. On parallel runs fn is called from worker goroutines, possibly
+// concurrently, so it must be safe for concurrent use.
+func WithProgress(fn func(done, total int)) Option {
+	return func(o *options) { o.progress = fn }
+}
+
 // Run executes n independent jobs on a pool of Workers(workers) goroutines
 // and returns their results in index order. fn must be safe for concurrent
 // invocation with distinct indices and must not share mutable state between
@@ -45,9 +60,19 @@ func Workers(j int) int {
 //
 // With one worker — or one job — Run degenerates to a plain sequential
 // loop on the calling goroutine, preserving exact call order.
-func Run[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+func Run[T any](workers, n int, fn func(i int) (T, error), opts ...Option) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
+	}
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var done atomic.Int64
+	finished := func() {
+		if o.progress != nil {
+			o.progress(int(done.Add(1)), n)
+		}
 	}
 	w := Workers(workers)
 	if w > n {
@@ -57,6 +82,7 @@ func Run[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	if w == 1 {
 		for i := 0; i < n; i++ {
 			r, err := call(i, fn)
+			finished()
 			if err != nil {
 				return nil, err
 			}
@@ -77,6 +103,7 @@ func Run[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 					return
 				}
 				r, err := call(i, fn)
+				finished()
 				if err != nil {
 					errs[i] = err
 					continue

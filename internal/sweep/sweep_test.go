@@ -146,3 +146,46 @@ func TestRunErrorIsTheJobsError(t *testing.T) {
 		t.Fatalf("err = %v, want sentinel", err)
 	}
 }
+
+func TestRunWithProgress(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var calls atomic.Int64
+		var maxDone atomic.Int64
+		_, err := Run(workers, 9, func(i int) (int, error) {
+			return i, nil
+		}, WithProgress(func(done, total int) {
+			calls.Add(1)
+			if total != 9 {
+				t.Errorf("total = %d, want 9", total)
+			}
+			if d := int64(done); d > maxDone.Load() {
+				maxDone.Store(d)
+			}
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if calls.Load() != 9 || maxDone.Load() != 9 {
+			t.Fatalf("workers=%d: %d progress calls, max done %d, want 9/9",
+				workers, calls.Load(), maxDone.Load())
+		}
+	}
+}
+
+func TestRunProgressCountsFailedJobs(t *testing.T) {
+	var calls atomic.Int64
+	_, err := Run(1, 3, func(i int) (int, error) {
+		if i == 1 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	}, WithProgress(func(done, total int) { calls.Add(1) }))
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	// Sequential path stops at the failure, but the failing job itself
+	// must still have been counted.
+	if calls.Load() != 2 {
+		t.Fatalf("%d progress calls, want 2 (job 0 + failing job 1)", calls.Load())
+	}
+}

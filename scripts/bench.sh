@@ -6,14 +6,14 @@
 # ns/op for benchmarks without one.
 #
 # Usage: scripts/bench.sh [output.json]
-#   BENCH=<regex>     benchmarks to run  (default: SimulatorSpeed|ProbeOverhead)
+#   BENCH=<regex>     benchmarks to run  (default: SimulatorSpeed|ProbeOverhead|AuditOverhead)
 #   BENCHTIME=<n>x    iterations per benchmark (default: 10x)
 #   COUNT=<n>         repetitions; the minimum is recorded (default: 3)
 set -eu
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_$(date +%Y-%m).json}"
-bench="${BENCH:-BenchmarkSimulatorSpeed|BenchmarkProbeOverhead}"
+bench="${BENCH:-BenchmarkSimulatorSpeed|BenchmarkProbeOverhead|BenchmarkAuditOverhead}"
 benchtime="${BENCHTIME:-10x}"
 count="${COUNT:-3}"
 
