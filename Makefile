@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-sweep vet fmt check audit-smoke bench bench-save bench-check bench-probe
+.PHONY: build test race race-sweep vet fmt lint check audit-smoke bench bench-save bench-check bench-probe
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,12 @@ race-sweep:
 vet:
 	$(GO) vet ./...
 
+# The repo's own analyzers (cmd/loftcheck): determinism, hookguard, hotpath,
+# lockdiscipline. -strict also rejects //lint:ignore suppressions, so the
+# simulation packages stay at zero diagnostics AND zero suppressions.
+lint:
+	$(GO) run ./cmd/loftcheck -strict ./...
+
 fmt:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
@@ -32,12 +38,15 @@ fmt:
 
 # A short audited simulation under the race detector: the runtime QoS
 # auditor checks every scheduler invariant and delay bound and the command
-# exits non-zero on any violation.
+# exits non-zero on any violation. Both architectures run so the GSF-side
+# conformance hooks stay covered too.
 audit-smoke:
 	$(GO) run -race ./cmd/loftsim -arch loft -pattern case1 -rate 0.6 \
 		-warmup 500 -cycles 2000 -audit
+	$(GO) run -race ./cmd/loftsim -arch gsf -pattern case1 -rate 0.6 \
+		-warmup 500 -cycles 2000 -audit
 
-check: build vet fmt test race-sweep race audit-smoke
+check: build vet fmt lint test race-sweep race audit-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem

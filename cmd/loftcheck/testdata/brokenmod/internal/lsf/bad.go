@@ -1,0 +1,10 @@
+// Package lsf reproduces the exact regression the determinism analyzer
+// exists to stop: a wall-clock read inside the scheduler package.
+package lsf
+
+import "time"
+
+// Stamp leaks wall-clock time into what would be simulation state.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

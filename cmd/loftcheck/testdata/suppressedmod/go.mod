@@ -1,0 +1,3 @@
+module loft
+
+go 1.22

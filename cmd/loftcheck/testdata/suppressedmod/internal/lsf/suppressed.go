@@ -1,0 +1,11 @@
+// Package lsf carries one justified suppression: clean under the default
+// gate, rejected under -strict.
+package lsf
+
+import "time"
+
+// Stamp is suppressed with a recorded rationale.
+func Stamp() int64 {
+	//lint:ignore determinism timestamp labels an operator log line, never results
+	return time.Now().UnixNano()
+}

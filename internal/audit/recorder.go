@@ -6,6 +6,7 @@ import (
 
 	"loft/internal/analysis"
 	"loft/internal/config"
+	"loft/internal/det"
 	"loft/internal/flit"
 	"loft/internal/stats"
 	"loft/internal/topo"
@@ -350,7 +351,8 @@ func (a *Auditor) Snapshot() Snapshot {
 		GrantChecks:     a.grantChecks,
 		ViolationLog:    a.violations,
 	}
-	for id, fc := range a.rec.flows {
+	for _, id := range det.Keys(a.rec.flows) {
+		fc := a.rec.flows[id]
 		f := FlowConformance{
 			Flow: int32(id), Src: int32(fc.src), Dst: int32(fc.dst),
 			Hops: fc.hops, Bound: fc.bound,

@@ -27,16 +27,19 @@ type Server struct {
 	srv  *http.Server
 	done chan struct{}
 
+	// mu guards the published copy below; the HTTP handlers and the
+	// simulation thread race on it (lockdiscipline enforces the
+	// annotations at build time).
 	mu        sync.Mutex
-	title     string
-	metrics   []byte
-	auditJSON []byte
-	cycle     uint64
-	total     uint64
-	heatmap   string
-	summary   []string
-	jobsDone  int
-	jobsTotal int
+	title     string   //loft:guardedby mu
+	metrics   []byte   //loft:guardedby mu
+	auditJSON []byte   //loft:guardedby mu
+	cycle     uint64   //loft:guardedby mu
+	total     uint64   //loft:guardedby mu
+	heatmap   string   //loft:guardedby mu
+	summary   []string //loft:guardedby mu
+	jobsDone  int      //loft:guardedby mu
+	jobsTotal int      //loft:guardedby mu
 }
 
 // NewServer starts an introspection server on addr (":0" picks a free

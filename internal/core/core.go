@@ -99,9 +99,13 @@ func RunLOFT(cfg config.LOFT, p *traffic.Pattern, spec RunSpec) (Result, *loft.N
 	if err != nil {
 		return Result{}, nil, err
 	}
-	spec.Audit.StartRun(spec.Total())
+	if spec.Audit != nil {
+		spec.Audit.StartRun(spec.Total())
+	}
 	net.Run(spec.Total())
-	spec.Audit.FinishRun(net.Now())
+	if spec.Audit != nil {
+		spec.Audit.FinishRun(net.Now())
+	}
 	res := summarize(ArchLOFT, net.Latency(), net.NetLatency(), net.FlowLatency(), net.Throughput(), p.Flows, p.Mesh.N())
 	s := net.TotalStats()
 	res.SpecForward = s.SpecForwards
@@ -118,9 +122,13 @@ func RunGSF(cfg config.GSF, p *traffic.Pattern, baseFrameFlits int, spec RunSpec
 	if err != nil {
 		return Result{}, nil, err
 	}
-	spec.Audit.StartRun(spec.Total())
+	if spec.Audit != nil {
+		spec.Audit.StartRun(spec.Total())
+	}
 	net.Run(spec.Total())
-	spec.Audit.FinishRun(net.Now())
+	if spec.Audit != nil {
+		spec.Audit.FinishRun(net.Now())
+	}
 	res := summarize(ArchGSF, net.Latency(), net.NetLatency(), net.FlowLatency(), net.Throughput(), p.Flows, p.Mesh.N())
 	res.Drops = net.Drops()
 	return res, net, nil

@@ -1,0 +1,37 @@
+// Package det provides deterministic iteration over Go maps.
+//
+// Go randomizes map iteration order per run, so any map range whose body
+// order reaches simulation state, output bytes, or returned values breaks
+// the repo's byte-identity contracts (parallel sweep ≡ sequential run,
+// probe/audit exports stable across reruns). The determinism analyzer in
+// internal/lint flags such ranges in simulation packages; the fix is to
+// iterate over det.Keys (or det.KeysFunc for non-ordered key types), which
+// materializes the key set and sorts it. This package is the single blessed
+// place where a raw map range is allowed to feed an ordered result.
+package det
+
+import (
+	"cmp"
+	"sort"
+)
+
+// Keys returns m's keys sorted ascending.
+func Keys[K cmp.Ordered, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// KeysFunc returns m's keys sorted by less, for key types without a total
+// order of their own (structs like topo.Link).
+func KeysFunc[K comparable, V any](m map[K]V, less func(a, b K) bool) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}

@@ -380,7 +380,9 @@ func (n *node) inject(now uint64) {
 				n.net.throttleCycles.Inc()
 				if !fs.throttled {
 					fs.throttled = true
-					n.net.probe.Emit(now, probe.KindGSFThrottle, int32(n.id), -1, int32(fs.id), uint64(h))
+					if n.net.probe != nil {
+						n.net.probe.Emit(now, probe.KindGSFThrottle, int32(n.id), -1, int32(fs.id), uint64(h))
+					}
 				}
 				return
 			}

@@ -5,6 +5,7 @@ import (
 
 	"loft/internal/audit"
 	"loft/internal/config"
+	"loft/internal/det"
 	"loft/internal/probe"
 	"loft/internal/sim"
 	"loft/internal/stats"
@@ -118,7 +119,8 @@ func (net *Network) bindAudit() {
 	aud.BeginGSF(net.cfg, net.mesh, net.pattern.Flows)
 	aud.SetHeatmap(net.Heatmap)
 	aud.RegisterCheck("gsf.frame-count", func() error {
-		for frame, c := range net.frameCount {
+		for _, frame := range det.Keys(net.frameCount) {
+			c := net.frameCount[frame]
 			if c < 0 {
 				return fmt.Errorf("frame %d flit census is negative (%d)", frame, c)
 			}
@@ -177,6 +179,8 @@ func (net *Network) wire() {
 }
 
 // Tick advances every node and the barrier controller (sim.Ticker).
+//
+//loft:hotpath
 func (net *Network) Tick(now uint64) {
 	for i, n := range net.nodes {
 		for _, pkt := range net.injectors[i].Next(now) {
@@ -185,8 +189,12 @@ func (net *Network) Tick(now uint64) {
 		n.tick(now)
 	}
 	net.tickBarrier(now)
-	net.probe.MaybeSample(now)
-	net.audit.OnCycle(now)
+	if net.probe != nil {
+		net.probe.MaybeSample(now)
+	}
+	if net.audit != nil {
+		net.audit.OnCycle(now)
+	}
 }
 
 // tickBarrier models the global barrier network: once no head-frame flit
@@ -201,7 +209,9 @@ func (net *Network) tickBarrier(now uint64) {
 		if net.barrier == 0 {
 			delete(net.frameCount, net.head)
 			net.head++
-			net.probe.Emit(now, probe.KindGSFFrameRoll, -1, -1, -1, uint64(net.head))
+			if net.probe != nil {
+				net.probe.Emit(now, probe.KindGSFFrameRoll, -1, -1, -1, uint64(net.head))
+			}
 		}
 		return
 	}

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// All returns every loftcheck analyzer in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism(),
+		HookGuard(),
+		HotPath(),
+		LockDiscipline(),
+	}
+}
+
+// ByName returns the named analyzers, or nil with the unknown name when one
+// does not exist.
+func ByName(names []string) ([]*Analyzer, string) {
+	var out []*Analyzer
+	for _, n := range names {
+		found := false
+		for _, a := range All() {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, n
+		}
+	}
+	return out, ""
+}
+
+// simulationPackages are the packages whose execution must be bit-exact
+// across reruns and worker counts: the cycle kernels, schedulers, traffic
+// generators and the experiment/sweep drivers above them.
+var simulationPackages = []string{
+	"loft/internal/lsf",
+	"loft/internal/loft",
+	"loft/internal/gsf",
+	"loft/internal/sim",
+	"loft/internal/sweep",
+	"loft/internal/exp",
+	"loft/internal/traffic",
+	"loft/internal/tdm",
+	"loft/internal/core",
+}
+
+// observabilityPackages additionally feed exported artifacts (JSONL/CSV
+// traces, Prometheus text, audit snapshots, heatmaps) that goldens and
+// baseline diffs compare byte-for-byte, so their iteration order matters
+// just as much.
+var observabilityPackages = []string{
+	"loft/internal/probe",
+	"loft/internal/audit",
+	"loft/internal/stats",
+	"loft/internal/topo",
+}
+
+func matchPaths(lists ...[]string) func(string) bool {
+	set := make(map[string]bool)
+	for _, l := range lists {
+		for _, p := range l {
+			set[p] = true
+		}
+	}
+	return func(path string) bool { return set[path] }
+}
+
+// --- shared AST/type helpers ---
+
+// funcMarker reports whether decl's doc comment carries the given
+// //loft:... marker on a line of its own.
+func funcMarker(decl *ast.FuncDecl, marker string) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.TrimSpace(c.Text) == marker {
+			return true
+		}
+	}
+	return false
+}
+
+// usedFunc resolves an identifier to the function object it uses, if any.
+func usedFunc(info *types.Info, id *ast.Ident) *types.Func {
+	if obj, ok := info.Uses[id]; ok {
+		if fn, ok := obj.(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// calleeFunc resolves a call expression to its static callee: a package
+// function, or a method on a concrete (non-interface) receiver. Interface
+// dispatch and indirect calls through function values return nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return usedFunc(info, fun)
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			if types.IsInterface(sel.Recv()) {
+				return nil
+			}
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Qualified identifier (pkg.Func).
+		return usedFunc(info, fun.Sel)
+	}
+	return nil
+}
+
+// namedRecv resolves the static receiver type of a method call to its
+// defining package path and type name (pointers dereferenced), or ok=false
+// for non-named receivers.
+func namedRecv(t types.Type) (pkgPath, name string, ok bool) {
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return "", "", false
+	}
+	return named.Obj().Pkg().Path(), named.Obj().Name(), true
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// pkgFuncPath returns the import path and name of the package-level
+// function (or method) a call resolves to, or "" when unresolvable.
+func pkgFuncPath(info *types.Info, call *ast.CallExpr) (path, name string) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", ""
+	}
+	return fn.Pkg().Path(), fn.Name()
+}
+
+// terminates reports whether a statement list unconditionally transfers
+// control out of the enclosing block (return, panic, continue, break,
+// goto): the guard `if x == nil { return }` dominates everything after it.
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch s := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(s.List)
+	}
+	return false
+}

@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism returns the analyzer enforcing the byte-identity contract of
+// the simulation and observability packages: results and exported artifacts
+// must be functions of (config, seed) alone. It flags
+//
+//   - wall-clock reads (time.Now/Since/Until): cycle counts and seeded RNGs
+//     are the only clocks a simulator may consult;
+//   - the global math/rand generators (rand.Intn, rand.Float64, ...): their
+//     stream is shared process-wide, so concurrent sweep jobs interleave
+//     draws nondeterministically — every RNG must be a per-run seeded
+//     instance (internal/sim.RNG);
+//   - ranges over maps whose iteration order can escape the loop: a body
+//     that appends to an outer slice, sends on a channel, emits output, or
+//     returns a value derived from the iteration sees Go's randomized map
+//     order. Iterate det.Keys(m) (internal/det) instead.
+func Determinism() *Analyzer {
+	return &Analyzer{
+		Name:  "determinism",
+		Doc:   "forbid wall clocks, global RNGs, and order-dependent map iteration in simulation packages",
+		Match: matchPaths(simulationPackages, observabilityPackages),
+		Run:   determinismRun,
+	}
+}
+
+// randConstructors are the math/rand top-level functions that build local
+// generators rather than drawing from the shared global source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func determinismRun(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				checkForbiddenFunc(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+func checkForbiddenFunc(pass *Pass, id *ast.Ident) {
+	fn := usedFunc(pass.Info, id)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn) are fine: the receiver owns its stream
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(id.Pos(), "call to time.%s in a simulation package: results must depend on (config, seed) only; use cycle counts", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			pass.Reportf(id.Pos(), "use of global %s.%s: the process-wide stream breaks sweep determinism; draw from a per-run seeded RNG (internal/sim.RNG)", fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags order-dependent map iteration. The loop body is
+// order-dependent when iteration order can escape the loop: an append to
+// state declared outside the loop, a channel send, an output call, or a
+// return whose value derives from the iteration.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+
+	// tainted holds objects whose value is (or may be) iteration-order
+	// dependent: the range key/value plus every variable declared inside
+	// the body.
+	tainted := make(map[types.Object]bool)
+	addDef := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				tainted[obj] = true
+			}
+		}
+	}
+	addDef(rng.Key)
+	addDef(rng.Value)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				tainted[obj] = true
+			}
+		}
+		return true
+	})
+
+	keyObj := rangeVarObj(pass.Info, rng.Key)
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside map iteration: delivery order follows Go's randomized map order; iterate det.Keys instead")
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if refsTainted(pass.Info, res, tainted) {
+					pass.Reportf(n.Pos(), "return value depends on which map entry is visited first; iterate det.Keys instead")
+					break
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltin(pass.Info, n, "append") {
+				if dest := appendDest(n); dest != nil && escapesLoop(pass.Info, dest, tainted, keyObj) {
+					pass.Reportf(n.Pos(), "append inside map iteration builds a slice in randomized map order; iterate det.Keys instead")
+				}
+				return true
+			}
+			if path, name := pkgFuncPath(pass.Info, n); path == "fmt" && outputFmtFuncs[name] {
+				pass.Reportf(n.Pos(), "output written inside map iteration follows Go's randomized map order; iterate det.Keys instead")
+			}
+			if isBuiltin(pass.Info, n, "print") || isBuiltin(pass.Info, n, "println") {
+				pass.Reportf(n.Pos(), "output written inside map iteration follows Go's randomized map order; iterate det.Keys instead")
+			}
+		}
+		return true
+	})
+}
+
+// outputFmtFuncs are the fmt functions that write bytes somewhere (as
+// opposed to Sprintf-style formatting into a value).
+var outputFmtFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func rangeVarObj(info *types.Info, e ast.Expr) types.Object {
+	if id, ok := e.(*ast.Ident); ok {
+		return info.Defs[id]
+	}
+	return nil
+}
+
+// appendDest returns the expression receiving the append (its first
+// argument).
+func appendDest(call *ast.CallExpr) ast.Expr {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	return ast.Unparen(call.Args[0])
+}
+
+// escapesLoop reports whether an append destination outlives the loop body
+// in iteration order. Appending to a variable declared inside the body is
+// fine (rebuilt per entry); so is appending to a map entry indexed by the
+// range key (each entry lands in its own slot regardless of visit order).
+func escapesLoop(info *types.Info, dest ast.Expr, tainted map[types.Object]bool, keyObj types.Object) bool {
+	switch d := dest.(type) {
+	case *ast.Ident:
+		obj := info.Uses[d]
+		if obj == nil {
+			obj = info.Defs[d]
+		}
+		return obj == nil || !tainted[obj]
+	case *ast.IndexExpr:
+		if keyObj != nil && refsObject(info, d.Index, keyObj) {
+			return false
+		}
+		return true
+	default:
+		// Selector, deref, ...: state outside the loop.
+		return true
+	}
+}
+
+func refsTainted(info *types.Info, e ast.Expr, tainted map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && tainted[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func refsObject(info *types.Info, e ast.Expr, want types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == want {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPath returns the analyzer keeping per-cycle code allocation- and
+// formatting-free. Functions whose doc comment carries //loft:hotpath are the
+// cycle entry points (Tick, Step, schedule/grant paths); the analyzer closes
+// over the static per-package call graph from those seeds and flags, in every
+// reachable function:
+//
+//   - calls into fmt (Sprintf, Errorf, ...): each formats through reflection
+//     and allocates, at millions of calls per sweep;
+//   - calls into log (and methods on *log.Logger): hot loops must not write
+//     logs — emit a probe event or fail via the audit layer instead;
+//   - fresh slices grown per call (`var s []T` + append): the growth
+//     reallocates every invocation — keep a scratch buffer on the receiver.
+//
+// A //loft:coldpath marker stops propagation: rare branches (fault
+// formatting, debug dumps) hang their expensive work off a coldpath helper.
+// Arguments of panic(...) are exempt — a panicking simulator is allowed to
+// spend allocations on its last words.
+func HotPath() *Analyzer {
+	return &Analyzer{
+		Name:  "hotpath",
+		Doc:   "no fmt/log/per-call allocation in functions reachable from //loft:hotpath entry points",
+		Match: matchPaths(simulationPackages),
+		Run:   hotpathRun,
+	}
+}
+
+func hotpathRun(pass *Pass) {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	cold := make(map[*types.Func]bool)
+	var seeds []*types.Func
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			decls[obj] = fd
+			if funcMarker(fd, "//loft:coldpath") {
+				cold[obj] = true
+				continue
+			}
+			if funcMarker(fd, "//loft:hotpath") {
+				seeds = append(seeds, obj)
+			}
+		}
+	}
+	if len(seeds) == 0 {
+		return
+	}
+
+	// Close over the static per-package call graph. root[f] records which
+	// //loft:hotpath seed makes f hot, for the diagnostic message. Interface
+	// dispatch and calls through function values are not followed (calleeFunc
+	// returns nil for them); cross-package callees are out of scope — each
+	// package declares its own hot entry points.
+	root := make(map[*types.Func]*types.Func)
+	queue := append([]*types.Func(nil), seeds...)
+	for _, s := range seeds {
+		root[s] = s
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		ast.Inspect(decls[fn].Body, func(n ast.Node) bool {
+			if _, isLit := n.(*ast.FuncLit); isLit {
+				return false // closures run on their own schedule
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass.Info, call)
+			if callee == nil || callee.Pkg() != pass.Pkg || cold[callee] {
+				return true
+			}
+			if _, declared := decls[callee]; !declared {
+				return true
+			}
+			if _, seen := root[callee]; !seen {
+				root[callee] = root[fn]
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+
+	for fn, seed := range root {
+		checkHotFunc(pass, decls[fn], seed)
+	}
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl, seed *types.Func) {
+	panicArgs := panicArgRanges(pass, fd.Body)
+	inPanic := func(pos token.Pos) bool {
+		for _, r := range panicArgs {
+			if r[0] <= pos && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Function-local slices that start empty; flagged if grown via append.
+	emptyDecls := make(map[types.Object]token.Pos)
+	grown := make(map[types.Object]bool)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					recordEmptySlice(pass, name, emptyDecls)
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || !emptySliceExpr(pass, n.Rhs[i]) {
+					continue
+				}
+				recordEmptySlice(pass, id, emptyDecls)
+			}
+		case *ast.CallExpr:
+			if isBuiltin(pass.Info, n, "append") {
+				if id, ok := ast.Unparen(appendDest(n)).(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil {
+						grown[obj] = true
+					}
+				}
+				return true
+			}
+			if inPanic(n.Pos()) {
+				return true
+			}
+			path, name := pkgFuncPath(pass.Info, n)
+			switch {
+			case path == "fmt":
+				pass.Reportf(n.Pos(), "fmt.%s on a hot path (reachable from //loft:hotpath %s): formatting allocates per call; precompute, use a probe event, or move it behind a //loft:coldpath helper", name, seed.Name())
+			case path == "log":
+				pass.Reportf(n.Pos(), "log call on a hot path (reachable from //loft:hotpath %s): hot loops must not log; emit a probe event or audit fault instead", seed.Name())
+			}
+		}
+		return true
+	})
+
+	for obj, pos := range emptyDecls {
+		if grown[obj] {
+			pass.Reportf(pos, "slice %s starts empty and grows per call on a hot path (reachable from //loft:hotpath %s): reuse a scratch buffer on the receiver", obj.Name(), seed.Name())
+		}
+	}
+}
+
+// recordEmptySlice notes name as a function-local slice that starts empty.
+func recordEmptySlice(pass *Pass, name *ast.Ident, out map[types.Object]token.Pos) {
+	obj := pass.Info.Defs[name]
+	if obj == nil {
+		return
+	}
+	if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+		out[obj] = name.Pos()
+	}
+}
+
+// emptySliceExpr reports whether e constructs an empty slice: `[]T{}` or
+// `make([]T, 0[, cap])`.
+func emptySliceExpr(pass *Pass, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		tv, ok := pass.Info.Types[e]
+		if !ok {
+			return false
+		}
+		_, isSlice := tv.Type.Underlying().(*types.Slice)
+		return isSlice && len(e.Elts) == 0
+	case *ast.CallExpr:
+		if !isBuiltin(pass.Info, e, "make") || len(e.Args) < 2 {
+			return false
+		}
+		tv, ok := pass.Info.Types[e]
+		if !ok {
+			return false
+		}
+		if _, isSlice := tv.Type.Underlying().(*types.Slice); !isSlice {
+			return false
+		}
+		lenTV, ok := pass.Info.Types[e.Args[1]]
+		return ok && lenTV.Value != nil && lenTV.Value.String() == "0"
+	}
+	return false
+}
+
+// panicArgRanges returns the source ranges of panic(...) argument lists;
+// formatting inside them is exempt.
+func panicArgRanges(pass *Pass, body *ast.BlockStmt) [][2]token.Pos {
+	var out [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltinPanic := pass.Info.Uses[id].(*types.Builtin); isBuiltinPanic {
+					out = append(out, [2]token.Pos{call.Lparen, call.Rparen + 1})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonDiagnostic is the machine-readable rendering of one diagnostic, the
+// schema behind `loftcheck -json`.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	// Suppressed carries the //lint:ignore reason when the finding was
+	// neutralized; absent for active diagnostics.
+	Suppressed string `json:"suppressed,omitempty"`
+}
+
+// jsonResult is the top-level `loftcheck -json` document.
+type jsonResult struct {
+	Packages    int              `json:"packages"`
+	Diagnostics []jsonDiagnostic `json:"diagnostics"`
+	Suppressed  []jsonDiagnostic `json:"suppressed,omitempty"`
+	Clean       bool             `json:"clean"`
+}
+
+func toJSONDiag(d Diagnostic) jsonDiagnostic {
+	return jsonDiagnostic{
+		Analyzer:   d.Analyzer,
+		File:       d.Pos.Filename,
+		Line:       d.Pos.Line,
+		Col:        d.Pos.Column,
+		Message:    d.Message,
+		Suppressed: d.SuppressedBy,
+	}
+}
+
+// WriteJSON renders a result as one indented JSON document. Diagnostics is
+// always an array (never null) so consumers can index it unconditionally.
+func WriteJSON(w io.Writer, r Result) error {
+	out := jsonResult{
+		Packages:    r.Packages,
+		Diagnostics: make([]jsonDiagnostic, 0, len(r.Diagnostics)),
+		Clean:       r.Clean(),
+	}
+	for _, d := range r.Diagnostics {
+		out.Diagnostics = append(out.Diagnostics, toJSONDiag(d))
+	}
+	for _, d := range r.Suppressed {
+		out.Suppressed = append(out.Suppressed, toJSONDiag(d))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockDiscipline returns the analyzer enforcing //loft:guardedby annotations:
+// a struct field whose doc comment carries `//loft:guardedby <mutexField>`
+// may only be read or written while that mutex is held. "Held" is
+// approximated lexically — the access must be preceded, in the same function
+// body, by a call to `<base>.<mutexField>.Lock()` or `.RLock()` on the same
+// base expression. Two escape hatches keep the rule usable:
+//
+//   - functions whose name ends in "Locked" are callee-side helpers that
+//     document (by convention) that the caller holds the mutex; their bodies
+//     are exempt;
+//   - accesses through a variable declared inside the current function body
+//     (a value still under construction, e.g. in a New* constructor before
+//     it is shared) are exempt.
+//
+// The annotation itself is validated: a marker without a mutex name, or one
+// naming a field the struct does not have, is a diagnostic.
+func LockDiscipline() *Analyzer {
+	return &Analyzer{
+		Name: "lockdiscipline",
+		Doc:  "fields annotated //loft:guardedby <mutexField> are only accessed with the mutex held",
+		Run:  lockdisciplineRun,
+	}
+}
+
+const guardedbyMarker = "//loft:guardedby"
+
+func lockdisciplineRun(pass *Pass) {
+	guarded := collectGuardedFields(pass)
+	if len(guarded) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			checkLockedAccesses(pass, fd, guarded)
+		}
+	}
+}
+
+// collectGuardedFields parses the //loft:guardedby annotations of every
+// struct declared in the package, returning field object -> mutex field name.
+func collectGuardedFields(pass *Pass) map[types.Object]string {
+	out := make(map[types.Object]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			names := make(map[string]bool)
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					names[name.Name] = true
+				}
+			}
+			for _, fld := range st.Fields.List {
+				mutex, found, malformed := guardedbyOf(fld)
+				if malformed {
+					pass.Reportf(fld.Pos(), "malformed %s: need `%s <mutexField>`", guardedbyMarker, guardedbyMarker)
+					continue
+				}
+				if !found {
+					continue
+				}
+				if !names[mutex] {
+					pass.Reportf(fld.Pos(), "%s %s names a field this struct does not have", guardedbyMarker, mutex)
+					continue
+				}
+				for _, name := range fld.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						out[obj] = mutex
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// guardedbyOf extracts the //loft:guardedby annotation from a field's doc or
+// trailing comment.
+func guardedbyOf(fld *ast.Field) (mutex string, found, malformed bool) {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, guardedbyMarker) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, guardedbyMarker))
+			if rest == "" || len(strings.Fields(rest)) != 1 {
+				return "", false, true
+			}
+			return rest, true, false
+		}
+	}
+	return "", false, false
+}
+
+// checkLockedAccesses verifies every guarded-field access in fd against the
+// lock acquisitions that lexically precede it.
+func checkLockedAccesses(pass *Pass, fd *ast.FuncDecl, guarded map[types.Object]string) {
+	// acquired maps "base.mutexField" renderings to the position of the
+	// first Lock()/RLock() call on them.
+	acquired := make(map[string]ast.Node)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		key := types.ExprString(ast.Unparen(sel.X))
+		if _, seen := acquired[key]; !seen {
+			acquired[key] = call
+		}
+		return true
+	})
+	lockPos := func(key string) (ast.Node, bool) {
+		n, ok := acquired[key]
+		return n, ok
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		mutex, isGuarded := guarded[selection.Obj()]
+		if !isGuarded {
+			return true
+		}
+		base := ast.Unparen(sel.X)
+		if locallyConstructed(pass, fd, base) {
+			return true
+		}
+		key := types.ExprString(base) + "." + mutex
+		if lock, held := lockPos(key); held && lock.Pos() < sel.Pos() {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(), "access to %s (guarded by %s) without a preceding %s.Lock() in this function: hold the mutex or move the access into a *Locked helper", types.ExprString(sel), mutex, key)
+		return true
+	})
+}
+
+// locallyConstructed reports whether base is an identifier declared inside
+// fd's body — a value this function built and has not yet shared, which no
+// other goroutine can race on. Receivers and parameters are declared in the
+// signature, so they stay subject to the check.
+func locallyConstructed(pass *Pass, fd *ast.FuncDecl, base ast.Expr) bool {
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return fd.Body.Pos() <= obj.Pos() && obj.Pos() < fd.Body.End()
+}

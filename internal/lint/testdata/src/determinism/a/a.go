@@ -1,0 +1,62 @@
+// Package a is the determinism true-positive corpus: every construct here
+// must be flagged.
+package a
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `call to time\.Now`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `call to time\.Since`
+}
+
+func deadline(t1 time.Time) time.Duration {
+	return time.Until(t1) // want `call to time\.Until`
+}
+
+func globalRand() int {
+	return rand.Intn(16) // want `use of global rand\.Intn`
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want `use of global rand\.Float64`
+}
+
+func mapAppend(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v) // want `append inside map iteration`
+	}
+	return out
+}
+
+func mapAppendToField(s *struct{ log []int }, m map[int]int) {
+	for _, v := range m {
+		s.log = append(s.log, v) // want `append inside map iteration`
+	}
+}
+
+func mapSend(m map[int]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `channel send inside map iteration`
+	}
+}
+
+func mapPrint(m map[int]int) {
+	for k := range m {
+		fmt.Println(k) // want `output written inside map iteration`
+	}
+}
+
+func mapReturn(m map[int]int) int {
+	for k := range m {
+		return k // want `return value depends on which map entry`
+	}
+	return 0
+}

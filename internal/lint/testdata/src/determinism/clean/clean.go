@@ -1,0 +1,61 @@
+// Package clean is the determinism clean-negative corpus: nothing here may
+// be flagged.
+package clean
+
+import (
+	"math/rand"
+	"time"
+
+	"loft/internal/det"
+)
+
+// Sleeping is not a clock read; only Now/Since/Until are forbidden.
+func pause() { time.Sleep(time.Millisecond) }
+
+// Constant durations are fine.
+func window() time.Duration { return 5 * time.Second }
+
+// A locally seeded generator is the blessed RNG pattern; its methods draw
+// from a stream the caller owns.
+func localRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(16)
+}
+
+// det.Keys is the blessed fix for ordered iteration.
+func sortedValues(m map[int]string) []string {
+	out := make([]string, 0, len(m))
+	for _, k := range det.Keys(m) {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// Commutative aggregation does not depend on visit order.
+func sum(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Writes keyed by the range key land in per-entry slots regardless of visit
+// order.
+func double(m map[int][]int) {
+	for k, v := range m {
+		m[k] = append(m[k], v...)
+	}
+}
+
+// A slice rebuilt inside the body belongs to one entry; visit order cannot
+// reach it.
+func perEntry(m map[int][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}

@@ -1,0 +1,42 @@
+// Package a is the hookguard true-positive corpus: every sink call here
+// lacks a dominating nil check and must be flagged.
+package a
+
+import (
+	"loft/internal/audit"
+	"loft/internal/lsf"
+	"loft/internal/probe"
+)
+
+type router struct {
+	probe *probe.Probe
+	trc   *probe.Tracer
+	aud   lsf.AuditSink
+	live  *audit.Auditor
+}
+
+func (r *router) tick(now uint64) {
+	r.probe.Emit(now, probe.KindReserveGrant, 0, 0, 0, 0) // want `sink call probe\.Probe\.Emit on unguarded receiver r\.probe`
+	r.probe.MaybeSample(now)                              // want `sink call probe\.Probe\.MaybeSample on unguarded receiver`
+	r.trc.Emit(probe.Event{})                             // want `sink call probe\.Tracer\.Emit on unguarded receiver`
+	r.live.OnCycle(now)                                   // want `sink call audit\.Auditor\.OnCycle on unguarded receiver`
+}
+
+func (r *router) grant(slot uint64) {
+	r.aud.AuditGrant(0, 1, slot, 0) // want `sink call lsf\.AuditSink\.AuditGrant on unguarded receiver`
+}
+
+// A guard on a different receiver does not dominate this one.
+func (r *router) wrongGuard(other *probe.Probe, now uint64) {
+	if other != nil {
+		r.probe.Emit(now, probe.KindReserveGrant, 0, 0, 0, 0) // want `sink call probe\.Probe\.Emit on unguarded receiver`
+	}
+}
+
+// A non-terminating nil check does not dominate the statements after it.
+func (r *router) fallthroughGuard(now uint64) {
+	if r.probe == nil {
+		now++
+	}
+	r.probe.MaybeSample(now) // want `sink call probe\.Probe\.MaybeSample on unguarded receiver`
+}

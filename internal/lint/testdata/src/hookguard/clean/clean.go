@@ -1,0 +1,71 @@
+// Package clean is the hookguard clean-negative corpus: every sink call is
+// dominated by a nil check of its receiver.
+package clean
+
+import (
+	"loft/internal/audit"
+	"loft/internal/lsf"
+	"loft/internal/probe"
+)
+
+type router struct {
+	probe   *probe.Probe
+	trc     *probe.Tracer
+	aud     lsf.AuditSink
+	live    *audit.Auditor
+	enabled bool
+}
+
+// Enclosing if.
+func (r *router) tick(now uint64) {
+	if r.probe != nil {
+		r.probe.MaybeSample(now)
+	}
+	if r.live != nil {
+		r.live.OnCycle(now)
+	}
+}
+
+// Conjunct of an && chain.
+func (r *router) conditional(now uint64) {
+	if r.enabled && r.probe != nil {
+		r.probe.Emit(now, probe.KindReserveGrant, 0, 0, 0, 0)
+	}
+}
+
+// Terminating early-return guard dominates the rest of the function.
+func (r *router) earlyReturn(slot uint64) {
+	if r.aud == nil {
+		return
+	}
+	r.aud.AuditGrant(0, 1, slot, 0)
+	r.aud.AuditReturn(slot)
+}
+
+// Else branch of an == nil check.
+func (r *router) elseBranch(now uint64) {
+	if r.trc == nil {
+		now++
+	} else {
+		r.trc.Emit(probe.Event{})
+	}
+}
+
+// Guards survive into nested loops and switches.
+func (r *router) nested(now uint64) {
+	if r.probe == nil {
+		return
+	}
+	for i := 0; i < 4; i++ {
+		switch {
+		case i%2 == 0:
+			r.probe.Emit(now, probe.KindReserveGrant, 0, 0, int32(i), 0)
+		}
+	}
+}
+
+// Handle-style calls (Registry/Counter) are deliberately not sinks: the
+// no-op lives in the handle itself.
+func (r *router) handles() {
+	r.probe.Registry().Counter("clean.count").Inc()
+}

@@ -1,0 +1,57 @@
+// Package a is the hotpath true-positive corpus: functions reachable from a
+// //loft:hotpath seed that format, log, or grow fresh slices per call.
+package a
+
+import (
+	"fmt"
+	"log"
+)
+
+type engine struct {
+	cycle uint64
+	buf   []int
+}
+
+// Tick is the cycle entry point of this corpus.
+//
+//loft:hotpath
+func (e *engine) Tick(now uint64) {
+	e.cycle = now
+	name := fmt.Sprintf("cycle-%d", now) // want `fmt\.Sprintf on a hot path \(reachable from //loft:hotpath Tick\)`
+	_ = name
+	e.step(now)
+}
+
+// step is hot only by reachability: Tick calls it.
+func (e *engine) step(now uint64) {
+	log.Printf("step %d", now) // want `log call on a hot path`
+	var out []int              // want `slice out starts empty and grows per call on a hot path`
+	for i := 0; i < 4; i++ {
+		out = append(out, int(now)+i)
+	}
+	e.buf = out
+	e.deeper()
+}
+
+// deeper is two hops from the seed; the closure still reaches it.
+func (e *engine) deeper() {
+	_ = fmt.Sprint(e.cycle) // want `fmt\.Sprint on a hot path`
+}
+
+// emptyLit is reachable and grows a literal-initialized slice.
+func grown(n int) []int {
+	return fill(n)
+}
+
+//loft:hotpath
+func entry(n int) []int {
+	return grown(n)
+}
+
+func fill(n int) []int {
+	out := []int{} // want `slice out starts empty and grows per call`
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+// Package clean is the hotpath clean-negative corpus: cold helpers, panic
+// messages, scratch-buffer reuse, and unreachable formatting.
+package clean
+
+import "fmt"
+
+type engine struct {
+	cycle   uint64
+	scratch []int
+}
+
+// Tick formats only in panic arguments and dispatches expensive work to a
+// //loft:coldpath helper.
+//
+//loft:hotpath
+func (e *engine) Tick(now uint64) {
+	if now < e.cycle {
+		panic(fmt.Sprintf("clock moved backwards: %d < %d", now, e.cycle))
+	}
+	e.cycle = now
+	if now%1_000_000 == 0 {
+		e.report(now)
+	}
+	_ = e.collect(now)
+}
+
+// report is explicitly cold: propagation stops here, so its formatting is
+// allowed.
+//
+//loft:coldpath
+func (e *engine) report(now uint64) {
+	fmt.Printf("engine at cycle %d\n", now)
+}
+
+// collect reuses a scratch buffer instead of growing a fresh slice.
+func (e *engine) collect(now uint64) []int {
+	out := e.scratch[:0]
+	for i := 0; i < 4; i++ {
+		out = append(out, int(now)+i)
+	}
+	e.scratch = out
+	return out
+}
+
+// debugDump formats freely: nothing on the hot path calls it.
+func (e *engine) debugDump() string {
+	return fmt.Sprintf("engine{cycle: %d}", e.cycle)
+}

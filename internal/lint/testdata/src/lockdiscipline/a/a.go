@@ -1,0 +1,38 @@
+// Package a is the lockdiscipline true-positive corpus: guarded fields
+// accessed without the mutex, plus malformed annotations.
+package a
+
+import "sync"
+
+type state struct {
+	mu sync.Mutex
+	// count is the published progress counter.
+	//loft:guardedby mu
+	count int
+	total int //loft:guardedby mu
+}
+
+func (s *state) read() int {
+	return s.count // want `access to s\.count \(guarded by mu\) without a preceding s\.mu\.Lock\(\)`
+}
+
+func (s *state) write(n int) {
+	s.total = n // want `access to s\.total \(guarded by mu\) without a preceding`
+}
+
+// Locking the wrong mutex does not help.
+func (s *state) wrongLock(other *sync.Mutex) int {
+	other.Lock()
+	defer other.Unlock()
+	return s.count // want `access to s\.count \(guarded by mu\)`
+}
+
+type broken struct {
+	mu sync.Mutex
+	//loft:guardedby
+	a int // want `malformed //loft:guardedby`
+	//loft:guardedby missing
+	b int // want `//loft:guardedby missing names a field this struct does not have`
+}
+
+func (x *broken) use() int { return x.a + x.b }

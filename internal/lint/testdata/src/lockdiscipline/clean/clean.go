@@ -1,0 +1,61 @@
+// Package clean is the lockdiscipline clean-negative corpus: guarded fields
+// accessed correctly.
+package clean
+
+import "sync"
+
+type state struct {
+	mu sync.Mutex
+	// count is the published progress counter.
+	//loft:guardedby mu
+	count int
+	total int //loft:guardedby mu
+
+	// name is immutable after construction: unannotated fields carry no
+	// obligation.
+	name string
+}
+
+// Plain lock/unlock around the access.
+func (s *state) read() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// RLock-style acquisition also counts (sync.RWMutex shape).
+type rwstate struct {
+	mu sync.RWMutex
+	//loft:guardedby mu
+	snapshot []byte
+}
+
+func (s *rwstate) get() []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.snapshot
+}
+
+// *Locked helpers document the caller-holds-the-mutex convention and are
+// exempt by name.
+func (s *state) bumpLocked(n int) {
+	s.count += n
+	s.total += n
+}
+
+func (s *state) bump(n int) {
+	s.mu.Lock()
+	s.bumpLocked(n)
+	s.mu.Unlock()
+}
+
+// A value still under construction is unshared: constructors may set
+// guarded fields freely.
+func newState(name string) *state {
+	s := &state{name: name}
+	s.count = 1
+	s.total = 1
+	return s
+}
+
+func (s *state) label() string { return s.name }

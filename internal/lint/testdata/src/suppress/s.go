@@ -1,0 +1,28 @@
+// Package suppress exercises the //lint:ignore machinery: a justified
+// suppression, a malformed directive, and a stale one.
+package suppress
+
+import "time"
+
+// suppressed carries a justified ignore on the line above the finding.
+func suppressed() int64 {
+	//lint:ignore determinism wall clock feeds a log label only, never results
+	return time.Now().UnixNano()
+}
+
+// suppressedSameLine carries the ignore on the flagged line itself.
+func suppressedSameLine(t0 time.Time) time.Duration {
+	return time.Since(t0) //lint:ignore determinism duration feeds a human-facing progress line
+}
+
+// malformed is missing its reason and must be reported.
+func malformed() int64 {
+	//lint:ignore determinism
+	return time.Now().UnixNano()
+}
+
+// stale suppresses nothing: the directive itself must be reported.
+func stale() int {
+	//lint:ignore determinism nothing here anymore
+	return 42
+}

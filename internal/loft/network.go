@@ -5,6 +5,7 @@ import (
 
 	"loft/internal/audit"
 	"loft/internal/config"
+	"loft/internal/det"
 	"loft/internal/flit"
 	"loft/internal/lsf"
 	"loft/internal/probe"
@@ -229,7 +230,9 @@ func (net *Network) wire() {
 // pacing, sources flood the look-ahead VCs with unschedulable flits whose
 // head-of-line blocking starves distant flows.
 func (net *Network) installReservations() error {
-	for link, flows := range net.pattern.LinkFlows() {
+	linkFlows := net.pattern.LinkFlows()
+	for _, link := range det.KeysFunc(linkFlows, topo.Link.Less) {
+		flows := linkFlows[link]
 		if link.D == topo.NumDirs { // injection link
 			table := net.nodes[link.From].injTable
 			for _, id := range flows {
@@ -261,12 +264,18 @@ func (net *Network) installReservations() error {
 }
 
 // Tick advances every node one cycle (sim.Ticker).
+//
+//loft:hotpath
 func (net *Network) Tick(now uint64) {
 	for _, n := range net.nodes {
 		n.Tick(now)
 	}
-	net.probe.MaybeSample(now)
-	net.audit.OnCycle(now)
+	if net.probe != nil {
+		net.probe.MaybeSample(now)
+	}
+	if net.audit != nil {
+		net.audit.OnCycle(now)
+	}
 }
 
 // Probe returns the attached probe (nil when observability is disabled).

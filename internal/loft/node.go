@@ -6,6 +6,7 @@ import (
 	"loft/internal/audit"
 	"loft/internal/buffers"
 	"loft/internal/config"
+	"loft/internal/det"
 	"loft/internal/flit"
 	"loft/internal/lsf"
 	"loft/internal/probe"
@@ -177,6 +178,8 @@ func (n *Node) slotOf(c uint64) uint64 { return c / uint64(n.cfg.QuantumFlits) }
 // Tick advances the node by one cycle. See the package comment for phase
 // ordering; all cross-node communication flows through registers, so node
 // iteration order does not affect results.
+//
+//loft:hotpath
 func (n *Node) Tick(now uint64) {
 	n.drain(now)
 	if now%uint64(n.cfg.QuantumFlits) == 0 {
@@ -544,7 +547,14 @@ func (n *Node) Debug() {
 		}
 	}
 	for d := topo.North; d < topo.NumDirs; d++ {
-		for _, e := range n.inputs[d].entries {
+		entries := n.inputs[d].entries
+		for _, id := range det.KeysFunc(entries, func(a, b flit.QuantumID) bool {
+			if a.Flow != b.Flow {
+				return a.Flow < b.Flow
+			}
+			return a.Seq < b.Seq
+		}) {
+			e := entries[id]
 			fmt.Printf("  entry in=%s flow=%d q=%d arrive=%d booked=%v depart=%d arrived=%v\n",
 				d, e.q.ID.Flow, e.q.ID.Seq, e.arriveSlot, e.booked, e.departSlot, e.arrived)
 		}

@@ -187,7 +187,9 @@ func (t *Table) SetProbe(p *probe.Probe, node, link int32, cyclesPerSlot int) {
 
 // emit records one probe event stamped with the current slot time.
 func (t *Table) emit(k probe.Kind, flow int32, arg uint64) {
-	t.probe.Emit(t.now*t.slotCycles, k, t.pNode, t.pLink, flow, arg)
+	if t.probe != nil {
+		t.probe.Emit(t.now*t.slotCycles, k, t.pNode, t.pLink, flow, arg)
+	}
 }
 
 // Stats returns a snapshot of the event counters.
@@ -269,6 +271,8 @@ func (t *Table) timeOf(p int) uint64 {
 // crosses a frame boundary the head frame advances: flows stuck at the old
 // head frame move on with replenished reservations and the recycled frame's
 // skipped counter resets.
+//
+//loft:hotpath
 func (t *Table) Tick() {
 	t.version++
 	old := t.cp
@@ -360,6 +364,8 @@ func (t *Table) conditionOne(self *flowState, f int) bool {
 // A false result means the flow is throttled: its reservations in every
 // frame of the window are exhausted (or unusable), and the caller must
 // retry after the head frame advances.
+//
+//loft:hotpath
 func (t *Table) Request(f flit.FlowID, quantum uint64, minSlot uint64) (uint64, bool) {
 	st := t.flow(f)
 	if st == nil {
@@ -401,8 +407,7 @@ func (t *Table) Request(f flit.FlowID, quantum uint64, minSlot uint64) (uint64, 
 				t.emit(probe.KindReserveDeny, int32(f), quantum)
 			}
 			if TraceName != "" && t.name == TraceName && t.stats.Throttled%500 == 0 {
-				fmt.Printf("TRACE %s now=%d cp=%d hf=%d flow=%d q=%d IF=%d C=%d minSlot=%d lastZero=%d endCredit=%d\n",
-					t.name, t.now, t.cp, t.hf(), f, quantum, st.ifr, st.c, minSlot, t.lastZero, t.slots[(t.cp-1+t.wt)%t.wt].credit)
+				t.traceThrottle(f, quantum, st, minSlot)
 			}
 			return 0, false
 		}
@@ -421,6 +426,16 @@ func (t *Table) Request(f flit.FlowID, quantum uint64, minSlot uint64) (uint64, 
 		st.ifr = next
 		t.stats.FrameSkips++
 	}
+}
+
+// traceThrottle prints one -tracetable line for a throttled request. Kept
+// out of Request so the hot path carries only the guarded call: formatting
+// here is sampled (every 500th throttle) and explicitly cold.
+//
+//loft:coldpath
+func (t *Table) traceThrottle(f flit.FlowID, quantum uint64, st *flowState, minSlot uint64) {
+	fmt.Printf("TRACE %s now=%d cp=%d hf=%d flow=%d q=%d IF=%d C=%d minSlot=%d lastZero=%d endCredit=%d\n",
+		t.name, t.now, t.cp, t.hf(), f, quantum, st.ifr, st.c, minSlot, t.lastZero, t.slots[(t.cp-1+t.wt)%t.wt].credit)
 }
 
 // trySchedule is Algorithm 2: scan frame f for a valid slot (not busy,
@@ -533,6 +548,8 @@ func (t *Table) creditUnderflow(s *slotState) {
 // ReturnCredit applies a virtual credit return tagged with the downstream
 // departure slot: every live slot at or after the tag gains one credit.
 // Tags at or before the current slot increment the whole window.
+//
+//loft:hotpath
 func (t *Table) ReturnCredit(tag uint64) {
 	from := 0
 	if tag > t.now {
@@ -611,6 +628,8 @@ func (t *Table) finishReturn(from int, tag uint64) {
 // ClearBusy releases the booked slot at absolute time s after its quantum
 // was forwarded (possibly early, by speculative switching). Virtual credits
 // are not restored: the quantum still occupies the downstream buffer.
+//
+//loft:hotpath
 func (t *Table) ClearBusy(s uint64) {
 	p := t.ring(s)
 	if !t.slots[p].busy {
@@ -623,6 +642,8 @@ func (t *Table) ClearBusy(s uint64) {
 }
 
 // BusyAt reports the owner of the slot at absolute time s.
+//
+//loft:hotpath
 func (t *Table) BusyAt(s uint64) (Owner, bool) {
 	p := t.ring(s)
 	return t.slots[p].owner, t.slots[p].busy
@@ -635,6 +656,8 @@ func (t *Table) CreditAt(s uint64) int { return t.slots[t.ring(s)].credit }
 // FirstScheduled returns the earliest booked slot in the window, if any.
 // The LOFT data router uses it to classify a forwarded quantum as in-order
 // (→ non-speculative buffer) or out-of-order (→ speculative buffer).
+//
+//loft:hotpath
 func (t *Table) FirstScheduled() (Owner, uint64, bool) {
 	if t.busyCount == 0 {
 		return Owner{}, 0, false

@@ -56,6 +56,8 @@ func (k *Kernel) Add(t Ticker) {
 func (k *Kernel) AddUpdater(u Updater) { k.updaters = append(k.updaters, u) }
 
 // Step executes exactly one cycle.
+//
+//loft:hotpath
 func (k *Kernel) Step() {
 	now := k.now
 	for _, t := range k.tickers {

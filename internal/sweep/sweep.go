@@ -22,6 +22,30 @@ import (
 	"sync/atomic"
 )
 
+// progress tracks finished-job counts for WithProgress callbacks. Workers
+// finish jobs concurrently, so the count lives behind a mutex; the callback
+// runs under the same mutex, which serializes invocations and makes the
+// observed done sequence monotonic (an atomic counter would allow a later
+// count to be delivered before an earlier one).
+type progress struct {
+	mu   sync.Mutex
+	done int //loft:guardedby mu
+
+	total int
+	fn    func(done, total int)
+}
+
+// finish records one finished job and reports it to the callback, if any.
+func (p *progress) finish() {
+	if p.fn == nil {
+		return
+	}
+	p.mu.Lock()
+	p.done++
+	p.fn(p.done, p.total)
+	p.mu.Unlock()
+}
+
 // Workers resolves a -j style worker-count flag: values <= 0 select
 // GOMAXPROCS (one worker per schedulable CPU).
 func Workers(j int) int {
@@ -68,12 +92,7 @@ func Run[T any](workers, n int, fn func(i int) (T, error), opts ...Option) ([]T,
 	for _, opt := range opts {
 		opt(&o)
 	}
-	var done atomic.Int64
-	finished := func() {
-		if o.progress != nil {
-			o.progress(int(done.Add(1)), n)
-		}
-	}
+	prog := &progress{total: n, fn: o.progress}
 	w := Workers(workers)
 	if w > n {
 		w = n
@@ -82,7 +101,7 @@ func Run[T any](workers, n int, fn func(i int) (T, error), opts ...Option) ([]T,
 	if w == 1 {
 		for i := 0; i < n; i++ {
 			r, err := call(i, fn)
-			finished()
+			prog.finish()
 			if err != nil {
 				return nil, err
 			}
@@ -103,7 +122,7 @@ func Run[T any](workers, n int, fn func(i int) (T, error), opts ...Option) ([]T,
 					return
 				}
 				r, err := call(i, fn)
-				finished()
+				prog.finish()
 				if err != nil {
 					errs[i] = err
 					continue

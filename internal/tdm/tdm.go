@@ -14,6 +14,7 @@ package tdm
 import (
 	"fmt"
 
+	"loft/internal/det"
 	"loft/internal/flit"
 	"loft/internal/route"
 	"loft/internal/stats"
@@ -180,7 +181,8 @@ func (net *Network) step() {
 	// Inject on owned slots; the flit arrives deterministically hops slots
 	// later (contention-free by construction).
 	slot := int(now % uint64(net.cfg.Period))
-	for id, c := range net.circuits {
+	for _, id := range det.Keys(net.circuits) {
+		c := net.circuits[id]
 		q := net.queues[id]
 		if len(q) == 0 {
 			continue

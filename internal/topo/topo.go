@@ -130,6 +130,15 @@ type Link struct {
 // String formats the link for diagnostics.
 func (l Link) String() string { return fmt.Sprintf("%d.%s", int(l.From), l.D) }
 
+// Less orders links by (From, D), the iteration order for deterministic
+// walks over link-keyed maps (det.KeysFunc).
+func (l Link) Less(m Link) bool {
+	if l.From != m.From {
+		return l.From < m.From
+	}
+	return l.D < m.D
+}
+
 // InjectionLink returns the link from node n's network interface into its
 // router (modeled as a link so it can carry an output scheduler like any
 // other). It is distinguished from ejection by direction Local on the NI

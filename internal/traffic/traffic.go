@@ -10,6 +10,7 @@ package traffic
 import (
 	"fmt"
 
+	"loft/internal/det"
 	"loft/internal/flit"
 	"loft/internal/route"
 	"loft/internal/sim"
@@ -111,9 +112,10 @@ func (p *Pattern) LinkFlows() map[topo.Link][]flit.FlowID {
 
 // Validate checks the LSF admission constraint ΣR_ij ≤ F on every link.
 func (p *Pattern) Validate(frameFlits int) error {
-	for l, flows := range p.LinkFlows() {
+	linkFlows := p.LinkFlows()
+	for _, l := range det.KeysFunc(linkFlows, topo.Link.Less) {
 		sum := 0
-		for _, id := range flows {
+		for _, id := range linkFlows[l] {
 			sum += p.Flows[id].Reservation
 		}
 		if sum > frameFlits {
@@ -136,6 +138,10 @@ type Injector struct {
 	p   *Pattern
 	// on tracks the burst state per generator index for on/off generators.
 	on []bool
+	// scratch backs the slice Next returns; callers consume the packets
+	// before the next call, so reusing the array keeps the per-cycle
+	// injection path allocation-free.
+	scratch []flit.Packet
 	// trace replay state: remaining events for this node, cycle-sorted.
 	trace []TraceEvent
 }
@@ -167,8 +173,12 @@ func (in *Injector) nextSeq(id flit.FlowID) uint64 {
 
 // Next returns the packets generated at cycle now (usually zero or one per
 // generator).
+// The returned slice is only valid until the next call: it aliases a
+// scratch buffer owned by the injector.
+//
+//loft:hotpath
 func (in *Injector) Next(now uint64) []flit.Packet {
-	var out []flit.Packet
+	out := in.scratch[:0]
 	if in.p.Trace != nil {
 		for len(in.trace) > 0 && in.trace[0].Cycle <= now {
 			ev := in.trace[0]
@@ -179,6 +189,7 @@ func (in *Injector) Next(now uint64) []flit.Packet {
 				Seq: in.nextSeq(id), Flits: ev.Flits, Created: now,
 			})
 		}
+		in.scratch = out
 		return out
 	}
 	for gi, g := range in.gens {
@@ -219,6 +230,7 @@ func (in *Injector) Next(now uint64) []flit.Packet {
 			Created: now,
 		})
 	}
+	in.scratch = out
 	return out
 }
 

@@ -20,6 +20,14 @@ count="${COUNT:-3}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
+# A recorded baseline certifies the simulator's performance AND its
+# invariants at that point in time: refuse to record one from a tree the
+# static analyzers reject.
+if ! go run ./cmd/loftcheck -strict ./...; then
+    echo "bench.sh: refusing to record a baseline: loftcheck found violations" >&2
+    exit 1
+fi
+
 go test -run '^$' -bench "$bench" -benchtime "$benchtime" -count "$count" . | tee "$tmp"
 
 awk '
