@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-sweep vet fmt lint check audit-smoke bench bench-save bench-check bench-probe
+.PHONY: build test race race-sweep vet fmt lint check audit-smoke trace-smoke bench bench-save bench-check bench-probe
 
 build:
 	$(GO) build ./...
@@ -46,7 +46,19 @@ audit-smoke:
 	$(GO) run -race ./cmd/loftsim -arch gsf -pattern case1 -rate 0.6 \
 		-warmup 500 -cycles 2000 -audit
 
-check: build vet fmt lint test race-sweep race audit-smoke
+# A tiny simulation exporting a run directory, then the offline toolchain
+# over it: summary and decompose must parse the artifacts, and the run
+# diffed against itself must report zero delta and exit 0.
+trace-smoke:
+	@dir="$$(mktemp -d)"; set -e; \
+	$(GO) run ./cmd/loftsim -arch loft -pattern case1 -rate 0.6 \
+		-warmup 200 -cycles 1500 -audit -probe-out "$$dir/run/"; \
+	$(GO) run ./cmd/lofttrace summary "$$dir/run" > /dev/null; \
+	$(GO) run ./cmd/lofttrace decompose "$$dir/run" > /dev/null; \
+	$(GO) run ./cmd/lofttrace diff "$$dir/run" "$$dir/run"; \
+	rm -rf "$$dir"
+
+check: build vet fmt lint test race-sweep race audit-smoke trace-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -281,12 +281,24 @@ func checkBaseline() error {
 	return nil
 }
 
+// primeRun performs one short untimed run of the overhead workload so every
+// timed region starts from the same warmed allocator and cache state.
+// Without it the first sub-benchmark of an off/on pair pays the process
+// warmup and the comparison skews — the very inversion bench.sh warns about.
+func primeRun(b *testing.B, cfg config.LOFT, p *traffic.Pattern) {
+	b.Helper()
+	if _, _, err := core.RunLOFT(cfg, p, core.RunSpec{Seed: 1, Warmup: 0, Measure: 2000}); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkSimulatorSpeed measures raw simulation throughput (cycles/sec)
 // of the LOFT model on the paper configuration — an engineering metric, not
 // a paper artifact.
 func BenchmarkSimulatorSpeed(b *testing.B) {
 	cfg := config.PaperLOFT()
 	p := trafficUniform(cfg, 0.2)
+	primeRun(b, cfg, p)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := core.RunLOFT(cfg, p, core.RunSpec{Seed: 1, Warmup: 0, Measure: 2000}); err != nil {
@@ -304,9 +316,12 @@ func BenchmarkSimulatorSpeed(b *testing.B) {
 // handful of nil checks), "on" shows the full tracing+sampling cost.
 func BenchmarkProbeOverhead(b *testing.B) {
 	cfg := config.PaperLOFT()
+	// One shared pattern: both modes must time the exact same workload, and
+	// the priming run warms the harness before either mode is measured.
+	p := trafficUniform(cfg, 0.2)
 	for _, mode := range []string{"off", "on"} {
 		b.Run(mode, func(b *testing.B) {
-			p := trafficUniform(cfg, 0.2)
+			primeRun(b, cfg, p)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				var pr *probe.Probe
@@ -334,9 +349,10 @@ func BenchmarkProbeOverhead(b *testing.B) {
 // cost.
 func BenchmarkAuditOverhead(b *testing.B) {
 	cfg := config.PaperLOFT()
+	p := trafficUniform(cfg, 0.2)
 	for _, mode := range []string{"off", "on"} {
 		b.Run(mode, func(b *testing.B) {
-			p := trafficUniform(cfg, 0.2)
+			primeRun(b, cfg, p)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				var aud *audit.Auditor

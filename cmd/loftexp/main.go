@@ -18,6 +18,9 @@ import (
 	"loft/internal/exp"
 	"loft/internal/probe"
 	"loft/internal/profiles"
+	"loft/internal/runenv"
+	"loft/internal/runio"
+	"loft/internal/trace"
 )
 
 func main() {
@@ -27,9 +30,10 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "deterministic traffic seed")
 		jsonPath    = flag.String("json", "", "also write all results as JSON to this file")
 		probeOn     = flag.Bool("probe", false, "attach the observability probe layer to every run")
-		probeOut    = flag.String("probe-out", "", "write probe data here (.jsonl events, .csv time series, otherwise Chrome trace JSON); implies -probe")
+		probeOut    = flag.String("probe-out", "", "write probe data here: a directory (trailing /) gets all formats + manifest.json, else by extension (.jsonl events, .csv time series, otherwise Chrome trace JSON) with a sibling manifest; implies -probe")
 		probeSample = flag.Uint64("probe-sample", 256, "gauge sampling period in cycles (0 disables time series)")
 		auditOn     = flag.Bool("audit", false, "attach the runtime QoS auditor to every run; violations exit non-zero")
+		auditOut    = flag.String("audit-out", "", "write the audit conformance snapshot JSON here, plus a sibling manifest; implies -audit")
 		httpAddr    = flag.String("http", "", "serve live introspection (/metrics, /audit, /debug/pprof) on this address; implies -audit")
 		workers     = flag.Int("j", 0, "concurrent simulations per experiment (0 = one per CPU; probe and audit runs are forced sequential)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -47,7 +51,7 @@ func main() {
 		pr = probe.New(probe.Config{SampleEvery: *probeSample})
 	}
 	var aud *audit.Auditor
-	if *auditOn || *httpAddr != "" {
+	if *auditOn || *auditOut != "" || *httpAddr != "" {
 		aud = audit.New(audit.Config{})
 	}
 	var srv *audit.Server
@@ -113,10 +117,19 @@ func main() {
 		}
 		fmt.Printf("wrote JSON report to %s\n", *jsonPath)
 	}
-	if pr != nil {
-		if err := writeProbe(pr, *probeOut); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	if pr != nil || *auditOut != "" {
+		m := expManifest(*which, *seed, runio.Metrics(nil, pr, aud, uint64(config.PaperLOFT().QuantumFlits)))
+		if pr != nil {
+			if err := writeRun(pr, aud, *probeOut, m); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *auditOut != "" {
+			if err := writeAuditOut(*auditOut, aud, m); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
 	}
 	if aud != nil {
@@ -132,10 +145,30 @@ func main() {
 	}
 }
 
-// writeProbe exports the probe data collected across all runs; the path's
-// extension selects the format (probe.FormatForPath), an empty path prints
-// the event summary. Ring drops are warned about on stderr either way.
-func writeProbe(pr *probe.Probe, path string) error {
+// expManifest assembles the manifest recorded with exported probe/audit
+// data. Experiments mix configurations, so unlike loftsim no single config
+// block is recorded; the experiment name takes the pattern slot.
+func expManifest(which string, seed uint64, metrics map[string]float64) trace.Manifest {
+	env := runenv.Capture()
+	return trace.Manifest{
+		ManifestVersion: trace.ManifestVersion,
+		Tool:            "loftexp",
+		Command:         os.Args,
+		CreatedUTC:      env.CreatedUTC,
+		GitRevision:     env.GitRevision,
+		Pattern:         which,
+		Seeds:           []uint64{seed},
+		Metrics:         metrics,
+	}
+}
+
+// writeRun exports the probe data collected across all runs; an empty path
+// prints the event summary, a directory path writes the full run directory
+// (all three export formats, audit snapshot, checksummed manifest), and any
+// other path keeps the extension dispatch (probe.FormatForPath) plus a
+// sibling <path>.manifest.json. Ring drops are warned about on stderr
+// either way.
+func writeRun(pr *probe.Probe, aud *audit.Auditor, path string, m trace.Manifest) error {
 	if d := pr.Tracer().Dropped(); d > 0 {
 		fmt.Fprintf(os.Stderr, "warning: probe ring overwrote %d oldest events; raise -probe-events for a complete trace\n", d)
 	}
@@ -146,17 +179,37 @@ func writeProbe(pr *probe.Probe, path string) error {
 		}
 		return nil
 	}
-	f, err := os.Create(path)
+	if runio.IsDirTarget(path) {
+		if err := runio.WriteRunDir(path, pr, aud, m); err != nil {
+			return err
+		}
+		fmt.Println(runio.Describe(path, pr, aud))
+		return nil
+	}
+	if err := runio.WriteFileWithManifest(path, pr, m); err != nil {
+		return err
+	}
+	fmt.Printf("wrote probe data to %s (%d events retained, %d dropped) and %s.manifest.json\n",
+		path, pr.Tracer().Len(), pr.Tracer().Dropped(), path)
+	return nil
+}
+
+// writeAuditOut writes the audit conformance snapshot plus its sibling
+// manifest.
+func writeAuditOut(path string, aud *audit.Auditor, m trace.Manifest) error {
+	if err := runio.WriteAuditSnapshot(path, aud); err != nil {
+		return err
+	}
+	a, err := trace.FileArtifact(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := probe.Export(f, pr, probe.FormatForPath(path)); err != nil {
+	m.Artifacts = []trace.Artifact{a}
+	if err := m.Write(path + ".manifest.json"); err != nil {
 		return err
 	}
-	fmt.Printf("wrote probe data to %s (%d events retained, %d dropped)\n",
-		path, pr.Tracer().Len(), pr.Tracer().Dropped())
-	return f.Close()
+	fmt.Printf("wrote audit snapshot to %s (and %s.manifest.json)\n", path, path)
+	return nil
 }
 
 func fig6(exp.Options) (any, error) {

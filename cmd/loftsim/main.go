@@ -13,7 +13,13 @@
 // .csv the sampled time series, anything else (conventionally .json) a
 // Chrome trace_event file loadable at https://ui.perfetto.dev, .prom a
 // Prometheus text-format snapshot. Without -probe-out a per-kind event
-// summary is printed.
+// summary is printed. A directory path (existing, or spelled with a
+// trailing /) writes a full run directory instead — events.jsonl,
+// series.csv, trace.json, audit.json when auditing, and manifest.json
+// recording the configuration, seeds, environment and artifact checksums —
+// which cmd/lofttrace decomposes and diffs offline. Single-file exports
+// gain a sibling <path>.manifest.json; -audit-out writes the audit
+// conformance snapshot the same way.
 //
 // With -audit the runtime QoS auditor shadows the schedulers: it checks
 // flit/credit conservation and the admission inequality on every grant,
@@ -37,9 +43,12 @@ import (
 	"loft/internal/loft"
 	"loft/internal/probe"
 	"loft/internal/profiles"
+	"loft/internal/runenv"
+	"loft/internal/runio"
 	"loft/internal/stats"
 	"loft/internal/sweep"
 	"loft/internal/topo"
+	"loft/internal/trace"
 	"loft/internal/traffic"
 )
 
@@ -57,10 +66,11 @@ func main() {
 		trace       = flag.String("trace", "", "replay a workload trace file instead of a synthetic pattern")
 		genTrace    = flag.Int("gentrace", 0, "emit a synthetic trace with this many packets to stdout and exit")
 		probeOn     = flag.Bool("probe", false, "enable the observability probe layer")
-		probeOut    = flag.String("probe-out", "", "write probe data here (.jsonl events, .csv time series, otherwise Chrome trace JSON); implies -probe")
+		probeOut    = flag.String("probe-out", "", "write probe data here: a directory (trailing /) gets all formats + manifest.json, else by extension (.jsonl events, .csv time series, otherwise Chrome trace JSON) with a sibling manifest; implies -probe")
 		probeSample = flag.Uint64("probe-sample", 256, "gauge sampling period in cycles (0 disables time series)")
 		probeEvents = flag.Int("probe-events", 1<<20, "event ring buffer capacity")
 		auditOn     = flag.Bool("audit", false, "enable the runtime QoS auditor (invariant checks + delay-bound conformance); violations exit non-zero")
+		auditOut    = flag.String("audit-out", "", "write the audit conformance snapshot JSON here, plus a sibling manifest; implies -audit")
 		httpAddr    = flag.String("http", "", "serve live introspection (/metrics, /audit, /debug/pprof) on this address, e.g. :8080; implies -audit")
 		seeds       = flag.Int("seeds", 1, "run this many seeds (seed, seed+1, ...) and report per-seed plus aggregate statistics")
 		workers     = flag.Int("j", 0, "concurrent runs for -seeds > 1 (0 = one per CPU; probe runs are forced sequential)")
@@ -140,7 +150,7 @@ func main() {
 		pr = probe.New(probe.Config{EventCap: *probeEvents, SampleEvery: *probeSample})
 	}
 	var aud *audit.Auditor
-	if *auditOn || *httpAddr != "" {
+	if *auditOn || *auditOut != "" || *httpAddr != "" {
 		aud = audit.New(audit.Config{})
 	}
 	var srv *audit.Server
@@ -157,7 +167,7 @@ func main() {
 	}
 	run := core.RunSpec{Seed: *seed, Warmup: *warmup, Measure: *cycles, Probe: pr, Audit: aud}
 	if *seeds > 1 {
-		if err := runSeeds(*arch, lcfg, p, run, *seeds, *workers, *rate, *probeOut, srv); err != nil {
+		if err := runSeeds(*arch, lcfg, p, run, *seeds, *workers, *rate, *probeOut, *auditOut, srv); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -201,10 +211,20 @@ func main() {
 			fmt.Print(gnet.Heatmap())
 		}
 	}
-	if pr != nil {
-		if err := writeProbe(pr, *probeOut); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	if pr != nil || *auditOut != "" {
+		m := newManifest(*arch, p.Name, lcfg, run, []uint64{*seed},
+			runio.Metrics(&res, pr, aud, uint64(lcfg.QuantumFlits)))
+		if pr != nil {
+			if err := writeRun(pr, aud, *probeOut, m); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *auditOut != "" {
+			if err := writeAuditOut(*auditOut, aud, m); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
 	}
 	if *verbose {
@@ -243,7 +263,7 @@ func reportAudit(aud *audit.Auditor) bool {
 // and prints per-seed plus aggregate statistics. Runs share the (read-only)
 // pattern; each owns its network and RNGs, so the output is independent of
 // the worker count.
-func runSeeds(arch string, lcfg config.LOFT, p *traffic.Pattern, run core.RunSpec, n, workers int, rate float64, probeOut string, srv *audit.Server) error {
+func runSeeds(arch string, lcfg config.LOFT, p *traffic.Pattern, run core.RunSpec, n, workers int, rate float64, probeOut, auditOut string, srv *audit.Server) error {
 	if arch != "loft" && arch != "gsf" {
 		return fmt.Errorf("unknown architecture %q", arch)
 	}
@@ -283,9 +303,26 @@ func runSeeds(arch string, lcfg config.LOFT, p *traffic.Pattern, run core.RunSpe
 	ls, rs := stats.Summarize(lats), stats.Summarize(rates)
 	fmt.Printf("  aggregate : latency %.1f ±%.1f%%, accepted %.4f ±%.1f%% (n=%d)\n",
 		ls.Avg, ls.Stdev*100, rs.Avg, rs.Stdev*100, ls.N)
-	if run.Probe != nil {
-		if err := writeProbe(run.Probe, probeOut); err != nil {
-			return err
+	if run.Probe != nil || auditOut != "" {
+		seedList := make([]uint64, n)
+		for i := range seedList {
+			seedList[i] = run.Seed + uint64(i)
+		}
+		// Aggregate metrics: the per-seed probe/audit layers are shared, the
+		// headline result metrics are the cross-seed means.
+		metrics := runio.Metrics(nil, run.Probe, run.Audit, uint64(lcfg.QuantumFlits))
+		metrics["avg_latency_cycles"] = ls.Avg
+		metrics["throughput_flits_per_cycle"] = rs.Avg * nodes
+		m := newManifest(arch, p.Name, lcfg, run, seedList, metrics)
+		if run.Probe != nil {
+			if err := writeRun(run.Probe, run.Audit, probeOut, m); err != nil {
+				return err
+			}
+		}
+		if auditOut != "" {
+			if err := writeAuditOut(auditOut, run.Audit, m); err != nil {
+				return err
+			}
 		}
 	}
 	if !reportAudit(run.Audit) {
@@ -294,10 +331,37 @@ func runSeeds(arch string, lcfg config.LOFT, p *traffic.Pattern, run core.RunSpe
 	return nil
 }
 
-// writeProbe exports the collected probe data. The path's extension selects
-// the format (probe.FormatForPath); an empty path prints the per-kind event
-// summary. Ring drops are warned about on stderr either way.
-func writeProbe(pr *probe.Probe, path string) error {
+// newManifest assembles the run manifest recorded next to every exported
+// artifact set. Environment provenance (wall time, git revision) comes from
+// runenv, the only sanctioned wall-clock read below the CLIs.
+func newManifest(arch, pattern string, lcfg config.LOFT, run core.RunSpec, seeds []uint64, metrics map[string]float64) trace.Manifest {
+	env := runenv.Capture()
+	return trace.Manifest{
+		ManifestVersion: trace.ManifestVersion,
+		Tool:            "loftsim",
+		Command:         os.Args,
+		CreatedUTC:      env.CreatedUTC,
+		GitRevision:     env.GitRevision,
+		Arch:            arch,
+		Pattern:         pattern,
+		Seeds:           seeds,
+		WarmupCycles:    run.Warmup,
+		MeasureCycles:   run.Measure,
+		MeshK:           lcfg.MeshK,
+		Nodes:           lcfg.Mesh().N(),
+		Config:          &lcfg,
+		Metrics:         metrics,
+	}
+}
+
+// writeRun exports the collected probe/audit data. An empty path prints the
+// per-kind event summary; a directory path (existing, or spelled with a
+// trailing separator) receives the full run directory — all three probe
+// export formats, the audit snapshot and the checksummed manifest; any
+// other path keeps the legacy single-file extension dispatch
+// (probe.FormatForPath) and gains a sibling <path>.manifest.json. Ring
+// drops are warned about on stderr either way.
+func writeRun(pr *probe.Probe, aud *audit.Auditor, path string, m trace.Manifest) error {
 	if d := pr.Tracer().Dropped(); d > 0 {
 		fmt.Fprintf(os.Stderr, "warning: probe ring overwrote %d oldest events; raise -probe-events for a complete trace\n", d)
 	}
@@ -308,15 +372,35 @@ func writeProbe(pr *probe.Probe, path string) error {
 		}
 		return nil
 	}
-	f, err := os.Create(path)
+	if runio.IsDirTarget(path) {
+		if err := runio.WriteRunDir(path, pr, aud, m); err != nil {
+			return err
+		}
+		fmt.Println(runio.Describe(path, pr, aud))
+		return nil
+	}
+	if err := runio.WriteFileWithManifest(path, pr, m); err != nil {
+		return err
+	}
+	fmt.Printf("wrote probe data to %s (%d events retained, %d dropped) and %s.manifest.json\n",
+		path, pr.Tracer().Len(), pr.Tracer().Dropped(), path)
+	return nil
+}
+
+// writeAuditOut writes the audit conformance snapshot plus its sibling
+// manifest (skipped in run-directory mode, where audit.json is included).
+func writeAuditOut(path string, aud *audit.Auditor, m trace.Manifest) error {
+	if err := runio.WriteAuditSnapshot(path, aud); err != nil {
+		return err
+	}
+	a, err := trace.FileArtifact(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := probe.Export(f, pr, probe.FormatForPath(path)); err != nil {
+	m.Artifacts = []trace.Artifact{a}
+	if err := m.Write(path + ".manifest.json"); err != nil {
 		return err
 	}
-	fmt.Printf("wrote probe data to %s (%d events retained, %d dropped)\n",
-		path, pr.Tracer().Len(), pr.Tracer().Dropped())
-	return f.Close()
+	fmt.Printf("wrote audit snapshot to %s (and %s.manifest.json)\n", path, path)
+	return nil
 }

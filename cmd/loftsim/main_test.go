@@ -6,11 +6,21 @@ import (
 	"strings"
 	"testing"
 
+	"loft/internal/config"
+	"loft/internal/core"
 	"loft/internal/probe"
+	"loft/internal/trace"
 )
 
+func testManifest() trace.Manifest {
+	lcfg := config.PaperLOFT()
+	return newManifest("loft", "test", lcfg,
+		core.RunSpec{Seed: 1, Warmup: 10, Measure: 100}, []uint64{1}, map[string]float64{"packets": 1})
+}
+
 // TestWriteProbeExtensionDispatch pins the -probe-out extension contract:
-// each suffix selects its exporter and produces that format's signature.
+// each suffix selects its exporter and produces that format's signature,
+// and every single-file export gains a sibling manifest checksumming it.
 func TestWriteProbeExtensionDispatch(t *testing.T) {
 	pr := probe.New(probe.Config{EventCap: 8, SampleEvery: 1})
 	pr.Emit(1, probe.KindSpecHit, 0, 0, 0, 0)
@@ -23,8 +33,8 @@ func TestWriteProbeExtensionDispatch(t *testing.T) {
 		"out.json":  `"traceEvents"`,
 	} {
 		path := filepath.Join(dir, name)
-		if err := writeProbe(pr, path); err != nil {
-			t.Fatalf("writeProbe(%s): %v", name, err)
+		if err := writeRun(pr, nil, path, testManifest()); err != nil {
+			t.Fatalf("writeRun(%s): %v", name, err)
 		}
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -33,5 +43,49 @@ func TestWriteProbeExtensionDispatch(t *testing.T) {
 		if !strings.Contains(string(data), sniff) {
 			t.Errorf("%s missing %q:\n%s", name, sniff, data)
 		}
+		m, err := trace.ReadManifest(path + ".manifest.json")
+		if err != nil {
+			t.Fatalf("sibling manifest for %s: %v", name, err)
+		}
+		if len(m.Artifacts) != 1 || m.Artifacts[0].Name != name {
+			t.Errorf("%s manifest artifacts = %+v, want the exported file", name, m.Artifacts)
+		}
+	}
+}
+
+// TestWriteRunDirectory pins the run-directory contract: a trailing
+// separator (the directory need not exist yet) selects directory mode,
+// which writes the three probe export formats plus a manifest whose
+// artifact checksums match the files on disk.
+func TestWriteRunDirectory(t *testing.T) {
+	pr := probe.New(probe.Config{EventCap: 8, SampleEvery: 1})
+	pr.Emit(1, probe.KindSpecHit, 0, 0, 0, 0)
+	pr.MaybeSample(1)
+	dir := filepath.Join(t.TempDir(), "run")
+	if err := writeRun(pr, nil, dir+string(os.PathSeparator), testManifest()); err != nil {
+		t.Fatalf("writeRun(dir): %v", err)
+	}
+	m, err := trace.ReadManifest(dir)
+	if err != nil {
+		t.Fatalf("manifest: %v", err)
+	}
+	if len(m.Artifacts) != 3 {
+		t.Fatalf("got %d artifacts, want 3 (events/series/trace): %+v", len(m.Artifacts), m.Artifacts)
+	}
+	for _, a := range m.Artifacts {
+		got, err := trace.FileArtifact(filepath.Join(dir, a.Name))
+		if err != nil {
+			t.Fatalf("artifact %s: %v", a.Name, err)
+		}
+		if got.SHA256 != a.SHA256 || got.Bytes != a.Bytes {
+			t.Errorf("artifact %s checksum drifted: manifest %+v, disk %+v", a.Name, a, got)
+		}
+	}
+	ev, _, err := trace.ReadEventsFile(filepath.Join(dir, "events.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 1 || ev[0].Kind != probe.KindSpecHit {
+		t.Errorf("round-tripped events = %+v", ev)
 	}
 }

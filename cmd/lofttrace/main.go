@@ -1,0 +1,419 @@
+// Command lofttrace analyses the artifacts the simulators export: it
+// decodes probe event dumps, decomposes per-quantum latency into its
+// mechanism components, summarizes run manifests, and diffs runs against
+// each other (or BENCH_*.json baselines against each other) with
+// regression thresholds.
+//
+//	lofttrace summary   <run-dir | manifest.json | events.jsonl>
+//	lofttrace decompose [-slot-cycles N] [-flow N] [-json] <run-dir | events.jsonl>
+//	lofttrace diff      [-threshold PCT] [-all] [-json] <base> <new>
+//	lofttrace trend     [-threshold PCT] [-json] <metrics.json ...>
+//
+// diff and trend accept run directories, manifest files, or flat
+// name → value JSON files (the BENCH_*.json format). diff exits 1 when a
+// direction-aware metric regressed beyond the threshold, so it gates CI;
+// a run diffed against itself reports zero changed metrics and exits 0.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"loft/internal/det"
+	"loft/internal/probe"
+	"loft/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	var err error
+	code := 0
+	switch args[0] {
+	case "summary":
+		code, err = cmdSummary(args[1:], stdout)
+	case "decompose":
+		code, err = cmdDecompose(args[1:], stdout)
+	case "diff":
+		code, err = cmdDiff(args[1:], stdout)
+	case "trend":
+		code, err = cmdTrend(args[1:], stdout)
+	case "-h", "-help", "--help", "help":
+		usage(stdout)
+	default:
+		fmt.Fprintf(stderr, "lofttrace: unknown subcommand %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "lofttrace %s: %v\n", args[0], err)
+		return 2
+	}
+	return code
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage:
+  lofttrace summary   <run-dir | manifest.json | events.jsonl>
+  lofttrace decompose [-slot-cycles N] [-flow N] [-json] <run-dir | events.jsonl>
+  lofttrace diff      [-threshold PCT] [-all] [-json] <base> <new>
+  lofttrace trend     [-threshold PCT] [-json] <metrics.json ...>
+`)
+}
+
+// resolveEvents maps a target to its events file: a directory holds
+// events.jsonl, anything else is the events file itself.
+func resolveEvents(target string) string {
+	if st, err := os.Stat(target); err == nil && st.IsDir() {
+		return filepath.Join(target, "events.jsonl")
+	}
+	return target
+}
+
+// targetSlotCycles picks the decomposition's slot length: an explicit flag
+// wins, a run directory's manifest supplies its config, and the paper
+// configuration's 2-cycle quantum slot is the fallback.
+func targetSlotCycles(target string, flagVal uint64) uint64 {
+	if flagVal > 0 {
+		return flagVal
+	}
+	if m, err := trace.ReadManifest(target); err == nil && m.Config != nil && m.Config.QuantumFlits > 0 {
+		return uint64(m.Config.QuantumFlits)
+	}
+	return 2
+}
+
+func cmdSummary(args []string, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("summary", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return 2, nil
+	}
+	if fs.NArg() != 1 {
+		return 2, fmt.Errorf("expected one target, got %d", fs.NArg())
+	}
+	target := fs.Arg(0)
+	printedManifest := false
+	if m, err := trace.ReadManifest(target); err == nil {
+		printManifest(stdout, m)
+		printedManifest = true
+	}
+	events := resolveEvents(target)
+	if st, err := os.Stat(events); err == nil && !st.IsDir() && strings.HasSuffix(events, ".jsonl") {
+		ev, dropped, err := trace.ReadEventsFile(events)
+		if err != nil {
+			return 2, err
+		}
+		printEventSummary(stdout, ev, dropped)
+	} else if !printedManifest {
+		return 2, fmt.Errorf("%s: no manifest and no events file found", target)
+	}
+	return 0, nil
+}
+
+func printManifest(w io.Writer, m *trace.Manifest) {
+	fmt.Fprintf(w, "run manifest (v%d): %s\n", m.ManifestVersion, m.Tool)
+	if m.Arch != "" || m.Pattern != "" {
+		fmt.Fprintf(w, "  arch/pattern : %s / %s\n", m.Arch, m.Pattern)
+	}
+	if len(m.Seeds) > 0 {
+		fmt.Fprintf(w, "  seeds        : %v\n", m.Seeds)
+	}
+	if m.WarmupCycles+m.MeasureCycles > 0 {
+		fmt.Fprintf(w, "  cycles       : %d warmup + %d measured\n", m.WarmupCycles, m.MeasureCycles)
+	}
+	if m.Nodes > 0 {
+		fmt.Fprintf(w, "  topology     : %dx%d mesh (%d nodes)\n", m.MeshK, m.MeshK, m.Nodes)
+	}
+	if m.CreatedUTC != "" {
+		fmt.Fprintf(w, "  created      : %s\n", m.CreatedUTC)
+	}
+	if m.GitRevision != "" {
+		fmt.Fprintf(w, "  git revision : %s\n", m.GitRevision)
+	}
+	for _, a := range m.Artifacts {
+		fmt.Fprintf(w, "  artifact     : %-14s %8d bytes  sha256 %.12s…\n", a.Name, a.Bytes, a.SHA256)
+	}
+	if len(m.Metrics) > 0 {
+		fmt.Fprintf(w, "  metrics:\n")
+		for _, k := range det.Keys(m.Metrics) {
+			fmt.Fprintf(w, "    %-34s %g\n", k, m.Metrics[k])
+		}
+	}
+}
+
+func printEventSummary(w io.Writer, ev []probe.Event, dropped uint64) {
+	fmt.Fprintf(w, "events: %d retained", len(ev))
+	if dropped > 0 {
+		fmt.Fprintf(w, " (+%d dropped by the ring; tail only)", dropped)
+	}
+	if len(ev) > 0 {
+		fmt.Fprintf(w, ", cycles %d..%d", ev[0].Cycle, ev[len(ev)-1].Cycle)
+	}
+	fmt.Fprintln(w)
+	counts := make(map[string]uint64)
+	for _, e := range ev {
+		counts[e.Kind.String()]++
+	}
+	for _, k := range det.Keys(counts) {
+		fmt.Fprintf(w, "  %-16s %d\n", k, counts[k])
+	}
+}
+
+// decomposeJSON is the -json shape of a decomposition report.
+type decomposeJSON struct {
+	SlotCycles uint64             `json:"slot_cycles"`
+	Complete   int                `json:"complete"`
+	Incomplete int                `json:"incomplete"`
+	Dropped    uint64             `json:"dropped_events"`
+	All        trace.AggSummary   `json:"all"`
+	PerFlow    []flowJSON         `json:"per_flow,omitempty"`
+	PerHop     []hopJSON          `json:"per_hop,omitempty"`
+	Errors     []string           `json:"errors,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type flowJSON struct {
+	Flow    int32            `json:"flow"`
+	Summary trace.AggSummary `json:"summary"`
+}
+
+type hopJSON struct {
+	Hop      int     `json:"hop"`
+	Count    uint64  `json:"count"`
+	SpecPct  float64 `json:"spec_pct"`
+	MeanWait float64 `json:"mean_wait_cycles"`
+	MaxWait  uint64  `json:"max_wait_cycles"`
+}
+
+func cmdDecompose(args []string, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("decompose", flag.ContinueOnError)
+	slot := fs.Uint64("slot-cycles", 0, "cycles per quantum slot (default: manifest QuantumFlits, else 2)")
+	flow := fs.Int("flow", -1, "restrict the per-flow table to this flow id")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2, nil
+	}
+	if fs.NArg() != 1 {
+		return 2, fmt.Errorf("expected one target, got %d", fs.NArg())
+	}
+	target := fs.Arg(0)
+	ev, dropped, err := trace.ReadEventsFile(resolveEvents(target))
+	if err != nil {
+		return 2, err
+	}
+	slotCycles := targetSlotCycles(target, *slot)
+	d, err := trace.Decompose(ev, slotCycles, dropped)
+	if err != nil {
+		return 2, err
+	}
+	if *asJSON {
+		rep := decomposeJSON{
+			SlotCycles: d.SlotCycles, Complete: d.Complete, Incomplete: d.Incomplete,
+			Dropped: d.Dropped, All: d.All.Summary(), Errors: d.Errors, Metrics: d.Metrics(),
+		}
+		for i := range d.PerFlow {
+			f := &d.PerFlow[i]
+			if *flow >= 0 && f.Flow != int32(*flow) {
+				continue
+			}
+			rep.PerFlow = append(rep.PerFlow, flowJSON{Flow: f.Flow, Summary: f.Agg.Summary()})
+		}
+		for i := range d.PerHop {
+			h := &d.PerHop[i]
+			hj := hopJSON{Hop: h.Hop, Count: h.Count, MeanWait: h.Wait.Mean(), MaxWait: h.Wait.Max()}
+			if h.Count > 0 {
+				hj.SpecPct = 100 * float64(h.Spec) / float64(h.Count)
+			}
+			rep.PerHop = append(rep.PerHop, hj)
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return 0, enc.Encode(rep)
+	}
+	fmt.Fprintf(stdout, "decomposition: %d quanta complete, %d incomplete (slot = %d cycles",
+		d.Complete, d.Incomplete, d.SlotCycles)
+	if d.Dropped > 0 {
+		fmt.Fprintf(stdout, "; ring dropped %d events, stream is the tail", d.Dropped)
+	}
+	fmt.Fprintln(stdout, ")")
+	for _, e := range d.Errors {
+		fmt.Fprintf(stdout, "  TIMING VIOLATION: %s\n", e)
+	}
+	if d.Complete == 0 {
+		fmt.Fprintln(stdout, "  no data-path events to decompose (GSF stream, or probe attached without data traffic)")
+		return 0, nil
+	}
+	printAgg := func(label string, a *trace.Agg) {
+		s := a.Summary()
+		fmt.Fprintf(stdout, "%s: %d quanta, %.1f hops avg, %.1f%% hops speculative\n",
+			label, s.Quanta, s.MeanHops, s.SpecHopPct)
+		rows := []struct {
+			name string
+			c    trace.ComponentStats
+		}{
+			{"total", s.Total},
+			{"booking-wait", s.BookingWait},
+			{"serialization", s.Serialization},
+			{"lookahead-wait", s.LookaheadWait},
+			{"spec-wait", s.SpecWait},
+			{"spec-saved*", s.SpecSaved},
+		}
+		fmt.Fprintf(stdout, "  %-15s %10s %8s  %s\n", "component", "mean", "max", "histogram (cycles)")
+		for _, r := range rows {
+			fmt.Fprintf(stdout, "  %-15s %10.2f %8d  %s\n", r.name, r.c.Mean, r.c.Max, r.c.Hist)
+		}
+	}
+	printAgg("all flows", &d.All)
+	fmt.Fprintln(stdout, "  (* spec-saved is informational; the four components above it sum to total)")
+	for i := range d.PerFlow {
+		f := &d.PerFlow[i]
+		if *flow >= 0 && f.Flow != int32(*flow) {
+			continue
+		}
+		s := f.Agg.Summary()
+		fmt.Fprintf(stdout, "flow %3d: %6d quanta  total %8.2f  book %8.2f  serial %7.2f  lookahead %8.2f  spec %6.2f  (saved %6.2f)\n",
+			f.Flow, s.Quanta, s.Total.Mean, s.BookingWait.Mean, s.Serialization.Mean,
+			s.LookaheadWait.Mean, s.SpecWait.Mean, s.SpecSaved.Mean)
+	}
+	if len(d.PerHop) > 0 {
+		fmt.Fprintf(stdout, "per-hop residual wait (hop 0 = first router crossing):\n")
+		for i := range d.PerHop {
+			h := &d.PerHop[i]
+			specPct := 0.0
+			if h.Count > 0 {
+				specPct = 100 * float64(h.Spec) / float64(h.Count)
+			}
+			fmt.Fprintf(stdout, "  hop %2d: %6d crossings, mean wait %7.2f, max %6d, %5.1f%% speculative\n",
+				h.Hop, h.Count, h.Wait.Mean(), h.Wait.Max(), specPct)
+		}
+	}
+	return 0, nil
+}
+
+func cmdDiff(args []string, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 2, "relative change (%) beyond which a bad-direction delta is a breach")
+	all := fs.Bool("all", false, "print unchanged metrics too")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2, nil
+	}
+	if fs.NArg() != 2 {
+		return 2, fmt.Errorf("expected <base> <new>, got %d arguments", fs.NArg())
+	}
+	base, err := trace.LoadMetrics(fs.Arg(0))
+	if err != nil {
+		return 2, err
+	}
+	cur, err := trace.LoadMetrics(fs.Arg(1))
+	if err != nil {
+		return 2, err
+	}
+	var rep *trace.DiffReport
+	if base.Manifest != nil && cur.Manifest != nil {
+		rep, err = trace.DiffManifests(base.Manifest, cur.Manifest, base.Label, cur.Label, *threshold)
+		if err != nil {
+			return 2, err
+		}
+	} else {
+		rep = &trace.DiffReport{Base: base.Label, New: cur.Label, ThresholdPct: *threshold,
+			Deltas: trace.DiffMetrics(base.Metrics, cur.Metrics, *threshold)}
+		for _, d := range rep.Deltas {
+			if d.Changed() {
+				rep.Changed++
+			}
+			if d.Breach {
+				rep.Breaches++
+			}
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return 2, err
+		}
+	} else {
+		fmt.Fprintf(stdout, "diff %s -> %s (threshold %.1f%%)\n", rep.Base, rep.New, rep.ThresholdPct)
+		for _, c := range rep.ConfigChanges {
+			fmt.Fprintf(stdout, "  config: %s\n", c)
+		}
+		for _, d := range rep.Deltas {
+			if !*all && !d.Changed() {
+				continue
+			}
+			mark := " "
+			if d.Breach {
+				mark = "!"
+			}
+			switch d.OnlyIn {
+			case "base":
+				fmt.Fprintf(stdout, " %s %-34s %12g -> (absent)\n", mark, d.Name, d.Base)
+			case "new":
+				fmt.Fprintf(stdout, " %s %-34s (absent) -> %g\n", mark, d.Name, d.New)
+			default:
+				fmt.Fprintf(stdout, " %s %-34s %12g -> %-12g %+7.2f%% (%s)\n",
+					mark, d.Name, d.Base, d.New, d.RelPct, d.Direction)
+			}
+		}
+		fmt.Fprintf(stdout, "%d metric(s) changed, %d regression breach(es)\n", rep.Changed, rep.Breaches)
+	}
+	if rep.Breaches > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func cmdTrend(args []string, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("trend", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 2, "relative change (%) beyond which a bad-direction drift is a regression")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2, nil
+	}
+	t, err := trace.TrendFromFiles(fs.Args(), *threshold)
+	if err != nil {
+		return 2, err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(t); err != nil {
+			return 2, err
+		}
+	} else {
+		fmt.Fprintf(stdout, "trend across %d baselines: %s\n", len(t.Labels), strings.Join(t.Labels, " -> "))
+		for _, row := range t.Rows {
+			mark := " "
+			if row.Regressed {
+				mark = "!"
+			}
+			vals := make([]string, len(row.Values))
+			for i, v := range row.Values {
+				if v == nil {
+					vals[i] = "-"
+				} else {
+					vals[i] = fmt.Sprintf("%g", *v)
+				}
+			}
+			fmt.Fprintf(stdout, " %s %-34s %s  (%+.2f%%, %s)\n",
+				mark, row.Name, strings.Join(vals, " -> "), row.ChangePct, row.Direction)
+		}
+		fmt.Fprintf(stdout, "%d regression(s) beyond %.1f%%\n", t.Regressions, t.ThresholdPct)
+	}
+	if t.Regressions > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"loft/internal/audit"
+	"loft/internal/config"
+	"loft/internal/core"
+	"loft/internal/probe"
+	"loft/internal/runio"
+	"loft/internal/trace"
+	"loft/internal/traffic"
+)
+
+var (
+	testRunMu   sync.Mutex
+	testRunDirs = map[int]string{}
+)
+
+// writeTestRun simulates a small LOFT run with the probe and auditor
+// attached and writes a run directory the CLI can consume. Runs are cached
+// per spec setting — the CLI only reads them.
+func writeTestRun(t *testing.T, spec int) string {
+	t.Helper()
+	testRunMu.Lock()
+	defer testRunMu.Unlock()
+	if dir, ok := testRunDirs[spec]; ok {
+		return dir
+	}
+	cfg := config.PaperLOFTSpec(spec)
+	p := traffic.Uniform(cfg.Mesh(), 0.3, cfg.PacketFlits, cfg.FrameFlits)
+	pr := probe.New(probe.Config{EventCap: 1 << 20, SampleEvery: 64})
+	aud := audit.New(audit.Config{})
+	res, _, err := core.RunLOFT(cfg, p, core.RunSpec{Seed: 11, Warmup: 100, Measure: 800, Probe: pr, Audit: aud})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "lofttrace-test-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := trace.Manifest{
+		ManifestVersion: trace.ManifestVersion,
+		Tool:            "loftsim", Arch: "loft", Pattern: "uniform",
+		Seeds: []uint64{11}, WarmupCycles: 100, MeasureCycles: 800,
+		MeshK: cfg.MeshK, Nodes: cfg.Mesh().N(), Config: &cfg,
+		Metrics: runio.Metrics(&res, pr, aud, uint64(cfg.QuantumFlits)),
+	}
+	if err := runio.WriteRunDir(dir, pr, aud, m); err != nil {
+		t.Fatal(err)
+	}
+	testRunDirs[spec] = dir
+	return dir
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	for _, dir := range testRunDirs {
+		os.RemoveAll(dir)
+	}
+	os.Exit(code)
+}
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestUsageAndBadSubcommand(t *testing.T) {
+	if code, _, _ := runCLI(t); code != 2 {
+		t.Error("no args: want exit 2")
+	}
+	if code, _, errOut := runCLI(t, "frobnicate"); code != 2 || !strings.Contains(errOut, "unknown subcommand") {
+		t.Errorf("unknown subcommand: code=%d stderr=%q", code, errOut)
+	}
+	if code, out, _ := runCLI(t, "help"); code != 0 || !strings.Contains(out, "lofttrace diff") {
+		t.Errorf("help: code=%d out=%q", code, out)
+	}
+}
+
+func TestSummaryOnRunDirectory(t *testing.T) {
+	dir := writeTestRun(t, 12)
+	code, out, errOut := runCLI(t, "summary", dir)
+	if code != 0 {
+		t.Fatalf("summary: code=%d stderr=%s", code, errOut)
+	}
+	for _, want := range []string{"run manifest", "loft / uniform", "artifact", "events: ", "data-forward"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary output missing %q:\n%s", want, out)
+		}
+	}
+	if code, _, _ := runCLI(t, "summary", filepath.Join(dir, "nope")); code != 2 {
+		t.Error("summary on a missing target: want exit 2")
+	}
+}
+
+func TestDecomposeOnRunDirectory(t *testing.T) {
+	dir := writeTestRun(t, 12)
+	code, out, errOut := runCLI(t, "decompose", dir)
+	if code != 0 {
+		t.Fatalf("decompose: code=%d stderr=%s", code, errOut)
+	}
+	if strings.Contains(out, "TIMING VIOLATION") {
+		t.Errorf("decompose reported timing violations:\n%s", out)
+	}
+	for _, want := range []string{"quanta complete", "booking-wait", "serialization", "lookahead-wait", "spec-wait", "per-hop residual wait"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("decompose output missing %q:\n%s", want, out)
+		}
+	}
+	// The manifest supplies slot-cycles; the header must show the config's
+	// QuantumFlits, not the fallback.
+	if !strings.Contains(out, "slot = 2 cycles") {
+		t.Errorf("decompose did not pick up slot cycles from the manifest:\n%s", out)
+	}
+	code, jsonOut, _ := runCLI(t, "decompose", "-json", dir)
+	if code != 0 || !strings.Contains(jsonOut, `"slot_cycles": 2`) || !strings.Contains(jsonOut, `"booking_wait"`) {
+		t.Errorf("decompose -json: code=%d out=%s", code, jsonOut)
+	}
+}
+
+// TestDiffSelfIsZero pins the acceptance criterion: a run diffed against
+// itself reports zero changed metrics, zero breaches, and exits 0.
+func TestDiffSelfIsZero(t *testing.T) {
+	dir := writeTestRun(t, 12)
+	code, out, errOut := runCLI(t, "diff", dir, dir)
+	if code != 0 {
+		t.Fatalf("self-diff: code=%d stderr=%s", code, errOut)
+	}
+	if !strings.Contains(out, "0 metric(s) changed, 0 regression breach(es)") {
+		t.Errorf("self-diff not zero:\n%s", out)
+	}
+}
+
+// TestDiffSpecOnVsOff pins the cross-config acceptance criterion: diffing a
+// speculation-enabled run against a disabled one must surface both the
+// config change and a non-empty decomposition delta.
+func TestDiffSpecOnVsOff(t *testing.T) {
+	on := writeTestRun(t, 12)
+	off := writeTestRun(t, 0)
+	code, out, _ := runCLI(t, "diff", "-threshold", "1e9", on, off)
+	if code != 0 {
+		t.Fatalf("spec on-vs-off diff with huge threshold: code=%d\n%s", code, out)
+	}
+	if !strings.Contains(out, "config: SpeculativeSwitching: true -> false") {
+		t.Errorf("diff missing the speculation config change:\n%s", out)
+	}
+	if !strings.Contains(out, "decomp_") {
+		t.Errorf("diff reports no decomposition delta:\n%s", out)
+	}
+}
+
+func TestDiffBreachExitCode(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	base := write("base.json", `{"avg_latency_cycles": 100}`)
+	worse := write("worse.json", `{"avg_latency_cycles": 150}`)
+	code, out, _ := runCLI(t, "diff", base, worse)
+	if code != 1 {
+		t.Errorf("50%% latency regression: code=%d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "!") || !strings.Contains(out, "1 regression breach(es)") {
+		t.Errorf("breach not marked:\n%s", out)
+	}
+	// The same pair inside the threshold passes.
+	if code, _, _ := runCLI(t, "diff", "-threshold", "60", base, worse); code != 0 {
+		t.Error("within-threshold diff: want exit 0")
+	}
+	// Improvement in the good direction never fails, whatever the size.
+	if code, _, _ := runCLI(t, "diff", worse, base); code != 0 {
+		t.Error("latency improvement: want exit 0")
+	}
+}
+
+func TestTrendExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a := write("BENCH_a.json", `{"BenchmarkSimulatorSpeed": 6000}`)
+	b := write("BENCH_b.json", `{"BenchmarkSimulatorSpeed": 6100}`)
+	down := write("BENCH_c.json", `{"BenchmarkSimulatorSpeed": 4000}`)
+	if code, out, _ := runCLI(t, "trend", a, b); code != 0 {
+		t.Errorf("flat trend: code=%d\n%s", code, out)
+	}
+	code, out, _ := runCLI(t, "trend", a, b, down)
+	if code != 1 || !strings.Contains(out, "1 regression(s)") {
+		t.Errorf("regressing trend: code=%d\n%s", code, out)
+	}
+	if code, _, _ := runCLI(t, "trend", a); code != 2 {
+		t.Error("single-file trend: want exit 2")
+	}
+}

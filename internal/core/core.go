@@ -53,6 +53,7 @@ type Result struct {
 	// delivery (source queueing included, as in the paper's Fig. 12).
 	AvgLatency float64
 	MaxLatency uint64
+	P50Latency float64
 	P99Latency float64
 	// AvgNetLatency/MaxNetLatency count from network injection to
 	// delivery (the paper's Fig. 11 load-latency curves).
@@ -73,6 +74,7 @@ func summarize(arch Arch, lat, latNet *stats.Latency, latFlow *stats.FlowLatency
 		Arch:          arch,
 		AvgLatency:    lat.Mean(),
 		MaxLatency:    lat.Max(),
+		P50Latency:    lat.Percentile(50),
 		P99Latency:    lat.Percentile(99),
 		AvgNetLatency: latNet.Mean(),
 		MaxNetLatency: latNet.Max(),

@@ -62,6 +62,17 @@ var observabilityPackages = []string{
 	"loft/internal/topo",
 }
 
+// tracePackages are the offline analysis layer: manifest and diff output
+// must be byte-stable so self-diffs report zero delta and artifact checksums
+// reproduce, which makes them determinism-checked like the exporters.
+// internal/runenv is deliberately absent — it is the one place below the
+// CLIs allowed to read wall time and the git revision.
+var tracePackages = []string{
+	"loft/internal/trace",
+	"loft/internal/runio",
+	"loft/cmd/lofttrace",
+}
+
 func matchPaths(lists ...[]string) func(string) bool {
 	set := make(map[string]bool)
 	for _, l := range lists {

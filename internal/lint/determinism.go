@@ -23,7 +23,7 @@ func Determinism() *Analyzer {
 	return &Analyzer{
 		Name:  "determinism",
 		Doc:   "forbid wall clocks, global RNGs, and order-dependent map iteration in simulation packages",
-		Match: matchPaths(simulationPackages, observabilityPackages),
+		Match: matchPaths(simulationPackages, observabilityPackages, tracePackages),
 		Run:   determinismRun,
 	}
 }

@@ -18,7 +18,7 @@ func HookGuard() *Analyzer {
 	return &Analyzer{
 		Name:  "hookguard",
 		Doc:   "probe/audit sink calls must be dominated by a nil check of the receiver",
-		Match: matchPaths(simulationPackages),
+		Match: matchPaths(simulationPackages, tracePackages),
 		Run:   hookguardRun,
 	}
 }

@@ -27,7 +27,7 @@ func HotPath() *Analyzer {
 	return &Analyzer{
 		Name:  "hotpath",
 		Doc:   "no fmt/log/per-call allocation in functions reachable from //loft:hotpath entry points",
-		Match: matchPaths(simulationPackages),
+		Match: matchPaths(simulationPackages, tracePackages),
 		Run:   hotpathRun,
 	}
 }

@@ -186,7 +186,7 @@ func (la *laRouter) process(now uint64) {
 			n.laOut[o].Write(fl)
 			la.credits[o].Consume()
 			if n.probe != nil {
-				n.probe.Emit(now, probe.KindLAIssue, int32(n.id), int32(o), int32(fl.Flow), depart*uint64(n.cfg.QuantumFlits))
+				n.probe.EmitSeq(now, probe.KindLAIssue, int32(n.id), int32(o), int32(fl.Flow), fl.Quantum, depart*uint64(n.cfg.QuantumFlits))
 			}
 		}
 	}

@@ -142,7 +142,7 @@ func (ni *netIface) book(now uint64) {
 		pq.departSlot = depart
 		n.stats.InjectedQuanta++
 		if n.probe != nil {
-			n.probe.Emit(now, probe.KindLAIssue, int32(n.id), int32(topo.NumDirs), int32(fq.id), depart*uint64(n.cfg.QuantumFlits))
+			n.probe.EmitSeq(now, probe.KindLAIssue, int32(n.id), int32(topo.NumDirs), int32(fq.id), pq.q.ID.Seq, depart*uint64(n.cfg.QuantumFlits))
 		}
 		if n.audit != nil {
 			n.audit.LOFTBook(pq.q.ID, pq.q.PktSeq, int32(n.id), depart, now)
@@ -209,9 +209,13 @@ func (ni *netIface) forward(slot, now uint64) {
 	} else {
 		n.niCredNonSpec.Consume()
 	}
+	depart := best.departSlot
 	bestFlow.queue = bestFlow.queue[1:]
 	q := best.q
 	q.Injected = now
+	if n.probe != nil {
+		n.probe.EmitSeq(now, probe.KindDataInject, int32(n.id), int32(topo.NumDirs), int32(q.ID.Flow), q.ID.Seq, depart*uint64(n.cfg.QuantumFlits))
+	}
 	if n.audit != nil {
 		n.audit.LOFTInject(q.ID, q.Flits, int32(n.id), now)
 	}

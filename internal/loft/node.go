@@ -393,7 +393,7 @@ func (n *Node) forwardData(slot, now uint64) {
 					continue
 				}
 				if n.probe != nil {
-					n.probe.Emit(now, probe.KindSpecAttempt, int32(n.id), int32(o), int32(e.q.ID.Flow), e.q.ID.Seq)
+					n.probe.EmitSeq(now, probe.KindSpecAttempt, int32(n.id), int32(o), int32(e.q.ID.Flow), e.q.ID.Seq, e.q.ID.Seq)
 				}
 				if n.canForward(o, e) {
 					winner, winnerIn = e, d
@@ -401,7 +401,7 @@ func (n *Node) forwardData(slot, now uint64) {
 					break
 				}
 				if n.probe != nil {
-					n.probe.Emit(now, probe.KindSpecAbort, int32(n.id), int32(o), int32(e.q.ID.Flow), e.q.ID.Seq)
+					n.probe.EmitSeq(now, probe.KindSpecAbort, int32(n.id), int32(o), int32(e.q.ID.Flow), e.q.ID.Seq, e.q.ID.Seq)
 				}
 			}
 		}
@@ -454,8 +454,11 @@ func (n *Node) forward(o, in topo.Dir, e *inEntry, slot, now uint64) {
 	} else {
 		n.stats.SpecForwards++
 		if n.probe != nil {
-			n.probe.Emit(now, probe.KindSpecHit, int32(n.id), int32(o), int32(e.q.ID.Flow), e.departSlot*uint64(n.cfg.QuantumFlits))
+			n.probe.EmitSeq(now, probe.KindSpecHit, int32(n.id), int32(o), int32(e.q.ID.Flow), e.q.ID.Seq, e.departSlot*uint64(n.cfg.QuantumFlits))
 		}
+	}
+	if n.probe != nil {
+		n.probe.EmitSeq(now, probe.KindDataForward, int32(n.id), int32(o), int32(e.q.ID.Flow), e.q.ID.Seq, e.departSlot*uint64(n.cfg.QuantumFlits))
 	}
 	n.linkBusy[o]++
 	// Vacate this node's input buffer and return its real credit.

@@ -185,10 +185,12 @@ func (t *Table) SetProbe(p *probe.Probe, node, link int32, cyclesPerSlot int) {
 	t.slotCycles = uint64(cyclesPerSlot)
 }
 
-// emit records one probe event stamped with the current slot time.
-func (t *Table) emit(k probe.Kind, flow int32, arg uint64) {
+// emit records one probe event stamped with the current slot time. seq is
+// the per-flow quantum sequence for flow-scoped events (0 when the event is
+// not about one quantum).
+func (t *Table) emit(k probe.Kind, flow int32, seq, arg uint64) {
 	if t.probe != nil {
-		t.probe.Emit(t.now*t.slotCycles, k, t.pNode, t.pLink, flow, arg)
+		t.probe.EmitSeq(t.now*t.slotCycles, k, t.pNode, t.pLink, flow, seq, arg)
 	}
 }
 
@@ -305,7 +307,7 @@ func (t *Table) Tick() {
 		}
 		t.skipped[oldHF] = 0
 		if t.probe != nil {
-			t.emit(probe.KindFrameRecycle, -1, uint64(t.hf()))
+			t.emit(probe.KindFrameRecycle, -1, 0, uint64(t.hf()))
 		}
 		if t.aud != nil {
 			t.aud.AuditRecycle(oldHF)
@@ -386,7 +388,7 @@ func (t *Table) Request(f flit.FlowID, quantum uint64, minSlot uint64) (uint64, 
 					st.c--
 					t.stats.Scheduled++
 					if t.probe != nil {
-						t.emit(probe.KindReserveGrant, int32(f), slot*t.slotCycles)
+						t.emit(probe.KindReserveGrant, int32(f), quantum, slot*t.slotCycles)
 					}
 					if t.aud != nil {
 						t.aud.AuditGrant(f, quantum, slot, st.ifr)
@@ -396,7 +398,7 @@ func (t *Table) Request(f flit.FlowID, quantum uint64, minSlot uint64) (uint64, 
 			} else {
 				t.stats.CondBlocks++
 				if t.probe != nil {
-					t.emit(probe.KindCondBlock, int32(f), uint64(st.ifr))
+					t.emit(probe.KindCondBlock, int32(f), quantum, uint64(st.ifr))
 				}
 			}
 		}
@@ -404,7 +406,7 @@ func (t *Table) Request(f flit.FlowID, quantum uint64, minSlot uint64) (uint64, 
 		if next == t.hf() {
 			t.stats.Throttled++
 			if t.probe != nil {
-				t.emit(probe.KindReserveDeny, int32(f), quantum)
+				t.emit(probe.KindReserveDeny, int32(f), quantum, quantum)
 			}
 			if TraceName != "" && t.name == TraceName && t.stats.Throttled%500 == 0 {
 				t.traceThrottle(f, quantum, st, minSlot)
@@ -417,7 +419,7 @@ func (t *Table) Request(f flit.FlowID, quantum uint64, minSlot uint64) (uint64, 
 			t.skipped[st.ifr] += st.c
 		}
 		if t.probe != nil {
-			t.emit(probe.KindFrameSkip, int32(f), uint64(st.c))
+			t.emit(probe.KindFrameSkip, int32(f), quantum, uint64(st.c))
 		}
 		if t.aud != nil {
 			t.aud.AuditFrameAdvance(f, st.ifr, st.c)
@@ -618,7 +620,7 @@ func (t *Table) finishReturn(from int, tag uint64) {
 	}
 	t.version++
 	if t.probe != nil {
-		t.emit(probe.KindVCreditGrant, -1, tag*t.slotCycles)
+		t.emit(probe.KindVCreditGrant, -1, 0, tag*t.slotCycles)
 	}
 	if t.aud != nil {
 		t.aud.AuditReturn(tag)
@@ -714,7 +716,7 @@ func (t *Table) Reset() {
 	t.version++
 	t.stats.Resets++
 	if t.probe != nil {
-		t.emit(probe.KindLocalReset, -1, 0)
+		t.emit(probe.KindLocalReset, -1, 0, 0)
 	}
 	if t.aud != nil {
 		t.aud.AuditReset()

@@ -8,13 +8,16 @@ import (
 	"strings"
 )
 
-// jsonlEvent is the JSONL wire form of an Event.
+// jsonlEvent is the JSONL wire form of an Event. internal/trace decodes it
+// back; keep both sides in sync (TestEventsJSONLRoundTrip pins the
+// symmetry).
 type jsonlEvent struct {
 	Cycle uint64 `json:"cycle"`
 	Kind  string `json:"kind"`
 	Node  int32  `json:"node"`
 	Loc   int32  `json:"loc"`
 	Flow  int32  `json:"flow"`
+	Seq   uint64 `json:"seq,omitempty"`
 	Arg   uint64 `json:"arg"`
 }
 
@@ -42,7 +45,7 @@ func WriteEventsJSONL(w io.Writer, events []Event, dropped uint64) error {
 	for _, e := range events {
 		if err := enc.Encode(jsonlEvent{
 			Cycle: e.Cycle, Kind: e.Kind.String(),
-			Node: e.Node, Loc: e.Loc, Flow: e.Flow, Arg: e.Arg,
+			Node: e.Node, Loc: e.Loc, Flow: e.Flow, Seq: e.Seq, Arg: e.Arg,
 		}); err != nil {
 			return err
 		}
@@ -116,6 +119,9 @@ func WriteChromeTrace(w io.Writer, events []Event, series []Series, dropped uint
 		}
 		if e.Flow >= 0 {
 			te.Args["flow"] = e.Flow
+		}
+		if e.Seq != 0 {
+			te.Args["seq"] = e.Seq
 		}
 		tf.TraceEvents = append(tf.TraceEvents, te)
 	}

@@ -65,6 +65,17 @@ const (
 	// stalled (emitted on the idle→throttled edge, not every cycle).
 	// Arg = head frame at the stall.
 	KindGSFThrottle
+	// KindDataInject: a data quantum physically left its NI into the
+	// router's local input port. Loc = injection link, Seq = quantum
+	// sequence, Arg = booked injection cycle. Together with
+	// KindDataForward this makes per-quantum latency decomposition
+	// possible offline (internal/trace).
+	KindDataInject
+	// KindDataForward: a data quantum crossed a switch output (Loc =
+	// output direction; topo.Local = ejection into the sink). Seq =
+	// quantum sequence, Arg = booked departure cycle on that link — a
+	// forward with Cycle < Arg was speculative (ahead of schedule).
+	KindDataForward
 
 	numKinds
 )
@@ -83,6 +94,25 @@ var kindNames = [numKinds]string{
 	KindSpecAbort:    "spec-abort",
 	KindGSFFrameRoll: "gsf-frame-roll",
 	KindGSFThrottle:  "gsf-throttle",
+	KindDataInject:   "data-inject",
+	KindDataForward:  "data-forward",
+}
+
+// kindByName inverts kindNames for the decoders (internal/trace): the wire
+// names are the stable contract, the numeric values are not.
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, numKinds)
+	for k := Kind(0); k < numKinds; k++ {
+		m[kindNames[k]] = k
+	}
+	return m
+}()
+
+// KindFromString returns the kind with the given wire name (the inverse of
+// Kind.String), and whether the name is known.
+func KindFromString(name string) (Kind, bool) {
+	k, ok := kindByName[name]
+	return k, ok
 }
 
 // String returns the kind's stable wire name (used by every exporter).
@@ -101,9 +131,10 @@ func NumKinds() int { return int(numKinds) }
 type Event struct {
 	Cycle uint64
 	Kind  Kind
-	Node  int32 // node id; -1 when not applicable
-	Loc   int32 // kind-specific location (link/direction/frame); -1 n/a
-	Flow  int32 // flow id; -1 when not applicable
+	Node  int32  // node id; -1 when not applicable
+	Loc   int32  // kind-specific location (link/direction/frame); -1 n/a
+	Flow  int32  // flow id; -1 when not applicable
+	Seq   uint64 // per-flow quantum sequence; 0 when not applicable
 	Arg   uint64
 }
 
@@ -223,6 +254,16 @@ func (p *Probe) Emit(cycle uint64, k Kind, node, loc, flow int32, arg uint64) {
 		return
 	}
 	p.tracer.Emit(Event{Cycle: cycle, Kind: k, Node: node, Loc: loc, Flow: flow, Arg: arg})
+}
+
+// EmitSeq records one event carrying a per-flow quantum sequence (no-op when
+// disabled). The data-path kinds use it so offline analysis can reassemble
+// exact per-quantum timelines.
+func (p *Probe) EmitSeq(cycle uint64, k Kind, node, loc, flow int32, seq, arg uint64) {
+	if p == nil {
+		return
+	}
+	p.tracer.Emit(Event{Cycle: cycle, Kind: k, Node: node, Loc: loc, Flow: flow, Seq: seq, Arg: arg})
 }
 
 // Tracer returns the underlying tracer (nil when disabled).

@@ -1,0 +1,39 @@
+// Package runenv captures the nondeterministic facts of the execution
+// environment — wall-clock time and git revision — that run manifests
+// record for provenance. It is deliberately the only package below the CLIs
+// allowed to read a wall clock: the simulation, observability and trace
+// packages are determinism-checked (internal/lint) and must stay functions
+// of (config, seed), while a manifest's whole point is to say when and from
+// which tree a run happened.
+package runenv
+
+import (
+	"os/exec"
+	"strings"
+	"time"
+)
+
+// Info is the captured environment provenance.
+type Info struct {
+	// CreatedUTC is the capture time in RFC 3339 UTC.
+	CreatedUTC string
+	// GitRevision is the working tree's HEAD commit, best effort: empty
+	// when the binary runs outside a git checkout or git is unavailable.
+	GitRevision string
+}
+
+// Capture reads the environment now.
+func Capture() Info {
+	return Info{
+		CreatedUTC:  time.Now().UTC().Format(time.RFC3339),
+		GitRevision: gitRevision(),
+	}
+}
+
+func gitRevision() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

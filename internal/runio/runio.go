@@ -1,0 +1,180 @@
+// Package runio writes per-run artifact sets for the simulator CLIs: the
+// probe exporters' three file formats, the audit conformance snapshot, and
+// the run manifest with checksummed artifacts. Both loftsim and loftexp
+// dispatch -probe-out through it, keeping the legacy single-file extension
+// dispatch (probe.FormatForPath) and adding the directory form that
+// lofttrace consumes whole.
+package runio
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"loft/internal/audit"
+	"loft/internal/core"
+	"loft/internal/probe"
+	"loft/internal/trace"
+)
+
+// File names inside a run directory.
+const (
+	EventsFile = "events.jsonl"
+	SeriesFile = "series.csv"
+	ChromeFile = "trace.json"
+	AuditFile  = "audit.json"
+)
+
+// IsDirTarget reports whether path names a run directory rather than a
+// single artifact file: an existing directory, or a path spelled with a
+// trailing separator. Extension dispatch keeps working for every other
+// path, so `-probe-out trace.jsonl` and `-probe-out runs/a/` coexist.
+func IsDirTarget(path string) bool {
+	if strings.HasSuffix(path, "/") || strings.HasSuffix(path, string(os.PathSeparator)) {
+		return true
+	}
+	st, err := os.Stat(path)
+	return err == nil && st.IsDir()
+}
+
+// WriteRunDir writes a full run directory: events.jsonl, series.csv and
+// trace.json from the probe (when attached), audit.json from the auditor
+// (when attached), and manifest.json with every artifact checksummed. The
+// manifest's Artifacts field is filled here; everything else comes from the
+// caller.
+func WriteRunDir(dir string, pr *probe.Probe, aud *audit.Auditor, m trace.Manifest) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var names []string
+	if pr != nil {
+		exports := []struct {
+			name   string
+			format probe.Format
+		}{
+			{EventsFile, probe.FormatJSONL},
+			{SeriesFile, probe.FormatCSV},
+			{ChromeFile, probe.FormatChromeTrace},
+		}
+		for _, e := range exports {
+			if err := writeExport(filepath.Join(dir, e.name), pr, e.format); err != nil {
+				return err
+			}
+			names = append(names, e.name)
+		}
+	}
+	if aud != nil {
+		if err := WriteAuditSnapshot(filepath.Join(dir, AuditFile), aud); err != nil {
+			return err
+		}
+		names = append(names, AuditFile)
+	}
+	m.Artifacts = m.Artifacts[:0]
+	for _, name := range names {
+		a, err := trace.FileArtifact(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		m.Artifacts = append(m.Artifacts, a)
+	}
+	return m.Write(filepath.Join(dir, trace.ManifestName))
+}
+
+// WriteFileWithManifest writes one artifact through the extension-dispatch
+// path and a sibling <path>.manifest.json checksumming it.
+func WriteFileWithManifest(path string, pr *probe.Probe, m trace.Manifest) error {
+	if err := writeExport(path, pr, probe.FormatForPath(path)); err != nil {
+		return err
+	}
+	a, err := trace.FileArtifact(path)
+	if err != nil {
+		return err
+	}
+	m.Artifacts = []trace.Artifact{a}
+	return m.Write(path + ".manifest.json")
+}
+
+// WriteAuditSnapshot writes the auditor's conformance snapshot as indented
+// JSON (the same document the introspection server serves at /audit).
+func WriteAuditSnapshot(path string, aud *audit.Auditor) error {
+	blob, err := json.MarshalIndent(aud.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+func writeExport(path string, pr *probe.Probe, f probe.Format) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := probe.Export(file, pr, f); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}
+
+// Metrics assembles the manifest metric map from a run summary and the
+// attached layers: headline result metrics, scheduler outcome rates from
+// the probe's kind counters, the offline latency decomposition, and the
+// auditor's delay-bound margin. Any of the three sources may be nil.
+func Metrics(res *core.Result, pr *probe.Probe, aud *audit.Auditor, slotCycles uint64) map[string]float64 {
+	m := make(map[string]float64)
+	if res != nil {
+		m["throughput_flits_per_cycle"] = res.TotalRate
+		m["packets"] = float64(res.Packets)
+		m["avg_latency_cycles"] = res.AvgLatency
+		m["p50_latency_cycles"] = res.P50Latency
+		m["p99_latency_cycles"] = res.P99Latency
+		m["max_latency_cycles"] = float64(res.MaxLatency)
+		m["avg_net_latency_cycles"] = res.AvgNetLatency
+		m["spec_forwards"] = float64(res.SpecForward)
+		m["drops"] = float64(res.Drops)
+		m["resets"] = float64(res.Resets)
+	}
+	if pr != nil {
+		tr := pr.Tracer()
+		grants := float64(tr.Count(probe.KindReserveGrant))
+		denies := float64(tr.Count(probe.KindReserveDeny))
+		if grants+denies > 0 {
+			m["reserve_deny_rate"] = denies / (grants + denies)
+		}
+		if grants > 0 {
+			m["frame_skip_rate"] = float64(tr.Count(probe.KindFrameSkip)) / grants
+		}
+		if attempts := float64(tr.Count(probe.KindSpecAttempt)); attempts > 0 {
+			m["spec_abort_rate"] = float64(tr.Count(probe.KindSpecAbort)) / attempts
+		}
+		if slotCycles > 0 {
+			if d, err := trace.Decompose(pr.Events(), slotCycles, tr.Dropped()); err == nil {
+				for k, v := range d.Metrics() {
+					m[k] = v
+				}
+			}
+		}
+	}
+	if aud != nil {
+		s := aud.Snapshot()
+		m["delay_bound_margin_pct"] = s.WorstMarginPct
+		m["audit_violations"] = float64(s.Violations)
+	}
+	return m
+}
+
+// Describe summarizes what a run directory write produced, for CLI output.
+func Describe(dir string, pr *probe.Probe, aud *audit.Auditor) string {
+	parts := []string{}
+	if pr != nil {
+		parts = append(parts, fmt.Sprintf("%s/%s/%s (%d events retained, %d dropped)",
+			EventsFile, SeriesFile, ChromeFile, pr.Tracer().Len(), pr.Tracer().Dropped()))
+	}
+	if aud != nil {
+		parts = append(parts, AuditFile)
+	}
+	parts = append(parts, trace.ManifestName)
+	return fmt.Sprintf("wrote run directory %s: %s", dir, strings.Join(parts, ", "))
+}

@@ -1,0 +1,104 @@
+package runio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"loft/internal/audit"
+	"loft/internal/config"
+	"loft/internal/core"
+	"loft/internal/probe"
+	"loft/internal/trace"
+	"loft/internal/traffic"
+)
+
+func TestIsDirTarget(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "plain")
+	if err := os.WriteFile(plain, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{dir, true},                              // existing directory
+		{dir + string(os.PathSeparator), true},   // trailing separator
+		{filepath.Join(dir, "new") + "/", true},  // nonexistent, spelled as a dir
+		{filepath.Join(dir, "out.jsonl"), false}, // nonexistent file path
+		{plain, false},                           // existing regular file
+	}
+	for _, c := range cases {
+		if got := IsDirTarget(c.path); got != c.want {
+			t.Errorf("IsDirTarget(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func testPattern(cfg config.LOFT) *traffic.Pattern {
+	return traffic.Uniform(cfg.Mesh(), 0.2, cfg.PacketFlits, cfg.FrameFlits)
+}
+
+// TestMetricsFromLiveRun pins the metric names the manifests record — the
+// differ's direction table (trace.MetricDirection) keys off these names.
+func TestMetricsFromLiveRun(t *testing.T) {
+	cfg := config.PaperLOFT()
+	p := testPattern(cfg)
+	pr := probe.New(probe.Config{EventCap: 1 << 20})
+	res, _, err := core.RunLOFT(cfg, p, core.RunSpec{Seed: 7, Warmup: 100, Measure: 1500, Probe: pr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Metrics(&res, pr, nil, uint64(cfg.QuantumFlits))
+	for _, name := range []string{
+		"throughput_flits_per_cycle", "packets",
+		"avg_latency_cycles", "p50_latency_cycles", "p99_latency_cycles",
+		"decomp_quanta", "decomp_mean_total_cycles",
+	} {
+		if _, ok := m[name]; !ok {
+			t.Errorf("metric %q missing from %v", name, m)
+		}
+	}
+	if m["packets"] <= 0 || m["decomp_quanta"] <= 0 {
+		t.Errorf("degenerate run: %v", m)
+	}
+	// Headline metrics must have a quality direction, or the differ would
+	// never flag their regressions.
+	for _, name := range []string{"throughput_flits_per_cycle", "avg_latency_cycles", "p99_latency_cycles"} {
+		if trace.MetricDirection(name) == trace.Neutral {
+			t.Errorf("headline metric %q has no quality direction", name)
+		}
+	}
+	// All three sources nil: empty but non-nil map, no panic.
+	if got := Metrics(nil, nil, nil, 0); len(got) != 0 {
+		t.Errorf("nil sources produced metrics: %v", got)
+	}
+}
+
+func TestWriteRunDirAuditOnly(t *testing.T) {
+	cfg := config.PaperLOFT()
+	p := testPattern(cfg)
+	aud := audit.New(audit.Config{})
+	if _, _, err := core.RunLOFT(cfg, p, core.RunSpec{Seed: 7, Warmup: 100, Measure: 1000, Audit: aud}); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "run")
+	if err := WriteRunDir(dir, nil, aud, trace.Manifest{ManifestVersion: trace.ManifestVersion, Tool: "test"}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := trace.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Artifacts) != 1 || m.Artifacts[0].Name != AuditFile {
+		t.Fatalf("artifacts = %+v, want just %s", m.Artifacts, AuditFile)
+	}
+	s, err := trace.ReadAuditFile(filepath.Join(dir, AuditFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Arch == "" || s.PacketsChecked == 0 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}

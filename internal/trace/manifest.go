@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"loft/internal/config"
+)
+
+// ManifestVersion is the current manifest schema version.
+const ManifestVersion = 1
+
+// ManifestName is the manifest's file name inside a run directory.
+const ManifestName = "manifest.json"
+
+// Artifact is one exported file of a run, pinned by checksum so a manifest
+// certifies exactly which bytes the analyses below it consumed.
+type Artifact struct {
+	Name   string `json:"name"`
+	Bytes  int64  `json:"bytes"`
+	SHA256 string `json:"sha256"`
+}
+
+// Manifest records everything needed to reproduce and compare a run: the
+// full configuration, seeds, topology, environment provenance (wall time
+// and git revision — captured by internal/runenv, outside the
+// determinism-checked packages), headline metrics, and the checksummed
+// artifact list. Metrics is a flat name → value map so the differ and the
+// BENCH_*.json trend reader share one comparison path; encoding/json
+// serializes map keys sorted, keeping manifests byte-stable.
+type Manifest struct {
+	ManifestVersion int      `json:"manifest_version"`
+	Tool            string   `json:"tool"`
+	Command         []string `json:"command,omitempty"`
+	CreatedUTC      string   `json:"created_utc,omitempty"`
+	GitRevision     string   `json:"git_revision,omitempty"`
+
+	Arch          string   `json:"arch,omitempty"`
+	Pattern       string   `json:"pattern,omitempty"`
+	Seeds         []uint64 `json:"seeds,omitempty"`
+	WarmupCycles  uint64   `json:"warmup_cycles,omitempty"`
+	MeasureCycles uint64   `json:"measure_cycles,omitempty"`
+	MeshK         int      `json:"mesh_k,omitempty"`
+	Nodes         int      `json:"nodes,omitempty"`
+
+	Config *config.LOFT `json:"config,omitempty"`
+
+	Metrics   map[string]float64 `json:"metrics,omitempty"`
+	Artifacts []Artifact         `json:"artifacts,omitempty"`
+}
+
+// ReadManifest loads a manifest from path; a directory path reads the
+// ManifestName inside it.
+func ReadManifest(path string) (*Manifest, error) {
+	if st, err := os.Stat(path); err == nil && st.IsDir() {
+		path = filepath.Join(path, ManifestName)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if m.ManifestVersion == 0 {
+		return nil, fmt.Errorf("%s: not a run manifest (missing manifest_version)", path)
+	}
+	if m.ManifestVersion > ManifestVersion {
+		return nil, fmt.Errorf("%s: manifest version %d is newer than this tool understands (%d)",
+			path, m.ManifestVersion, ManifestVersion)
+	}
+	return &m, nil
+}
+
+// Write serializes the manifest to path as indented JSON.
+func (m *Manifest) Write(path string) error {
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// FileArtifact checksums one exported file.
+func FileArtifact(path string) (Artifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Artifact{}, err
+	}
+	defer f.Close()
+	h := sha256.New()
+	n, err := io.Copy(h, f)
+	if err != nil {
+		return Artifact{}, fmt.Errorf("%s: %v", path, err)
+	}
+	return Artifact{
+		Name:   filepath.Base(path),
+		Bytes:  n,
+		SHA256: fmt.Sprintf("%x", h.Sum(nil)),
+	}, nil
+}

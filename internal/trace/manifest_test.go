@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"loft/internal/config"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	cfg := config.PaperLOFT()
+	m := Manifest{
+		ManifestVersion: ManifestVersion,
+		Tool:            "loftsim",
+		Command:         []string{"loftsim", "-arch", "loft"},
+		CreatedUTC:      "2026-08-08T00:00:00Z",
+		GitRevision:     "deadbeef",
+		Arch:            "loft",
+		Pattern:         "case1",
+		Seeds:           []uint64{1, 2},
+		WarmupCycles:    200,
+		MeasureCycles:   1500,
+		MeshK:           8,
+		Nodes:           64,
+		Config:          &cfg,
+		Metrics:         map[string]float64{"packets": 1234, "avg_latency_cycles": 56.7},
+		Artifacts:       []Artifact{{Name: "events.jsonl", Bytes: 10, SHA256: "ab"}},
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, ManifestName)
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	// Reading the directory resolves to its manifest.json.
+	for _, target := range []string{path, dir} {
+		got, err := ReadManifest(target)
+		if err != nil {
+			t.Fatalf("ReadManifest(%s): %v", target, err)
+		}
+		if !reflect.DeepEqual(*got, m) {
+			t.Errorf("round trip via %s diverged:\n got %+v\nwant %+v", target, *got, m)
+		}
+	}
+	// Byte-stable: writing the same manifest twice yields identical bytes.
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Error("manifest serialization is not byte-stable")
+	}
+}
+
+func TestReadManifestRejectsNewerVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), ManifestName)
+	if err := os.WriteFile(path, []byte(`{"manifest_version": 9999}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadManifest(path)
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("err = %v, want unsupported-version error", err)
+	}
+}
+
+func TestFileArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	if err := os.WriteFile(path, []byte("hello\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := FileArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "events.jsonl" || a.Bytes != 6 {
+		t.Errorf("artifact = %+v", a)
+	}
+	// sha256("hello\n")
+	if a.SHA256 != "5891b5b522d5df086d0ff0b110fbd9d21bb4fc7163af34d08286a2e846f6be03" {
+		t.Errorf("sha256 = %s", a.SHA256)
+	}
+}
+
+func TestLoadMetricsFormats(t *testing.T) {
+	dir := t.TempDir()
+	// Flat BENCH-style file.
+	flat := filepath.Join(dir, "BENCH_test.json")
+	if err := os.WriteFile(flat, []byte(`{"BenchmarkSimulatorSpeed": 6431}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadMetrics(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Manifest != nil || s.Metrics["BenchmarkSimulatorSpeed"] != 6431 {
+		t.Errorf("flat source = %+v", s)
+	}
+	// Run directory with a manifest.
+	run := filepath.Join(dir, "run")
+	if err := os.MkdirAll(run, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	m := Manifest{ManifestVersion: ManifestVersion, Tool: "loftsim",
+		Metrics: map[string]float64{"packets": 7}}
+	if err := m.Write(filepath.Join(run, ManifestName)); err != nil {
+		t.Fatal(err)
+	}
+	s, err = LoadMetrics(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Manifest == nil || s.Metrics["packets"] != 7 {
+		t.Errorf("manifest source = %+v", s)
+	}
+	// Garbage is neither.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`[1,2,3]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadMetrics(bad); err == nil {
+		t.Error("want error for non-metric JSON")
+	}
+}
+
+func TestTrendFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a := write("BENCH_a.json", `{"BenchmarkSimulatorSpeed": 6000, "only_a": 1}`)
+	b := write("BENCH_b.json", `{"BenchmarkSimulatorSpeed": 6200}`)
+	c := write("BENCH_c.json", `{"BenchmarkSimulatorSpeed": 5000, "only_c": 2}`)
+	tr, err := TrendFromFiles([]string{a, b, c}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Labels) != 3 || tr.Labels[0] != "BENCH_a.json" {
+		t.Errorf("labels = %v", tr.Labels)
+	}
+	var speed *TrendRow
+	for i := range tr.Rows {
+		if tr.Rows[i].Name == "BenchmarkSimulatorSpeed" {
+			speed = &tr.Rows[i]
+		}
+	}
+	if speed == nil {
+		t.Fatal("no BenchmarkSimulatorSpeed row")
+	}
+	// 6000 -> 5000 on a higher-is-better benchmark metric: regression.
+	if !speed.Regressed || speed.First != 6000 || speed.Last != 5000 {
+		t.Errorf("speed row = %+v", speed)
+	}
+	if tr.Regressions != 1 {
+		t.Errorf("regressions = %d, want 1", tr.Regressions)
+	}
+	// Metrics absent from some files align as nulls, no spurious regression.
+	for _, r := range tr.Rows {
+		if r.Name == "only_a" && (len(r.Values) != 3 || r.Values[1] != nil || r.Regressed) {
+			t.Errorf("only_a row = %+v", r)
+		}
+	}
+	if _, err := TrendFromFiles([]string{a}, 5); err == nil {
+		t.Error("want error for a single file")
+	}
+}

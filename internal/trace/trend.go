@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"loft/internal/det"
+)
+
+// MetricSource is one loaded metric set: a run manifest, a BENCH_*.json
+// flat baseline, or a loftexp JSON report is reduced to the same flat map
+// so diffing and trending share one comparison path.
+type MetricSource struct {
+	Label    string
+	Metrics  map[string]float64
+	Manifest *Manifest // nil for flat files
+}
+
+// LoadMetrics loads a metric source from path: a run directory (its
+// manifest), a manifest file, or a flat name → value JSON file (the
+// BENCH_*.json format).
+func LoadMetrics(path string) (*MetricSource, error) {
+	resolved := path
+	if st, err := os.Stat(path); err == nil && st.IsDir() {
+		resolved = filepath.Join(path, ManifestName)
+	}
+	blob, err := os.ReadFile(resolved)
+	if err != nil {
+		return nil, err
+	}
+	// A manifest announces itself with manifest_version; anything else must
+	// be the flat baseline format.
+	var probe struct {
+		ManifestVersion int `json:"manifest_version"`
+	}
+	if err := json.Unmarshal(blob, &probe); err == nil && probe.ManifestVersion > 0 {
+		m, err := ReadManifest(resolved)
+		if err != nil {
+			return nil, err
+		}
+		return &MetricSource{Label: path, Metrics: m.Metrics, Manifest: m}, nil
+	}
+	var flat map[string]float64
+	if err := json.Unmarshal(blob, &flat); err != nil {
+		return nil, fmt.Errorf("%s: neither a run manifest nor a flat metric map: %v", resolved, err)
+	}
+	return &MetricSource{Label: path, Metrics: flat}, nil
+}
+
+// TrendRow is one metric's trajectory across an ordered sequence of
+// baselines.
+type TrendRow struct {
+	Name      string     `json:"name"`
+	Values    []*float64 `json:"values"` // aligned with Trend.Labels; null where absent
+	First     float64    `json:"first"`
+	Last      float64    `json:"last"`
+	ChangePct float64    `json:"change_pct"` // last vs first
+	Direction string     `json:"direction"`
+	Regressed bool       `json:"regressed"` // change beyond threshold in the bad direction
+}
+
+// Trend is the cross-baseline trajectory report (`lofttrace trend
+// BENCH_*.json` or a series of run manifests).
+type Trend struct {
+	Labels       []string   `json:"labels"`
+	ThresholdPct float64    `json:"threshold_pct"`
+	Rows         []TrendRow `json:"rows"`
+	Regressions  int        `json:"regressions"`
+}
+
+// TrendFromFiles builds the trajectory across the given files in argument
+// order (pass BENCH_*.json sorted by name for the chronological record).
+func TrendFromFiles(paths []string, thresholdPct float64) (*Trend, error) {
+	if len(paths) < 2 {
+		return nil, fmt.Errorf("trend needs at least two metric files, got %d", len(paths))
+	}
+	srcs := make([]*MetricSource, 0, len(paths))
+	names := make(map[string]bool)
+	t := &Trend{ThresholdPct: thresholdPct}
+	for _, p := range paths {
+		s, err := LoadMetrics(p)
+		if err != nil {
+			return nil, err
+		}
+		srcs = append(srcs, s)
+		t.Labels = append(t.Labels, filepath.Base(s.Label))
+		for k := range s.Metrics {
+			names[k] = true
+		}
+	}
+	for _, name := range det.Keys(names) {
+		row := TrendRow{Name: name, Direction: MetricDirection(name).String()}
+		var first, last *float64
+		for _, s := range srcs {
+			if v, ok := s.Metrics[name]; ok {
+				v := v
+				row.Values = append(row.Values, &v)
+				if first == nil {
+					first = &v
+				}
+				last = &v
+			} else {
+				row.Values = append(row.Values, nil)
+			}
+		}
+		if first != nil {
+			row.First, row.Last = *first, *last
+			switch {
+			case row.First != 0:
+				row.ChangePct = 100 * (row.Last - row.First) / row.First
+			case row.Last != 0:
+				row.ChangePct = 100
+			}
+			dir := MetricDirection(name)
+			bad := (dir == HigherIsBetter && row.ChangePct < 0) || (dir == LowerIsBetter && row.ChangePct > 0)
+			if bad && abs(row.ChangePct) > thresholdPct {
+				row.Regressed = true
+				t.Regressions++
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -62,3 +62,20 @@ END {
 
 echo "wrote $out:"
 cat "$out"
+
+# Sanity-check the overhead pairs: the instrumented ("on") run does strictly
+# more work, so on > off beyond scheduling noise means the pair was measured
+# under different machine conditions and the baseline should be re-recorded
+# on a quiet machine.
+awk -F'[:,]' '
+/"BenchmarkProbeOverhead\/off"/ { poff = $2 + 0 }
+/"BenchmarkProbeOverhead\/on"/  { pon  = $2 + 0 }
+/"BenchmarkAuditOverhead\/off"/ { aoff = $2 + 0 }
+/"BenchmarkAuditOverhead\/on"/  { aon  = $2 + 0 }
+END {
+    if (poff > 0 && pon > poff * 1.02)
+        printf "bench.sh: WARNING: inverted overhead pair: ProbeOverhead/on (%g) > off (%g); noisy measurement, consider re-running\n", pon, poff > "/dev/stderr"
+    if (aoff > 0 && aon > aoff * 1.02)
+        printf "bench.sh: WARNING: inverted overhead pair: AuditOverhead/on (%g) > off (%g); noisy measurement, consider re-running\n", aon, aoff > "/dev/stderr"
+}
+' "$out"
