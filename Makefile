@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-sweep vet fmt lint check audit-smoke trace-smoke bench bench-save bench-check bench-probe
+.PHONY: build test race race-sweep par-smoke vet fmt lint check audit-smoke trace-smoke bench bench-save bench-check bench-probe
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,12 @@ race:
 race-sweep:
 	$(GO) test -race ./internal/sweep
 	$(GO) test -race -run TestFig10SweepDeterminism ./internal/exp
+
+# The intra-run parallel engine's byte-identity goldens under the race
+# detector: sharded node stepping must reproduce the sequential results,
+# probe event streams and audit snapshots exactly, for LOFT and GSF.
+par-smoke:
+	$(GO) test -race -run 'TestParallelDeterminism|TestParallelGSFDeterminism' -count=1 .
 
 vet:
 	$(GO) vet ./...
@@ -58,7 +64,7 @@ trace-smoke:
 	$(GO) run ./cmd/lofttrace diff "$$dir/run" "$$dir/run"; \
 	rm -rf "$$dir"
 
-check: build vet fmt lint test race-sweep race audit-smoke trace-smoke
+check: build vet fmt lint test race-sweep par-smoke race audit-smoke trace-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -75,7 +81,7 @@ BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 bench-check:
 	@test -n "$(BASELINE)" || { echo "no BENCH_*.json baseline recorded; run make bench-save"; exit 1; }
 	LOFT_BENCH_BASELINE=$(BASELINE) $(GO) test -run '^$$' \
-		-bench 'BenchmarkSimulatorSpeed|BenchmarkProbeOverhead|BenchmarkAuditOverhead' -benchtime 10x -count 3 .
+		-bench 'BenchmarkSimulatorSpeed|BenchmarkProbeOverhead|BenchmarkAuditOverhead|BenchmarkSteadyStateAllocs' -benchtime 10x -count 3 .
 
 # Probe-layer overhead: "off" must stay within 2% of the pre-probe simulator.
 bench-probe:

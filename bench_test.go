@@ -16,6 +16,7 @@ import (
 	"loft/internal/config"
 	"loft/internal/core"
 	"loft/internal/exp"
+	loftnet "loft/internal/loft"
 	"loft/internal/probe"
 	"loft/internal/tdm"
 	"loft/internal/topo"
@@ -233,9 +234,25 @@ func baselineGuard(b *testing.B, name string, got, allowedPct float64) {
 	baselineTol[name] = allowedPct
 }
 
+// baselineGuardLow is baselineGuard for lower-is-better metrics (allocation
+// counts): the best repetition is the minimum, and bench-check fails when
+// the best run exceeds the recorded baseline by more than allowedPct (a zero
+// baseline tolerates nothing).
+func baselineGuardLow(b *testing.B, name string, got, allowedPct float64) {
+	if os.Getenv("LOFT_BENCH_BASELINE") == "" {
+		return
+	}
+	if best, ok := baselineBest[name]; !ok || got < best {
+		baselineBest[name] = got
+	}
+	baselineTol[name] = allowedPct
+	baselineLow[name] = true
+}
+
 var (
 	baselineBest = map[string]float64{}
 	baselineTol  = map[string]float64{}
+	baselineLow  = map[string]bool{}
 )
 
 func TestMain(m *testing.M) {
@@ -273,7 +290,13 @@ func checkBaseline() error {
 		if !ok {
 			return fmt.Errorf("baseline %s has no entry %q", path, name)
 		}
-		if tol := baselineTol[name]; got < want*(1-tol/100) {
+		tol := baselineTol[name]
+		if baselineLow[name] {
+			if got > want*(1+tol/100) {
+				return fmt.Errorf("%s regressed: best run %g vs baseline %g (lower is better, allowed +%.1f%%)",
+					name, got, want, tol)
+			}
+		} else if got < want*(1-tol/100) {
 			return fmt.Errorf("%s regressed: best run %.0f vs baseline %.0f (-%.1f%%, allowed %.1f%%)",
 				name, got, want, 100*(1-got/want), tol)
 		}
@@ -308,6 +331,53 @@ func BenchmarkSimulatorSpeed(b *testing.B) {
 	cps := float64(2000*b.N) / b.Elapsed().Seconds()
 	b.ReportMetric(cps, "sim-cycles/sec")
 	baselineGuard(b, "BenchmarkSimulatorSpeed", cps, 2)
+}
+
+// BenchmarkParallelSpeed measures simulation throughput of the sharded
+// two-phase cycle engine across worker counts on the 8x8 paper
+// configuration. workers=1 is the sequential kernel; the speedup of the
+// other rows is machine-dependent (bounded by available cores), so the
+// numbers are recorded in the bench baseline but not regression-guarded.
+func BenchmarkParallelSpeed(b *testing.B) {
+	cfg := config.PaperLOFT()
+	p := trafficUniform(cfg, 0.2)
+	primeRun(b, cfg, p)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.RunLOFT(cfg, p, core.RunSpec{Seed: 1, Warmup: 0, Measure: 2000, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			cps := float64(2000*b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(cps, "sim-cycles/sec")
+		})
+	}
+}
+
+// BenchmarkSteadyStateAllocs pins the simulator's steady-state allocation
+// rate: once past the startup transient a LOFT run must not allocate at
+// all. The metric is allocations per 50-cycle chunk; the baseline records 0
+// and bench-check fails on any increase.
+func BenchmarkSteadyStateAllocs(b *testing.B) {
+	cfg := config.PaperLOFT()
+	p := trafficUniform(cfg, 0.2)
+	// Warmup beyond the horizon keeps stats collectors on their early-return
+	// branches (as in TestSteadyStateZeroAlloc).
+	net, err := loftnet.New(cfg, p, loftnet.Options{Seed: 1, Warmup: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer net.Close()
+	net.Run(4000)
+	avg := testing.AllocsPerRun(10, func() { net.Run(50) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Run(50)
+	}
+	b.ReportMetric(avg, "steady-allocs/chunk")
+	baselineGuardLow(b, "BenchmarkSteadyStateAllocs", avg, 0)
 }
 
 // BenchmarkProbeOverhead measures the observability layer's cost on the

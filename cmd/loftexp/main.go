@@ -36,6 +36,7 @@ func main() {
 		auditOut    = flag.String("audit-out", "", "write the audit conformance snapshot JSON here, plus a sibling manifest; implies -audit")
 		httpAddr    = flag.String("http", "", "serve live introspection (/metrics, /audit, /debug/pprof) on this address; implies -audit")
 		workers     = flag.Int("j", 0, "concurrent simulations per experiment (0 = one per CPU; probe and audit runs are forced sequential)")
+		nodeWorkers = flag.Int("jnode", 0, "shard node ticking inside each simulation across this many OS threads (0 or 1 = sequential; results are byte-identical)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -66,7 +67,7 @@ func main() {
 		aud.OnPublish(func() { srv.Publish(pr, aud) })
 		fmt.Fprintf(os.Stderr, "introspection server listening on %s\n", srv.URL())
 	}
-	o := exp.Options{Seed: *seed, Quick: *quick, Workers: *workers, Probe: pr, Audit: aud}
+	o := exp.Options{Seed: *seed, Quick: *quick, Workers: *workers, NodeWorkers: *nodeWorkers, Probe: pr, Audit: aud}
 	if srv != nil {
 		o.Progress = srv.JobProgress
 	}

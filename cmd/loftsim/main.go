@@ -74,6 +74,7 @@ func main() {
 		httpAddr    = flag.String("http", "", "serve live introspection (/metrics, /audit, /debug/pprof) on this address, e.g. :8080; implies -audit")
 		seeds       = flag.Int("seeds", 1, "run this many seeds (seed, seed+1, ...) and report per-seed plus aggregate statistics")
 		workers     = flag.Int("j", 0, "concurrent runs for -seeds > 1 (0 = one per CPU; probe runs are forced sequential)")
+		nodeWorkers = flag.Int("jnode", 0, "shard node ticking inside each run across this many OS threads (0 or 1 = sequential; results are byte-identical)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -165,7 +166,7 @@ func main() {
 		aud.OnPublish(func() { srv.Publish(pr, aud) })
 		fmt.Fprintf(os.Stderr, "introspection server listening on %s\n", srv.URL())
 	}
-	run := core.RunSpec{Seed: *seed, Warmup: *warmup, Measure: *cycles, Probe: pr, Audit: aud}
+	run := core.RunSpec{Seed: *seed, Warmup: *warmup, Measure: *cycles, Probe: pr, Audit: aud, Workers: *nodeWorkers}
 	if *seeds > 1 {
 		if err := runSeeds(*arch, lcfg, p, run, *seeds, *workers, *rate, *probeOut, *auditOut, srv); err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -140,6 +140,10 @@ func (a *Auditor) WatchTable(t *lsf.Table, name string) {
 	if a == nil {
 		return
 	}
+	a.watchTable(t, name)
+}
+
+func (a *Auditor) watchTable(t *lsf.Table, name string) *tableState {
 	ts := &tableState{
 		a:             a,
 		t:             t,
@@ -149,6 +153,7 @@ func (a *Auditor) WatchTable(t *lsf.Table, name string) {
 	}
 	a.tables = append(a.tables, ts)
 	t.SetAudit(ts)
+	return ts
 }
 
 // RegisterCheck adds an architecture-specific invariant evaluated on every
@@ -283,6 +288,10 @@ type tableState struct {
 	a    *Auditor
 	t    *lsf.Table
 	name string
+	// h is set when the table belongs to a node running under a staging
+	// Hook: tap violations and grant-check counts are then buffered on the
+	// hook instead of hitting the shared Auditor during the compute phase.
+	h *Hook
 
 	// shadowOutstanding counts observed grants minus observed returns; it
 	// must always equal the table's Outstanding().
@@ -303,30 +312,45 @@ type tableState struct {
 func (ts *tableState) AuditGrant(f flit.FlowID, quantum, slot uint64, frame int) {
 	ts.granted++
 	ts.shadowOutstanding++
-	a := ts.a
-	a.grantChecks++
+	if ts.h != nil && ts.h.staging {
+		ts.h.grants++
+	} else {
+		ts.a.grantChecks++
+	}
 	end := ts.t.EndCredit()
 	if end < ts.minEndCredit {
 		ts.minEndCredit = end
 	}
 	if end < 0 {
-		a.violate(Violation{Kind: "admission-negative-credit", Where: ts.name, Flow: int32(f),
+		ts.report(Violation{Kind: "admission-negative-credit", Where: ts.name, Flow: int32(f),
 			Detail: fmt.Sprintf("grant of flow %d quantum %d at slot %d left window-end credit %d < 0", f, quantum, slot, end)})
 	}
 	out := ts.t.Outstanding()
 	if end != ts.t.BufferCap()-out {
-		a.violate(Violation{Kind: "credit-conservation", Where: ts.name, Flow: int32(f),
+		ts.report(Violation{Kind: "credit-conservation", Where: ts.name, Flow: int32(f),
 			Detail: fmt.Sprintf("window-end credit %d != BN %d - outstanding %d after grant", end, ts.t.BufferCap(), out)})
 	}
 	if out != ts.shadowOutstanding {
-		a.violate(Violation{Kind: "outstanding-mismatch", Where: ts.name,
+		ts.report(Violation{Kind: "outstanding-mismatch", Where: ts.name,
 			Detail: fmt.Sprintf("table outstanding %d != observed grants-returns %d", out, ts.shadowOutstanding)})
 	}
 	now := ts.t.NowSlot()
 	if slot <= now || slot >= now+uint64(ts.t.WindowSlots()) {
-		a.violate(Violation{Kind: "slot-outside-window", Where: ts.name, Flow: int32(f),
+		ts.report(Violation{Kind: "slot-outside-window", Where: ts.name, Flow: int32(f),
 			Detail: fmt.Sprintf("booked slot %d outside (%d, %d]", slot, now, now+uint64(ts.t.WindowSlots()))})
 	}
+}
+
+// report raises one tap violation, staging it on the node's hook when the
+// table runs under a parallel shard. The violation's cycle stamp is applied
+// by violate at replay time, which happens before OnCycle advances the
+// clock — exactly the stamp the sequential tap would have produced.
+func (ts *tableState) report(v Violation) {
+	if ts.h != nil && ts.h.staging {
+		ts.h.ops = append(ts.h.ops, func(a *Auditor) { a.violate(v) })
+		return
+	}
+	ts.a.violate(v)
 }
 
 // AuditFrameAdvance cross-checks the skipped(i) accounting the §4.2 anomaly
@@ -334,7 +358,7 @@ func (ts *tableState) AuditGrant(f flit.FlowID, quantum, slot uint64, frame int)
 func (ts *tableState) AuditFrameAdvance(f flit.FlowID, frame, abandoned int) {
 	ts.shadowSkipped[frame] += abandoned
 	if got := ts.t.Skipped(frame); got != ts.shadowSkipped[frame] {
-		ts.a.violate(Violation{Kind: "skipped-accounting", Where: ts.name, Flow: int32(f),
+		ts.report(Violation{Kind: "skipped-accounting", Where: ts.name, Flow: int32(f),
 			Detail: fmt.Sprintf("skipped(%d) = %d, observed abandonments say %d", frame, got, ts.shadowSkipped[frame])})
 	}
 }
@@ -345,7 +369,7 @@ func (ts *tableState) AuditReturn(tag uint64) {
 	ts.returned++
 	ts.shadowOutstanding--
 	if ts.shadowOutstanding < 0 {
-		ts.a.violate(Violation{Kind: "return-underflow", Where: ts.name,
+		ts.report(Violation{Kind: "return-underflow", Where: ts.name,
 			Detail: fmt.Sprintf("more virtual-credit returns (%d) than grants (%d)", ts.returned, ts.granted)})
 		ts.shadowOutstanding = 0
 	}

@@ -1,0 +1,161 @@
+package audit
+
+import (
+	"loft/internal/flit"
+	"loft/internal/lsf"
+)
+
+// Hook is one node's view of the shared Auditor. In sequential runs it
+// forwards every call immediately, so behaviour is unchanged. In parallel
+// runs (staging mode) the shared-state effects — flight-recorder updates,
+// violations raised by table taps, and the grant-check counter — are
+// buffered per node during the compute phase and replayed by Flush at the
+// cycle barrier, in node order. Replaying a node's buffered operations in
+// their original order reproduces exactly the call sequence the sequential
+// kernel would have made, which keeps audit snapshots byte-identical for
+// any worker count.
+//
+// Per-table shadow counters (tableState) are NOT staged: each table belongs
+// to one node, so its taps touch only that node's shard during compute.
+// Taps read live table state at the call site — deferring the reads would
+// change what they observe — and only route the resulting violations
+// through the hook.
+//
+// A nil *Hook is the disabled state; every method is nil-receiver safe.
+type Hook struct {
+	a       *Auditor
+	staging bool
+	ops     []func(*Auditor)
+	grants  uint64
+}
+
+// NewHook returns a hook over the auditor, staging when staged is true.
+// A nil auditor yields a nil hook.
+func NewHook(a *Auditor, staged bool) *Hook {
+	if a == nil {
+		return nil
+	}
+	return &Hook{a: a, staging: staged}
+}
+
+// Flush replays the buffered operations onto the auditor, in call order,
+// and empties the buffer. No-op for nil or non-staging hooks.
+func (h *Hook) Flush() {
+	if h == nil || !h.staging {
+		return
+	}
+	for i, op := range h.ops {
+		op(h.a)
+		h.ops[i] = nil
+	}
+	h.ops = h.ops[:0]
+	h.a.grantChecks += h.grants
+	h.grants = 0
+}
+
+// WatchTable attaches invariant taps to one LSF table, routing the taps'
+// violations through this hook's staging buffer.
+func (h *Hook) WatchTable(t *lsf.Table, name string) {
+	if h == nil {
+		return
+	}
+	h.a.watchTable(t, name).h = h
+}
+
+// LOFTBook forwards Auditor.LOFTBook, staging when in staging mode.
+func (h *Hook) LOFTBook(id flit.QuantumID, pktSeq uint64, node int32, depart, now uint64) {
+	if h == nil {
+		return
+	}
+	if !h.staging {
+		h.a.LOFTBook(id, pktSeq, node, depart, now)
+		return
+	}
+	h.ops = append(h.ops, func(a *Auditor) { a.LOFTBook(id, pktSeq, node, depart, now) })
+}
+
+// LOFTReserve forwards Auditor.LOFTReserve, staging when in staging mode.
+func (h *Hook) LOFTReserve(id flit.QuantumID, node, out int32, depart, now uint64) {
+	if h == nil {
+		return
+	}
+	if !h.staging {
+		h.a.LOFTReserve(id, node, out, depart, now)
+		return
+	}
+	h.ops = append(h.ops, func(a *Auditor) { a.LOFTReserve(id, node, out, depart, now) })
+}
+
+// LOFTInject forwards Auditor.LOFTInject, staging when in staging mode.
+func (h *Hook) LOFTInject(id flit.QuantumID, flits int, node int32, now uint64) {
+	if h == nil {
+		return
+	}
+	if !h.staging {
+		h.a.LOFTInject(id, flits, node, now)
+		return
+	}
+	h.ops = append(h.ops, func(a *Auditor) { a.LOFTInject(id, flits, node, now) })
+}
+
+// LOFTForward forwards Auditor.LOFTForward, staging when in staging mode.
+func (h *Hook) LOFTForward(id flit.QuantumID, node, out int32, spec bool, now uint64) {
+	if h == nil {
+		return
+	}
+	if !h.staging {
+		h.a.LOFTForward(id, node, out, spec, now)
+		return
+	}
+	h.ops = append(h.ops, func(a *Auditor) { a.LOFTForward(id, node, out, spec, now) })
+}
+
+// LOFTEject forwards Auditor.LOFTEject, staging when in staging mode.
+func (h *Hook) LOFTEject(id flit.QuantumID, flits int, node int32, now uint64) {
+	if h == nil {
+		return
+	}
+	if !h.staging {
+		h.a.LOFTEject(id, flits, node, now)
+		return
+	}
+	h.ops = append(h.ops, func(a *Auditor) { a.LOFTEject(id, flits, node, now) })
+}
+
+// LOFTPacketDone forwards Auditor.LOFTPacketDone, staging when in staging
+// mode.
+func (h *Hook) LOFTPacketDone(flow flit.FlowID, pktSeq, injected, done uint64) {
+	if h == nil {
+		return
+	}
+	if !h.staging {
+		h.a.LOFTPacketDone(flow, pktSeq, injected, done)
+		return
+	}
+	h.ops = append(h.ops, func(a *Auditor) { a.LOFTPacketDone(flow, pktSeq, injected, done) })
+}
+
+// GSFInject forwards Auditor.GSFInject, staging when in staging mode.
+func (h *Hook) GSFInject(flow flit.FlowID, pktSeq, now uint64) {
+	if h == nil {
+		return
+	}
+	if !h.staging {
+		h.a.GSFInject(flow, pktSeq, now)
+		return
+	}
+	h.ops = append(h.ops, func(a *Auditor) { a.GSFInject(flow, pktSeq, now) })
+}
+
+// GSFPacketDone forwards Auditor.GSFPacketDone, staging when in staging
+// mode.
+func (h *Hook) GSFPacketDone(flow flit.FlowID, pktSeq, injected, done uint64) {
+	if h == nil {
+		return
+	}
+	if !h.staging {
+		h.a.GSFPacketDone(flow, pktSeq, injected, done)
+		return
+	}
+	h.ops = append(h.ops, func(a *Auditor) { a.GSFPacketDone(flow, pktSeq, injected, done) })
+}

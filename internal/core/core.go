@@ -41,6 +41,10 @@ type RunSpec struct {
 	// never changes simulation results. Violations accumulate on the
 	// auditor across runs; callers decide whether they are fatal.
 	Audit *audit.Auditor
+	// Workers selects the intra-run cycle engine: 0 or 1 runs sequentially,
+	// N > 1 shards node ticking across N OS threads. Results are
+	// byte-identical for any value (see DESIGN.md §13).
+	Workers int
 }
 
 // Total returns warmup + measure cycles.
@@ -97,7 +101,7 @@ func summarize(arch Arch, lat, latNet *stats.Latency, latFlow *stats.FlowLatency
 // RunLOFT builds a LOFT network for cfg and pattern, runs it, and returns
 // the result summary together with the network for further inspection.
 func RunLOFT(cfg config.LOFT, p *traffic.Pattern, spec RunSpec) (Result, *loft.Network, error) {
-	net, err := loft.New(cfg, p, loft.Options{Seed: spec.Seed, Warmup: spec.Warmup, Probe: spec.Probe, Audit: spec.Audit})
+	net, err := loft.New(cfg, p, loft.Options{Seed: spec.Seed, Warmup: spec.Warmup, Probe: spec.Probe, Audit: spec.Audit, Workers: spec.Workers})
 	if err != nil {
 		return Result{}, nil, err
 	}
@@ -108,6 +112,7 @@ func RunLOFT(cfg config.LOFT, p *traffic.Pattern, spec RunSpec) (Result, *loft.N
 	if spec.Audit != nil {
 		spec.Audit.FinishRun(net.Now())
 	}
+	net.Close()
 	res := summarize(ArchLOFT, net.Latency(), net.NetLatency(), net.FlowLatency(), net.Throughput(), p.Flows, p.Mesh.N())
 	s := net.TotalStats()
 	res.SpecForward = s.SpecForwards
@@ -120,7 +125,7 @@ func RunLOFT(cfg config.LOFT, p *traffic.Pattern, spec RunSpec) (Result, *loft.N
 // pattern's reservations (expressed against baseFrameFlits) are rescaled to
 // GSF's frame size.
 func RunGSF(cfg config.GSF, p *traffic.Pattern, baseFrameFlits int, spec RunSpec) (Result, *gsf.Network, error) {
-	net, err := gsf.New(cfg, p, gsf.Options{Seed: spec.Seed, Warmup: spec.Warmup, BaseFrameFlits: baseFrameFlits, Probe: spec.Probe, Audit: spec.Audit})
+	net, err := gsf.New(cfg, p, gsf.Options{Seed: spec.Seed, Warmup: spec.Warmup, BaseFrameFlits: baseFrameFlits, Probe: spec.Probe, Audit: spec.Audit, Workers: spec.Workers})
 	if err != nil {
 		return Result{}, nil, err
 	}
@@ -131,6 +136,7 @@ func RunGSF(cfg config.GSF, p *traffic.Pattern, baseFrameFlits int, spec RunSpec
 	if spec.Audit != nil {
 		spec.Audit.FinishRun(net.Now())
 	}
+	net.Close()
 	res := summarize(ArchGSF, net.Latency(), net.NetLatency(), net.FlowLatency(), net.Throughput(), p.Flows, p.Mesh.N())
 	res.Drops = net.Drops()
 	return res, net, nil

@@ -16,6 +16,7 @@ package gsf
 import (
 	"fmt"
 
+	"loft/internal/audit"
 	"loft/internal/buffers"
 	"loft/internal/config"
 	"loft/internal/flit"
@@ -95,18 +96,47 @@ type node struct {
 	flows    map[flit.FlowID]*flowState
 	injVC    int // local input VC currently carrying the injected packet
 
-	flitOut  [4]*sim.Reg[linkMsg]
-	flitIn   [4]*sim.Reg[linkMsg]
-	credOut  [4]*sim.Reg[creditMsg]
-	credIn   [4]*sim.Reg[creditMsg]
-	pendCred [4]*creditMsg
+	flitOut [4]*sim.Reg[linkMsg]
+	flitIn  [4]*sim.Reg[linkMsg]
+	credOut [4]*sim.Reg[creditMsg]
+	credIn  [4]*sim.Reg[creditMsg]
+	// pendCred holds at most one credit return per direction per cycle;
+	// pendCredSet marks occupancy (value storage — no per-flit allocation).
+	pendCred    [4]creditMsg
+	pendCredSet [4]bool
 
 	pktFlits map[pktKey]pktProgress
 
 	// linkBusy counts flits forwarded per mesh output (link utilization).
 	linkBusy [4]uint64
 
+	// probe aliases net.probe, or a per-node staging view of it under the
+	// parallel engine; audit is this node's (possibly staging) auditor hook.
+	probe *probe.Probe
+	audit *audit.Hook
+	// staged marks parallel operation: effects on network-global state
+	// (frame census, throttle counter, stats collectors) buffer here during
+	// the compute phase and replay at the cycle barrier in node-id order.
+	staged         bool
+	frameDeltas    []frameDelta
+	throttleStaged uint64
+	stagedObs      []gsfObs
+
 	drops uint64
+}
+
+// frameDelta is one deferred frame-census update.
+type frameDelta struct {
+	frame, delta int
+}
+
+// gsfObs is one deferred ejection observation: throughput always, packet
+// latencies when the flit is a tail.
+type gsfObs struct {
+	f        flit.Flit
+	injected uint64
+	now      uint64
+	tail     bool
 }
 
 type pktKey struct {
@@ -120,6 +150,7 @@ type pktProgress struct {
 }
 
 func newNode(id topo.NodeID, cfg config.GSF, net *Network) *node {
+	staged := net.workers > 1
 	n := &node{
 		id:       id,
 		net:      net,
@@ -127,6 +158,12 @@ func newNode(id topo.NodeID, cfg config.GSF, net *Network) *node {
 		flows:    make(map[flit.FlowID]*flowState),
 		injVC:    -1,
 		pktFlits: make(map[pktKey]pktProgress),
+		probe:    net.probe,
+		audit:    audit.NewHook(net.audit, staged),
+		staged:   staged,
+	}
+	if staged {
+		n.probe = net.probe.NewStage()
 	}
 	for d := topo.North; d < topo.NumDirs; d++ {
 		n.vcs[d] = make([]*inputVC, cfg.VirtualChannels)
@@ -148,6 +185,64 @@ func newNode(id topo.NodeID, cfg config.GSF, net *Network) *node {
 		}
 	}
 	return n
+}
+
+// Tick advances this node one cycle (sim.Ticker): it drains the node's
+// traffic injector into the source queue, then runs the router pipeline.
+// Under the parallel engine every node is its own ticker; the sequential
+// Network ticker calls the same method in node-id order, so both paths
+// execute identical per-node work.
+//
+//loft:hotpath
+func (n *node) Tick(now uint64) {
+	for _, pkt := range n.net.injectors[n.id].Next(now) {
+		n.enqueue(pkt)
+	}
+	n.tick(now)
+}
+
+// addFrame adjusts the global frame census; under the parallel engine the
+// update is staged and replayed at the cycle barrier.
+func (n *node) addFrame(frame, delta int) {
+	if n.staged {
+		n.frameDeltas = append(n.frameDeltas, frameDelta{frame, delta})
+		return
+	}
+	n.net.frameCount[frame] += delta
+}
+
+// flushStaged commits this node's buffered cycle effects. Called by the
+// network's serial barrier hook in node-id order, which reproduces the
+// sequential schedule byte for byte.
+//
+//loft:hotpath
+func (n *node) flushStaged() {
+	for _, fd := range n.frameDeltas {
+		n.net.frameCount[fd.frame] += fd.delta
+	}
+	n.frameDeltas = n.frameDeltas[:0]
+	if n.throttleStaged > 0 {
+		n.net.throttleCycles.Add(n.throttleStaged)
+		n.throttleStaged = 0
+	}
+	for i := range n.stagedObs {
+		r := &n.stagedObs[i]
+		n.net.thr.Observe(r.f.Flow, int(r.f.Src), r.now)
+		if r.tail {
+			n.net.lat.Observe(r.f.Created, r.now+1)
+			n.net.latFlow.Observe(r.f.Flow, r.f.Created, r.now+1)
+			if r.f.Created >= n.net.latNet.Warmup() {
+				n.net.latNet.Observe(r.injected, r.now+1)
+			}
+		}
+	}
+	n.stagedObs = n.stagedObs[:0]
+	if n.probe != nil {
+		n.probe.FlushStage()
+	}
+	if n.audit != nil {
+		n.audit.Flush()
+	}
 }
 
 // tick advances one cycle: drain links, eject, switch, inject.
@@ -181,9 +276,9 @@ func (n *node) tick(now uint64) {
 	n.switchFlits(now)
 	n.inject(now)
 	for d := 0; d < 4; d++ {
-		if n.pendCred[d] != nil {
-			n.credOut[d].Write(*n.pendCred[d])
-			n.pendCred[d] = nil
+		if n.pendCredSet[d] {
+			n.credOut[d].Write(n.pendCred[d])
+			n.pendCredSet[d] = false
 		}
 	}
 }
@@ -265,7 +360,7 @@ func (n *node) switchFlits(now uint64) {
 		e, _ := best.fifo.Pop()
 		if o == topo.Local {
 			n.eject(e.f, now)
-			n.net.frameCount[e.f.Frame]-- // the flit left the network
+			n.addFrame(e.f.Frame, -1) // the flit left the network
 		} else {
 			n.outs[o].down[best.downVC].credits--
 			n.flitOut[o].Write(linkMsg{F: e.f, VC: best.downVC})
@@ -273,7 +368,8 @@ func (n *node) switchFlits(now uint64) {
 		}
 		if bestDir != topo.Local {
 			// Return the credit; tail also frees the VC upstream.
-			n.pendCred[bestDir] = &creditMsg{VC: indexOf(n.vcs[bestDir], best), Tail: e.f.Tail}
+			n.pendCred[bestDir] = creditMsg{VC: indexOf(n.vcs[bestDir], best), Tail: e.f.Tail}
+			n.pendCredSet[bestDir] = true
 		}
 		if e.f.Tail {
 			best.routed = false
@@ -291,27 +387,36 @@ func indexOf(vcs []*inputVC, vc *inputVC) int {
 	panic("gsf: VC not found")
 }
 
-// eject delivers a flit to the local sink.
+// eject delivers a flit to the local sink. Statistics observations stage
+// under the parallel engine (the collectors are network-global and
+// order-sensitive); per-packet reassembly state is node-local.
 func (n *node) eject(f flit.Flit, now uint64) {
-	n.net.thr.Observe(f.Flow, int(f.Src), now)
 	key := pktKey{flow: f.Flow, seq: f.PktSeq}
 	prog := n.pktFlits[key]
 	if prog.flits == 0 || f.Injected < prog.injected {
 		prog.injected = f.Injected
 	}
 	prog.flits++
-	if !f.Tail {
+	tail := f.Tail
+	if n.staged {
+		n.stagedObs = append(n.stagedObs, gsfObs{f: f, injected: prog.injected, now: now, tail: tail})
+	} else {
+		n.net.thr.Observe(f.Flow, int(f.Src), now)
+		if tail {
+			n.net.lat.Observe(f.Created, now+1)
+			n.net.latFlow.Observe(f.Flow, f.Created, now+1)
+			if f.Created >= n.net.latNet.Warmup() {
+				n.net.latNet.Observe(prog.injected, now+1)
+			}
+		}
+	}
+	if !tail {
 		n.pktFlits[key] = prog
 		return
 	}
 	delete(n.pktFlits, key)
-	n.net.lat.Observe(f.Created, now+1)
-	n.net.latFlow.Observe(f.Flow, f.Created, now+1)
-	if f.Created >= n.net.latNet.Warmup() {
-		n.net.latNet.Observe(prog.injected, now+1)
-	}
-	if n.net.audit != nil {
-		n.net.audit.GSFPacketDone(f.Flow, f.PktSeq, prog.injected, now+1)
+	if n.audit != nil {
+		n.audit.GSFPacketDone(f.Flow, f.PktSeq, prog.injected, now+1)
 	}
 }
 
@@ -377,11 +482,15 @@ func (n *node) inject(now uint64) {
 			if fs.ifr >= h+cfg.FrameWindow-1 {
 				// Window exhausted: source throttled. Emit one event per
 				// stall edge and count every stalled cycle.
-				n.net.throttleCycles.Inc()
+				if n.staged {
+					n.throttleStaged++
+				} else {
+					n.net.throttleCycles.Inc()
+				}
 				if !fs.throttled {
 					fs.throttled = true
-					if n.net.probe != nil {
-						n.net.probe.Emit(now, probe.KindGSFThrottle, int32(n.id), -1, int32(fs.id), uint64(h))
+					if n.probe != nil {
+						n.probe.Emit(now, probe.KindGSFThrottle, int32(n.id), -1, int32(fs.id), uint64(h))
 					}
 				}
 				return
@@ -396,8 +505,8 @@ func (n *node) inject(now uint64) {
 	f, _ := n.srcQueue.Pop()
 	f.Frame = frame
 	f.Injected = now
-	if n.net.audit != nil && f.Head {
-		n.net.audit.GSFInject(f.Flow, f.PktSeq, now)
+	if n.audit != nil && f.Head {
+		n.audit.GSFInject(f.Flow, f.PktSeq, now)
 	}
 	if !vc.routed {
 		vc.outDir = topo.Local
@@ -407,7 +516,7 @@ func (n *node) inject(now uint64) {
 		vc.routed = true
 	}
 	vc.fifo.Push(vcEntry{f: f, readyAt: now + uint64(cfg.PipeStages) - 1})
-	n.net.frameCount[f.Frame]++
+	n.addFrame(f.Frame, 1)
 	if f.Tail {
 		n.injVC = -1
 	}

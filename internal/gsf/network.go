@@ -19,7 +19,9 @@ type Network struct {
 	mesh    topo.Mesh
 	pattern *traffic.Pattern
 	nodes   []*node
-	kernel  *sim.Kernel
+	engine  sim.Engine
+	par     *sim.ParallelKernel // non-nil when workers > 1
+	workers int
 	probe   *probe.Probe
 	audit   *audit.Auditor
 
@@ -54,6 +56,11 @@ type Options struct {
 	// Audit enables runtime invariant checking and per-packet delay-bound
 	// conformance when non-nil. Auditing never changes simulation results.
 	Audit *audit.Auditor
+	// Workers selects the cycle engine: 0 or 1 runs the sequential kernel,
+	// N > 1 shards node ticking across N OS threads with a two-phase
+	// compute/commit step. Results are byte-identical either way (see
+	// DESIGN.md §13).
+	Workers int
 }
 
 // New builds a GSF network for the given pattern.
@@ -68,11 +75,15 @@ func New(cfg config.GSF, pattern *traffic.Pattern, opts Options) (*Network, erro
 	if opts.BaseFrameFlits <= 0 {
 		return nil, fmt.Errorf("gsf: BaseFrameFlits must be positive")
 	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	net := &Network{
 		cfg:        cfg,
 		mesh:       mesh,
 		pattern:    pattern,
-		kernel:     sim.NewKernel(),
+		workers:    workers,
 		probe:      opts.Probe,
 		audit:      opts.Audit,
 		head:       0,
@@ -81,6 +92,12 @@ func New(cfg config.GSF, pattern *traffic.Pattern, opts Options) (*Network, erro
 		latNet:     stats.NewLatencySeeded(opts.Warmup, opts.Seed),
 		latFlow:    stats.NewFlowLatency(opts.Warmup),
 		thr:        stats.NewThroughput(opts.Warmup),
+	}
+	if workers > 1 {
+		net.par = sim.NewParallelKernel(workers)
+		net.engine = net.par
+	} else {
+		net.engine = sim.NewKernel()
 	}
 	net.throttleCycles = net.probe.Registry().Counter("gsf.throttle.cycles")
 	for i := 0; i < mesh.N(); i++ {
@@ -104,7 +121,14 @@ func New(cfg config.GSF, pattern *traffic.Pattern, opts Options) (*Network, erro
 	net.wire()
 	net.registerGauges()
 	net.bindAudit()
-	net.kernel.Add(net)
+	if net.par != nil {
+		for i, n := range net.nodes {
+			net.par.AddTicker(i, n)
+		}
+		net.par.AddSerial(net.commitCycle)
+	} else {
+		net.engine.(*sim.Kernel).Add(net)
+	}
 	return net, nil
 }
 
@@ -158,6 +182,15 @@ func (net *Network) registerGauges() {
 }
 
 func (net *Network) wire() {
+	// Each register's updater lives on the shard of the node that Writes it,
+	// so the commit phase touches only shard-local registers.
+	addUpdater := func(owner int, u sim.Updater) {
+		if net.par != nil {
+			net.par.AddUpdater(owner, u)
+		} else {
+			net.engine.(*sim.Kernel).AddUpdater(u)
+		}
+	}
 	for _, n := range net.nodes {
 		for d := topo.North; d < topo.Local; d++ {
 			nb, ok := net.mesh.Neighbor(n.id, d)
@@ -165,28 +198,45 @@ func (net *Network) wire() {
 				continue
 			}
 			fo := sim.NewReg[linkMsg](fmt.Sprintf("gsf.flit %d->%d", n.id, nb))
-			net.kernel.AddUpdater(fo)
+			addUpdater(int(n.id), fo)
 			n.flitOut[d] = fo
 			peer := net.nodes[nb]
 			opp := d.Opposite()
 			peer.flitIn[opp] = fo
 			co := sim.NewReg[creditMsg](fmt.Sprintf("gsf.cred %d->%d", nb, n.id))
-			net.kernel.AddUpdater(co)
+			addUpdater(int(nb), co)
 			peer.credOut[opp] = co
 			n.credIn[d] = co
 		}
 	}
 }
 
-// Tick advances every node and the barrier controller (sim.Ticker).
+// Tick advances every node and the barrier controller (sim.Ticker, used by
+// the sequential kernel; the parallel engine ticks nodes directly and runs
+// commitCycle as its serial barrier hook).
 //
 //loft:hotpath
 func (net *Network) Tick(now uint64) {
-	for i, n := range net.nodes {
-		for _, pkt := range net.injectors[i].Next(now) {
-			n.enqueue(pkt)
-		}
-		n.tick(now)
+	for _, n := range net.nodes {
+		n.Tick(now)
+	}
+	net.tickBarrier(now)
+	if net.probe != nil {
+		net.probe.MaybeSample(now)
+	}
+	if net.audit != nil {
+		net.audit.OnCycle(now)
+	}
+}
+
+// commitCycle is the parallel engine's serial hook: it replays every node's
+// staged effects in node-id order (matching the sequential tick order), then
+// advances the barrier controller and the per-cycle observers.
+//
+//loft:hotpath
+func (net *Network) commitCycle(now uint64) {
+	for _, n := range net.nodes {
+		n.flushStaged()
 	}
 	net.tickBarrier(now)
 	if net.probe != nil {
@@ -222,12 +272,19 @@ func (net *Network) tickBarrier(now uint64) {
 
 // Run advances the simulation n cycles.
 func (net *Network) Run(n uint64) {
-	net.kernel.Run(n)
-	net.thr.Close(net.kernel.Now())
+	net.engine.Run(n)
+	net.thr.Close(net.engine.Now())
 }
 
 // Now returns the current cycle.
-func (net *Network) Now() uint64 { return net.kernel.Now() }
+func (net *Network) Now() uint64 { return net.engine.Now() }
+
+// Workers returns the configured worker count (1 = sequential engine).
+func (net *Network) Workers() int { return net.workers }
+
+// Close releases the cycle engine's worker pool. Safe to call for the
+// sequential engine too; the network must not be Run after Close.
+func (net *Network) Close() { net.engine.Close() }
 
 // Latency returns the total packet latency collector.
 func (net *Network) Latency() *stats.Latency { return net.lat }
@@ -281,7 +338,7 @@ func (net *Network) Audit() *audit.Auditor { return net.audit }
 // cycles it carried a flit over the run so far (links move at most one flit
 // per cycle).
 func (net *Network) LinkUtilization() map[topo.Link]float64 {
-	cycles := float64(net.kernel.Now())
+	cycles := float64(net.engine.Now())
 	if cycles == 0 {
 		return nil
 	}

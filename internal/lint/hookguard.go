@@ -189,13 +189,19 @@ func sinkReceiver(pass *Pass, call *ast.CallExpr) (recv ast.Expr, sink string, o
 	switch {
 	case strings.HasSuffix(pkgPath, "internal/lsf") && typeName == "AuditSink":
 		return sel.X, "lsf.AuditSink." + name, true
-	case strings.HasSuffix(pkgPath, "internal/probe") && typeName == "Probe" && (name == "Emit" || name == "MaybeSample"):
+	case strings.HasSuffix(pkgPath, "internal/probe") && typeName == "Probe" && (name == "Emit" || name == "MaybeSample" || name == "FlushStage"):
 		return sel.X, "probe.Probe." + name, true
 	case strings.HasSuffix(pkgPath, "internal/probe") && typeName == "Tracer" && name == "Emit":
 		return sel.X, "probe.Tracer." + name, true
 	case strings.HasSuffix(pkgPath, "internal/audit") && typeName == "Auditor" &&
 		(auditorSinkMethods[name] || strings.HasPrefix(name, "LOFT") || strings.HasPrefix(name, "GSF") || strings.HasPrefix(name, "Audit")):
 		return sel.X, "audit.Auditor." + name, true
+	case strings.HasSuffix(pkgPath, "internal/audit") && typeName == "Hook" &&
+		(name == "Flush" || name == "WatchTable" || strings.HasPrefix(name, "LOFT") || strings.HasPrefix(name, "GSF")):
+		// audit.Hook forwards the Auditor taps (possibly staged); the
+		// disabled path must skip the forwarder for the same reason it skips
+		// the auditor itself.
+		return sel.X, "audit.Hook." + name, true
 	}
 	return nil, "", false
 }

@@ -13,13 +13,17 @@ type router struct {
 	trc   *probe.Tracer
 	aud   lsf.AuditSink
 	live  *audit.Auditor
+	hook  *audit.Hook
 }
 
 func (r *router) tick(now uint64) {
 	r.probe.Emit(now, probe.KindReserveGrant, 0, 0, 0, 0) // want `sink call probe\.Probe\.Emit on unguarded receiver r\.probe`
 	r.probe.MaybeSample(now)                              // want `sink call probe\.Probe\.MaybeSample on unguarded receiver`
+	r.probe.FlushStage()                                  // want `sink call probe\.Probe\.FlushStage on unguarded receiver`
 	r.trc.Emit(probe.Event{})                             // want `sink call probe\.Tracer\.Emit on unguarded receiver`
 	r.live.OnCycle(now)                                   // want `sink call audit\.Auditor\.OnCycle on unguarded receiver`
+	r.hook.GSFInject(0, 0, now)                           // want `sink call audit\.Hook\.GSFInject on unguarded receiver`
+	r.hook.Flush()                                        // want `sink call audit\.Hook\.Flush on unguarded receiver`
 }
 
 func (r *router) grant(slot uint64) {

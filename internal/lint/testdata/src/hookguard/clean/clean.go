@@ -13,6 +13,7 @@ type router struct {
 	trc     *probe.Tracer
 	aud     lsf.AuditSink
 	live    *audit.Auditor
+	hook    *audit.Hook
 	enabled bool
 }
 
@@ -20,9 +21,14 @@ type router struct {
 func (r *router) tick(now uint64) {
 	if r.probe != nil {
 		r.probe.MaybeSample(now)
+		r.probe.FlushStage()
 	}
 	if r.live != nil {
 		r.live.OnCycle(now)
+	}
+	if r.hook != nil {
+		r.hook.GSFInject(0, 0, now)
+		r.hook.Flush()
 	}
 }
 

@@ -37,10 +37,30 @@ type laRouter struct {
 	// reached through output o (aggregate over its VCs).
 	credits [4]*buffers.Credits
 	rr      [topo.NumDirs]int // rotating priority per output over input dirs
+	// pool recycles laEnt records between accept and process, keeping the
+	// steady state allocation-free.
+	pool []*laEnt
+}
+
+// allocEnt returns a recycled laEnt or a fresh one.
+func (la *laRouter) allocEnt() *laEnt {
+	if k := len(la.pool); k > 0 {
+		e := la.pool[k-1]
+		la.pool = la.pool[:k-1]
+		return e
+	}
+	return new(laEnt)
 }
 
 func (la *laRouter) init(n *Node) {
 	la.n = n
+	// Every live laEnt occupies a VC slot, so total look-ahead buffering
+	// bounds the pool exactly: seeding it here makes allocEnt heap-free.
+	ents := make([]laEnt, n.cfg.LAVirtualChannels*n.cfg.LAVCDepth*int(topo.NumDirs))
+	la.pool = make([]*laEnt, len(ents))
+	for i := range ents {
+		la.pool[i] = &ents[i]
+	}
 	for d := topo.North; d < topo.NumDirs; d++ {
 		la.vcs[d] = make([]*buffers.FIFO[*laEnt], n.cfg.LAVirtualChannels)
 		for v := range la.vcs[d] {
@@ -76,10 +96,9 @@ func (la *laRouter) accept(fl flit.Lookahead, d topo.Dir, now uint64) {
 		outDir = route.XY(n.mesh, n.id, fl.Dst)
 	}
 	qid := flit.QuantumID{Flow: fl.Flow, Seq: fl.Quantum}
-	if _, dup := n.inputs[d].entries[qid]; dup {
-		panic(fmt.Sprintf("loft: node %d: duplicate look-ahead for %+v", n.id, qid))
-	}
-	entry := &inEntry{
+	ip := n.inputs[d]
+	entry := ip.alloc()
+	*entry = inEntry{
 		q: Quantum{
 			ID:  qid,
 			Src: fl.Src, Dst: fl.Dst,
@@ -89,7 +108,7 @@ func (la *laRouter) accept(fl flit.Lookahead, d topo.Dir, now uint64) {
 		outDir:     outDir,
 		arriveSlot: fl.DepartPrev + 1,
 	}
-	n.inputs[d].entries[qid] = entry
+	ip.insert(entry, n.id)
 	// Pick the shortest VC with space; flow control guarantees one exists.
 	var best *buffers.FIFO[*laEnt]
 	for _, vc := range la.vcs[d] {
@@ -103,7 +122,9 @@ func (la *laRouter) accept(fl flit.Lookahead, d topo.Dir, now uint64) {
 	if best == nil {
 		panic(fmt.Sprintf("loft: node %d: look-ahead buffer overflow on input %s", n.id, d))
 	}
-	best.Push(&laEnt{fl: fl, entry: entry, inDir: d, outDir: outDir, readyAt: now + uint64(n.cfg.LAStages) - 1})
+	ent := la.allocEnt()
+	*ent = laEnt{fl: fl, entry: entry, inDir: d, outDir: outDir, readyAt: now + uint64(n.cfg.LAStages) - 1}
+	best.Push(ent)
 	la.pending[outDir]++
 }
 
@@ -189,6 +210,7 @@ func (la *laRouter) process(now uint64) {
 				n.probe.EmitSeq(now, probe.KindLAIssue, int32(n.id), int32(o), int32(fl.Flow), fl.Quantum, depart*uint64(n.cfg.QuantumFlits))
 			}
 		}
+		la.pool = append(la.pool, won)
 	}
 }
 

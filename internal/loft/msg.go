@@ -33,10 +33,14 @@ type Quantum struct {
 }
 
 // dataMsg is one quantum on a data link. Spec tags the downstream buffer
-// class chosen by the sender (§4.3.1): true → speculative buffer.
+// class chosen by the sender (§4.3.1): true → speculative buffer. Depart is
+// the quantum's booked departure slot on this link — the DepartPrev its
+// look-ahead flit carried — which keys the receiver's input reservation
+// slab (arrival slot = Depart+1) without a map lookup.
 type dataMsg struct {
-	Q    Quantum
-	Spec bool
+	Q      Quantum
+	Spec   bool
+	Depart uint64
 }
 
 // vcredMsg returns virtual credits to the upstream output reservation

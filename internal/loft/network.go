@@ -21,7 +21,11 @@ type Network struct {
 	mesh    topo.Mesh
 	pattern *traffic.Pattern
 	nodes   []*Node
-	kernel  *sim.Kernel
+	engine  sim.Engine
+	// par is the engine's parallel form (nil when sequential); workers is
+	// the resolved worker count (>= 1).
+	par     *sim.ParallelKernel
+	workers int
 	probe   *probe.Probe
 	audit   *audit.Auditor
 
@@ -46,6 +50,10 @@ type Options struct {
 	// invariant taps on every reservation table. Auditing never changes
 	// simulation results.
 	Audit *audit.Auditor
+	// Workers selects the cycle engine: 0 or 1 runs the sequential kernel,
+	// N > 1 shards node stepping across N workers (sim.ParallelKernel).
+	// Results are byte-identical either way; see DESIGN.md §13.
+	Workers int
 }
 
 // New builds a LOFT network for the given configuration and traffic
@@ -62,17 +70,27 @@ func New(cfg config.LOFT, pattern *traffic.Pattern, opts Options) (*Network, err
 	if pattern.Mesh.K != mesh.K {
 		return nil, fmt.Errorf("loft: pattern mesh %d does not match config mesh %d", pattern.Mesh.K, mesh.K)
 	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	net := &Network{
 		cfg:     cfg,
 		mesh:    mesh,
 		pattern: pattern,
-		kernel:  sim.NewKernel(),
+		workers: workers,
 		probe:   opts.Probe,
 		audit:   opts.Audit,
 		lat:     stats.NewLatencySeeded(opts.Warmup, opts.Seed),
 		latNet:  stats.NewLatencySeeded(opts.Warmup, opts.Seed),
 		latFlow: stats.NewFlowLatency(opts.Warmup),
 		thr:     stats.NewThroughput(opts.Warmup),
+	}
+	if workers > 1 {
+		net.par = sim.NewParallelKernel(workers)
+		net.engine = net.par
+	} else {
+		net.engine = sim.NewKernel()
 	}
 	for i := 0; i < mesh.N(); i++ {
 		net.nodes = append(net.nodes, newNode(topo.NodeID(i), cfg, mesh, net))
@@ -86,9 +104,20 @@ func New(cfg config.LOFT, pattern *traffic.Pattern, opts Options) (*Network, err
 	}
 	net.registerGauges()
 	net.bindAudit()
-	net.kernel.Add(net)
+	if net.par != nil {
+		for i, n := range net.nodes {
+			net.par.AddTicker(i, n)
+		}
+		net.par.AddSerial(net.commitCycle)
+	} else {
+		net.engine.(*sim.Kernel).Add(net)
+	}
 	return net, nil
 }
+
+// Close releases engine resources (the parallel worker pool). The network
+// stays usable: a later Run restarts the pool transparently.
+func (net *Network) Close() { net.engine.Close() }
 
 // bindAudit arms the runtime QoS auditor for this run: per-flow delay
 // bounds from the pattern, invariant taps on every reservation table
@@ -102,12 +131,16 @@ func (net *Network) bindAudit() {
 	}
 	aud.BeginLOFT(net.cfg, net.mesh, net.pattern.Flows)
 	for _, n := range net.nodes {
-		for d := topo.North; d < topo.NumDirs; d++ {
-			if t := n.outTables[d]; t != nil {
-				aud.WatchTable(t, t.Name())
+		// Watch through the node's hook so tap violations stage with the
+		// rest of the node's audit traffic under the parallel engine.
+		if n.audit != nil {
+			for d := topo.North; d < topo.NumDirs; d++ {
+				if t := n.outTables[d]; t != nil {
+					n.audit.WatchTable(t, t.Name())
+				}
 			}
+			n.audit.WatchTable(n.injTable, n.injTable.Name())
 		}
-		aud.WatchTable(n.injTable, n.injTable.Name())
 	}
 	aud.SetHeatmap(net.Heatmap)
 	// The flight recorder's quantum ledger must agree with the nodes' own
@@ -184,10 +217,18 @@ func (net *Network) registerGauges() {
 }
 
 // wire creates the link registers between neighbors and registers every
-// register with the kernel's update phase.
+// register with the engine's update phase. Under the parallel engine a
+// register goes to the shard of the node that created it — any partition is
+// correct (barriers separate the phases), this one just balances load.
 func (net *Network) wire() {
-	reg := func(u sim.Updater) { net.kernel.AddUpdater(u) }
-	for _, n := range net.nodes {
+	for i, n := range net.nodes {
+		reg := func(u sim.Updater) {
+			if net.par != nil {
+				net.par.AddUpdater(i, u)
+			} else {
+				net.engine.(*sim.Kernel).AddUpdater(u)
+			}
+		}
 		reg(n.niData)
 		for d := topo.North; d < topo.Local; d++ {
 			nb, ok := net.mesh.Neighbor(n.id, d)
@@ -263,12 +304,33 @@ func (net *Network) installReservations() error {
 	return nil
 }
 
-// Tick advances every node one cycle (sim.Ticker).
+// Tick advances every node one cycle (sim.Ticker; sequential engine only —
+// the parallel engine registers nodes individually and runs commitCycle at
+// the barrier instead).
 //
 //loft:hotpath
 func (net *Network) Tick(now uint64) {
 	for _, n := range net.nodes {
 		n.Tick(now)
+	}
+	if net.probe != nil {
+		net.probe.MaybeSample(now)
+	}
+	if net.audit != nil {
+		net.audit.OnCycle(now)
+	}
+}
+
+// commitCycle is the parallel engine's serial hook, run between the tick
+// barrier and the update phase: replay every node's staged shared-state
+// effects in node-id order — the order the sequential kernel produces them
+// in — then run the per-cycle observability work exactly where the
+// sequential Tick runs it.
+//
+//loft:hotpath
+func (net *Network) commitCycle(now uint64) {
+	for _, n := range net.nodes {
+		n.flushStaged()
 	}
 	if net.probe != nil {
 		net.probe.MaybeSample(now)
@@ -286,12 +348,15 @@ func (net *Network) Audit() *audit.Auditor { return net.audit }
 
 // Run advances the simulation n cycles.
 func (net *Network) Run(n uint64) {
-	net.kernel.Run(n)
-	net.thr.Close(net.kernel.Now())
+	net.engine.Run(n)
+	net.thr.Close(net.engine.Now())
 }
 
 // Now returns the current cycle.
-func (net *Network) Now() uint64 { return net.kernel.Now() }
+func (net *Network) Now() uint64 { return net.engine.Now() }
+
+// Workers returns the resolved worker count (1 = sequential engine).
+func (net *Network) Workers() int { return net.workers }
 
 // observeFlits records throughput at ejection. A quantum ejects as a unit,
 // so the whole flit count lands in one ObserveN call.
@@ -396,7 +461,7 @@ func DisableVerify() { verifyLSF = false }
 // LinkUtilization returns, for every live output link (including ejection
 // links), the fraction of cycles it carried data over the run so far.
 func (net *Network) LinkUtilization() map[topo.Link]float64 {
-	cycles := float64(net.kernel.Now())
+	cycles := float64(net.engine.Now())
 	if cycles == 0 {
 		return nil
 	}

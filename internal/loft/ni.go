@@ -52,6 +52,14 @@ func (ni *netIface) flowQueue(id flit.FlowID) *flowQ {
 		return q
 	}
 	q := &flowQ{id: id}
+	// The NI queue is bounded to NIQueueFlits across all flows (generate
+	// drops beyond it), so one flow can hold at most that many quanta;
+	// reserving the bound keeps steady-state enqueues allocation-free.
+	if limit := ni.n.cfg.NIQueueFlits / ni.n.cfg.QuantumFlits; limit > 0 {
+		q.queue = make([]pendQuantum, 0, limit)
+	} else {
+		q.queue = make([]pendQuantum, 0, 16)
+	}
 	ni.byFlow[id] = q
 	ni.flows = append(ni.flows, q)
 	return q
@@ -209,17 +217,21 @@ func (ni *netIface) forward(slot, now uint64) {
 	} else {
 		n.niCredNonSpec.Consume()
 	}
+	// Pop by copying down instead of re-slicing off the front: the queue
+	// keeps its backing array, so steady-state generate/forward cycles stop
+	// reallocating. best aliases queue[0] — copy it out first.
 	depart := best.departSlot
-	bestFlow.queue = bestFlow.queue[1:]
 	q := best.q
 	q.Injected = now
+	copy(bestFlow.queue, bestFlow.queue[1:])
+	bestFlow.queue = bestFlow.queue[:len(bestFlow.queue)-1]
 	if n.probe != nil {
 		n.probe.EmitSeq(now, probe.KindDataInject, int32(n.id), int32(topo.NumDirs), int32(q.ID.Flow), q.ID.Seq, depart*uint64(n.cfg.QuantumFlits))
 	}
 	if n.audit != nil {
 		n.audit.LOFTInject(q.ID, q.Flits, int32(n.id), now)
 	}
-	n.niData.Write(dataMsg{Q: q, Spec: spec})
+	n.niData.Write(dataMsg{Q: q, Spec: spec, Depart: depart})
 }
 
 // sinkState is the destination PE model: it consumes one flit per cycle
@@ -289,7 +301,7 @@ func (s *sinkState) receive(q Quantum, spec bool, slot, departSlot, now uint64) 
 	s.pendVcred = append(s.pendVcred, departSlot+1)
 	s.applyReturns()
 	if n.net != nil {
-		n.net.observeFlits(q, now)
+		n.observeFlits(q, now)
 	}
 	key := pktKey{flow: q.ID.Flow, seq: q.PktSeq}
 	prog := s.pending[key]
@@ -306,7 +318,7 @@ func (s *sinkState) receive(q Quantum, spec bool, slot, departSlot, now uint64) 
 		// The packet completes when its last flit crosses the ejection
 		// link: the end of this slot.
 		done := (slot + 1) * uint64(n.cfg.QuantumFlits)
-		n.net.observePacket(q, prog.injected, done)
+		n.observePacket(q, prog.injected, done)
 		if n.audit != nil {
 			n.audit.LOFTPacketDone(q.ID.Flow, q.PktSeq, prog.injected, done)
 		}

@@ -2,11 +2,11 @@ package loft
 
 import (
 	"fmt"
+	"sort"
 
 	"loft/internal/audit"
 	"loft/internal/buffers"
 	"loft/internal/config"
-	"loft/internal/det"
 	"loft/internal/flit"
 	"loft/internal/lsf"
 	"loft/internal/probe"
@@ -35,15 +35,98 @@ type inEntry struct {
 // inputPort is one data-network input port: the input reservation table plus
 // occupancy counters for the central (non-speculative) and speculative
 // buffers (Fig. 9).
+//
+// The reservation table is a dense slab keyed by arrival slot: wire
+// messages carry the upstream booking slot, so ring[arriveSlot & (len-1)]
+// resolves an entry without hashing or map allocation. A bucket normally
+// holds zero or one entries; it can hold more, because speculative forwards
+// clear their table slot early and let the upstream link re-book the same
+// absolute slot while the first quantum's entry is still live (and because
+// distant slots are congruent modulo the ring size). Buckets and retired
+// entries keep their backing storage, so the steady state allocates
+// nothing.
 type inputPort struct {
-	dir     topo.Dir
-	entries map[flit.QuantumID]*inEntry
+	dir  topo.Dir
+	ring [][]*inEntry // buckets indexed by arriveSlot & (len-1)
+	free []*inEntry   // retired entries for reuse
 	// avail lists entries that are booked AND physically arrived — the
 	// switching candidates — so per-slot arbitration does not scan the
 	// whole input reservation table.
 	avail       []*inEntry
 	nonspecUsed int
 	specUsed    int
+}
+
+// portSlots sizes the input slab. The live-entry count is bounded by buffer
+// occupancy plus in-flight look-aheads (both small); spreading them over
+// the reservation window's worth of buckets keeps chains at length 0 or 1.
+const portSlots = 64
+
+func newInputPort(d topo.Dir) *inputPort {
+	// Preallocate bucket capacity, the entry pool and the candidate list so
+	// first-time high-water marks (bucket depth 2+, a new live-entry
+	// maximum) do not allocate mid-run; alloc() still falls back to the heap
+	// if a pathological workload exceeds the pool.
+	const bucketCap = 8
+	backing := make([]*inEntry, portSlots*bucketCap)
+	ring := make([][]*inEntry, portSlots)
+	for i := range ring {
+		ring[i] = backing[i*bucketCap : i*bucketCap : (i+1)*bucketCap]
+	}
+	pool := make([]inEntry, 2*portSlots)
+	free := make([]*inEntry, len(pool))
+	for i := range pool {
+		free[i] = &pool[i]
+	}
+	return &inputPort{dir: d, ring: ring, free: free, avail: make([]*inEntry, 0, portSlots)}
+}
+
+// alloc returns a recycled entry or a fresh one.
+func (ip *inputPort) alloc() *inEntry {
+	if k := len(ip.free); k > 0 {
+		e := ip.free[k-1]
+		ip.free = ip.free[:k-1]
+		return e
+	}
+	return new(inEntry)
+}
+
+// lookup returns the live entry for quantum qid expecting arrival slot s,
+// or nil.
+func (ip *inputPort) lookup(s uint64, qid flit.QuantumID) *inEntry {
+	for _, e := range ip.ring[s&uint64(len(ip.ring)-1)] {
+		if e.arriveSlot == s && e.q.ID == qid {
+			return e
+		}
+	}
+	return nil
+}
+
+// insert places a fresh entry, panicking on a duplicate quantum identity
+// (the check the old map performed on its key).
+func (ip *inputPort) insert(e *inEntry, nodeID topo.NodeID) {
+	i := e.arriveSlot & uint64(len(ip.ring)-1)
+	for _, old := range ip.ring[i] {
+		if old.q.ID == e.q.ID {
+			panic(fmt.Sprintf("loft: node %d: duplicate look-ahead for %+v", nodeID, e.q.ID))
+		}
+	}
+	ip.ring[i] = append(ip.ring[i], e)
+}
+
+// remove retires a live entry into the free pool.
+func (ip *inputPort) remove(e *inEntry) {
+	i := e.arriveSlot & uint64(len(ip.ring)-1)
+	b := ip.ring[i]
+	for j, x := range b {
+		if x == e {
+			b[j] = b[len(b)-1]
+			ip.ring[i] = b[:len(b)-1]
+			ip.free = append(ip.free, e)
+			return
+		}
+	}
+	panic("loft: input reservation entry missing from slab")
 }
 
 // NodeStats aggregates per-node protocol events.
@@ -101,8 +184,14 @@ type Node struct {
 	// niData carries quanta from the NI into the router local input port.
 	niData *sim.Reg[dataMsg]
 
-	// Per-cycle accumulators flushed into the out registers.
+	// Per-cycle accumulators flushed into the out registers. pendVcred[d]
+	// always aliases vcredBuf[d][vcredSel[d]]: flush sends the filled buffer
+	// on the wire and flips to the other one, so neither side copies. The
+	// consumer finishes reading one cycle after the send, a full cycle
+	// before the same buffer can be reused.
 	pendVcred  [4][]uint64
+	vcredBuf   [4][2][]uint64
+	vcredSel   [4]uint8
 	pendRcred  [4]rcredMsg
 	pendLaCred [4]int
 	// pendSinkRet and pendNIRet return real credits one cycle after a
@@ -115,12 +204,26 @@ type Node struct {
 	// linkBusy counts quanta forwarded per output (link utilization).
 	linkBusy [topo.NumDirs]uint64
 
-	// probe aliases net.probe (nil when observability is disabled).
+	// probe aliases net.probe, or a per-node staging view of it under the
+	// parallel engine (nil when observability is disabled).
 	probe *probe.Probe
-	// audit aliases net.audit (nil when -audit is off).
-	audit *audit.Auditor
+	// audit is this node's view of net.audit, staging under the parallel
+	// engine (nil when -audit is off).
+	audit *audit.Hook
+	// staged marks parallel operation: shared-state observations buffer in
+	// stagedObs during the compute phase and replay at the cycle barrier.
+	staged    bool
+	stagedObs []obsRec
 
 	stats NodeStats
+}
+
+// obsRec is one deferred statistics observation (see Node.observeFlits and
+// Node.observePacket).
+type obsRec struct {
+	q      Quantum
+	a, b   uint64 // flits: a=now; packet: a=injected, b=done
+	packet bool
 }
 
 // rrState is a rotating priority pointer over input ports. Iterate it as
@@ -134,7 +237,15 @@ func (r *rrState) dir(i int) topo.Dir { return topo.Dir((r.next + i) % int(topo.
 func (r *rrState) granted(d topo.Dir) { r.next = (int(d) + 1) % int(topo.NumDirs) }
 
 func newNode(id topo.NodeID, cfg config.LOFT, mesh topo.Mesh, net *Network) *Node {
-	n := &Node{id: id, cfg: cfg, mesh: mesh, net: net, probe: net.probe, audit: net.audit}
+	staged := net.workers > 1
+	n := &Node{id: id, cfg: cfg, mesh: mesh, net: net, staged: staged,
+		probe: net.probe, audit: audit.NewHook(net.audit, staged)}
+	if staged {
+		// Shard-local staging view: the node (and its tables, which capture
+		// n.probe below) emits into a private buffer replayed at the cycle
+		// barrier.
+		n.probe = net.probe.NewStage()
+	}
 	params := lsf.Params{
 		SlotsPerFrame: cfg.SlotsPerFrame(),
 		Frames:        cfg.FrameWindow,
@@ -143,7 +254,7 @@ func newNode(id topo.NodeID, cfg config.LOFT, mesh topo.Mesh, net *Network) *Nod
 		Yield:         cfg.YieldCondition,
 	}
 	for d := topo.North; d < topo.NumDirs; d++ {
-		n.inputs[d] = &inputPort{dir: d, entries: make(map[flit.QuantumID]*inEntry)}
+		n.inputs[d] = newInputPort(d)
 		if d == topo.Local {
 			n.outTables[d] = lsf.NewTable(fmt.Sprintf("n%d.eject", id), params)
 		} else if _, ok := mesh.Neighbor(id, d); ok {
@@ -166,6 +277,14 @@ func newNode(id topo.NodeID, cfg config.LOFT, mesh topo.Mesh, net *Network) *Nod
 	n.niCredNonSpec = buffers.NewCredits(fmt.Sprintf("n%d.ni.nonspec", id), cfg.BufferQuanta())
 	n.niCredSpec = buffers.NewCredits(fmt.Sprintf("n%d.ni.spec", id), cfg.SpecQuanta())
 	n.niData = sim.NewReg[dataMsg](fmt.Sprintf("n%d.nidata", id))
+	for d := 0; d < 4; d++ {
+		// A cycle books at most one quantum per output table, so at most
+		// NumDirs virtual credits can accrue for a single input direction
+		// before flush drains them; sized up so steady state never grows.
+		n.vcredBuf[d][0] = make([]uint64, 0, 2*int(topo.NumDirs))
+		n.vcredBuf[d][1] = make([]uint64, 0, 2*int(topo.NumDirs))
+		n.pendVcred[d] = n.vcredBuf[d][0]
+	}
 	n.la.init(n)
 	n.ni.init(n)
 	n.sink.init(n)
@@ -277,11 +396,14 @@ func (n *Node) drain(now uint64) {
 	}
 }
 
-// receiveData registers a quantum's physical arrival at input port d.
+// receiveData registers a quantum's physical arrival at input port d. The
+// wire message carries the upstream booking slot, so the reservation entry
+// (written by the look-ahead flit at arrival slot Depart+1) resolves with
+// one slab index.
 func (n *Node) receiveData(d topo.Dir, msg dataMsg, now uint64) {
 	ip := n.inputs[d]
-	e, ok := ip.entries[msg.Q.ID]
-	if !ok {
+	e := ip.lookup(msg.Depart+1, msg.Q.ID)
+	if e == nil {
 		panic(fmt.Sprintf("loft: node %d input %s: quantum %+v arrived without a look-ahead entry", n.id, d, msg.Q.ID))
 	}
 	if e.arrived {
@@ -463,7 +585,6 @@ func (n *Node) forward(o, in topo.Dir, e *inEntry, slot, now uint64) {
 	n.linkBusy[o]++
 	// Vacate this node's input buffer and return its real credit.
 	ip := n.inputs[in]
-	delete(ip.entries, e.q.ID)
 	ip.dropAvail(e)
 	if e.inSpec {
 		ip.specUsed--
@@ -492,19 +613,29 @@ func (n *Node) forward(o, in topo.Dir, e *inEntry, slot, now uint64) {
 	if n.audit != nil {
 		n.audit.LOFTForward(e.q.ID, int32(n.id), int32(o), spec, now)
 	}
+	// The entry retires here; copy what outlives it before recycling.
+	q, departSlot := e.q, e.departSlot
+	ip.remove(e)
 	if o == topo.Local {
-		n.sink.receive(e.q, spec, slot, e.departSlot, now)
+		n.sink.receive(q, spec, slot, departSlot, now)
 		return
 	}
-	n.dataOut[o].Write(dataMsg{Q: e.q, Spec: spec})
+	n.dataOut[o].Write(dataMsg{Q: q, Spec: spec, Depart: departSlot})
 }
 
 // flush writes the per-cycle accumulators to their registers.
 func (n *Node) flush(uint64) {
 	for d := 0; d < 4; d++ {
 		if len(n.pendVcred[d]) > 0 {
-			n.vcredOut[d].Write(vcredMsg{Tags: append([]uint64(nil), n.pendVcred[d]...)})
-			n.pendVcred[d] = n.pendVcred[d][:0]
+			// Send the filled buffer as-is and flip to the other one: the
+			// receiver drains it next cycle, one full cycle before this
+			// side can touch it again, so no copy is needed.
+			sel := n.vcredSel[d]
+			n.vcredBuf[d][sel] = n.pendVcred[d]
+			n.vcredOut[d].Write(vcredMsg{Tags: n.pendVcred[d]})
+			sel ^= 1
+			n.vcredSel[d] = sel
+			n.pendVcred[d] = n.vcredBuf[d][sel][:0]
 		}
 		if n.pendRcred[d] != (rcredMsg{}) {
 			n.rcredOut[d].Write(n.pendRcred[d])
@@ -514,6 +645,50 @@ func (n *Node) flush(uint64) {
 			n.laCredOut[d].Write(laCredMsg{N: n.pendLaCred[d]})
 			n.pendLaCred[d] = 0
 		}
+	}
+}
+
+// observeFlits records ejection throughput, deferring to the cycle barrier
+// under the parallel engine (the stats collectors are shared state).
+func (n *Node) observeFlits(q Quantum, now uint64) {
+	if n.staged {
+		n.stagedObs = append(n.stagedObs, obsRec{q: q, a: now})
+		return
+	}
+	n.net.observeFlits(q, now)
+}
+
+// observePacket records a completed packet's latencies, deferring to the
+// cycle barrier under the parallel engine.
+func (n *Node) observePacket(q Quantum, injected, done uint64) {
+	if n.staged {
+		n.stagedObs = append(n.stagedObs, obsRec{q: q, a: injected, b: done, packet: true})
+		return
+	}
+	n.net.observePacket(q, injected, done)
+}
+
+// flushStaged replays this node's deferred shared-state effects — stats
+// observations, probe events, audit operations — at the cycle barrier.
+// Replaying nodes in id order reproduces the sequential kernel's exact call
+// sequence, which is what keeps parallel results byte-identical.
+//
+//loft:hotpath
+func (n *Node) flushStaged() {
+	for i := range n.stagedObs {
+		r := &n.stagedObs[i]
+		if r.packet {
+			n.net.observePacket(r.q, r.a, r.b)
+		} else {
+			n.net.observeFlits(r.q, r.a)
+		}
+	}
+	n.stagedObs = n.stagedObs[:0]
+	if n.probe != nil {
+		n.probe.FlushStage()
+	}
+	if n.audit != nil {
+		n.audit.Flush()
 	}
 }
 
@@ -550,14 +725,17 @@ func (n *Node) Debug() {
 		}
 	}
 	for d := topo.North; d < topo.NumDirs; d++ {
-		entries := n.inputs[d].entries
-		for _, id := range det.KeysFunc(entries, func(a, b flit.QuantumID) bool {
-			if a.Flow != b.Flow {
-				return a.Flow < b.Flow
+		var live []*inEntry
+		for _, bucket := range n.inputs[d].ring {
+			live = append(live, bucket...)
+		}
+		sort.Slice(live, func(i, j int) bool {
+			if live[i].q.ID.Flow != live[j].q.ID.Flow {
+				return live[i].q.ID.Flow < live[j].q.ID.Flow
 			}
-			return a.Seq < b.Seq
-		}) {
-			e := entries[id]
+			return live[i].q.ID.Seq < live[j].q.ID.Seq
+		})
+		for _, e := range live {
 			fmt.Printf("  entry in=%s flow=%d q=%d arrive=%d booked=%v depart=%d arrived=%v\n",
 				d, e.q.ID.Flow, e.q.ID.Seq, e.arriveSlot, e.booked, e.departSlot, e.arrived)
 		}

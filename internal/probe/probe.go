@@ -231,6 +231,37 @@ type Probe struct {
 	tracer      *Tracer
 	reg         *Registry
 	sampleEvery uint64
+
+	// parent is non-nil for staging probes (see NewStage): Emit appends to
+	// staged instead of the tracer, and FlushStage replays into the parent.
+	parent *Probe
+	staged []Event
+}
+
+// NewStage returns a staging view of the probe for one parallel shard.
+// Events emitted through the stage are buffered locally (no shared state is
+// touched during the compute phase) until FlushStage replays them into the
+// parent tracer at the cycle barrier. The stage shares the parent's metrics
+// registry: gauges register closures that are only read by the serialized
+// sampler, which is safe. A nil probe returns a nil stage.
+func (p *Probe) NewStage() *Probe {
+	if p == nil {
+		return nil
+	}
+	return &Probe{reg: p.reg, sampleEvery: p.sampleEvery, parent: p}
+}
+
+// FlushStage replays events buffered by a staging probe into the parent
+// tracer, in emission order, and empties the stage. No-op on nil or
+// non-staging probes.
+func (p *Probe) FlushStage() {
+	if p == nil || p.parent == nil {
+		return
+	}
+	for _, e := range p.staged {
+		p.parent.tracer.Emit(e)
+	}
+	p.staged = p.staged[:0]
 }
 
 // New returns an enabled probe.
@@ -253,7 +284,12 @@ func (p *Probe) Emit(cycle uint64, k Kind, node, loc, flow int32, arg uint64) {
 	if p == nil {
 		return
 	}
-	p.tracer.Emit(Event{Cycle: cycle, Kind: k, Node: node, Loc: loc, Flow: flow, Arg: arg})
+	e := Event{Cycle: cycle, Kind: k, Node: node, Loc: loc, Flow: flow, Arg: arg}
+	if p.parent != nil {
+		p.staged = append(p.staged, e)
+		return
+	}
+	p.tracer.Emit(e)
 }
 
 // EmitSeq records one event carrying a per-flow quantum sequence (no-op when
@@ -263,7 +299,12 @@ func (p *Probe) EmitSeq(cycle uint64, k Kind, node, loc, flow int32, seq, arg ui
 	if p == nil {
 		return
 	}
-	p.tracer.Emit(Event{Cycle: cycle, Kind: k, Node: node, Loc: loc, Flow: flow, Seq: seq, Arg: arg})
+	e := Event{Cycle: cycle, Kind: k, Node: node, Loc: loc, Flow: flow, Seq: seq, Arg: arg}
+	if p.parent != nil {
+		p.staged = append(p.staged, e)
+		return
+	}
+	p.tracer.Emit(e)
 }
 
 // Tracer returns the underlying tracer (nil when disabled).

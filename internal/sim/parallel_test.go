@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelKernelStepsComponents(t *testing.T) {
+	k := NewParallelKernel(4)
+	defer k.Close()
+	cs := make([]*counter, 8)
+	for i := range cs {
+		cs[i] = &counter{}
+		k.AddTicker(i, cs[i])
+	}
+	k.Run(10)
+	for i, c := range cs {
+		if c.ticks != 10 || c.updates != 10 {
+			t.Fatalf("shard %d: ticks=%d updates=%d, want 10,10", i, c.ticks, c.updates)
+		}
+		if c.lastNow != 9 {
+			t.Fatalf("shard %d: lastNow=%d, want 9", i, c.lastNow)
+		}
+	}
+	if k.Now() != 10 {
+		t.Fatalf("Now=%d, want 10", k.Now())
+	}
+}
+
+func TestParallelKernelClampsWorkers(t *testing.T) {
+	k := NewParallelKernel(0)
+	defer k.Close()
+	if k.Workers() != 1 {
+		t.Fatalf("Workers=%d, want 1", k.Workers())
+	}
+	k.AddTicker(5, &counter{}) // out-of-range shard wraps, must not panic
+	k.Run(1)
+}
+
+// phaseProbe records the global order of tick, serial, and update callbacks
+// so the two barriers can be asserted.
+type phaseProbe struct {
+	seq *[]string // written only under the kernel's phase structure
+	mu  chan struct{}
+	tag string
+}
+
+func (p *phaseProbe) record(s string) {
+	p.mu <- struct{}{}
+	*p.seq = append(*p.seq, s)
+	<-p.mu
+}
+
+func (p *phaseProbe) Tick(now uint64)   { p.record("tick:" + p.tag) }
+func (p *phaseProbe) Update(now uint64) { p.record("update:" + p.tag) }
+
+func TestParallelKernelPhaseOrdering(t *testing.T) {
+	k := NewParallelKernel(3)
+	defer k.Close()
+	var seq []string
+	mu := make(chan struct{}, 1)
+	for i := 0; i < 3; i++ {
+		k.AddTicker(i, &phaseProbe{seq: &seq, mu: mu, tag: "x"})
+	}
+	k.AddSerial(func(now uint64) { seq = append(seq, "serial-a") })
+	k.AddSerial(func(now uint64) { seq = append(seq, "serial-b") })
+	k.Step()
+	if len(seq) != 8 {
+		t.Fatalf("got %d events, want 8: %v", len(seq), seq)
+	}
+	for i, want := range []string{"tick", "tick", "tick", "serial-a", "serial-b", "update", "update", "update"} {
+		if !strings.HasPrefix(seq[i], want) {
+			t.Fatalf("event %d = %q, want prefix %q (full: %v)", i, seq[i], want, seq)
+		}
+	}
+}
+
+func TestParallelKernelRunUntil(t *testing.T) {
+	k := NewParallelKernel(2)
+	defer k.Close()
+	var ticks atomic.Int64
+	k.AddSerial(func(now uint64) { ticks.Add(1) })
+	ok := k.RunUntil(func() bool { return ticks.Load() >= 5 }, 100)
+	if !ok || ticks.Load() != 5 {
+		t.Fatalf("RunUntil: ok=%v ticks=%d", ok, ticks.Load())
+	}
+	if k.RunUntil(func() bool { return false }, 3) {
+		t.Fatal("RunUntil reported success for impossible predicate")
+	}
+}
+
+func TestParallelKernelCloseRestarts(t *testing.T) {
+	k := NewParallelKernel(2)
+	c := &counter{}
+	k.AddTicker(0, c)
+	k.Run(3)
+	k.Close()
+	k.Close() // idempotent
+	k.Run(2)  // restarts the pool transparently
+	defer k.Close()
+	if c.ticks != 5 || k.Now() != 5 {
+		t.Fatalf("ticks=%d Now=%d after restart, want 5,5", c.ticks, k.Now())
+	}
+}
+
+type panicker struct{ at uint64 }
+
+func (p *panicker) Tick(now uint64) {
+	if now == p.at {
+		panic("boom")
+	}
+}
+
+func TestParallelKernelPropagatesWorkerPanic(t *testing.T) {
+	k := NewParallelKernel(2)
+	k.AddTicker(0, &panicker{at: 2})
+	k.AddTicker(1, &counter{})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic not propagated")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+			t.Fatalf("panic value %v does not mention cause", r)
+		}
+	}()
+	k.Run(10)
+}
+
+// TestParallelMatchesSequential drives the same component graph through both
+// kernels: a chain of registers where each stage consumes its predecessor's
+// previous-cycle output, the pattern every network in this repo is built on.
+func TestParallelMatchesSequential(t *testing.T) {
+	build := func(add func(Ticker), addU func(Updater)) (regs []*Reg[int], sums []*int) {
+		const stages = 6
+		for i := 0; i < stages; i++ {
+			regs = append(regs, NewReg[int]("r"))
+		}
+		for i := 0; i < stages; i++ {
+			in := regs[(i+stages-1)%stages]
+			out := regs[i]
+			sum := new(int)
+			sums = append(sums, sum)
+			stage := i
+			add(tickFunc(func(now uint64) {
+				if v, ok := in.Take(); ok {
+					*sum += v
+					out.Write(v + stage)
+				} else if now == 0 && stage == 0 {
+					out.Write(1)
+				}
+			}))
+			addU(out)
+		}
+		return regs, sums
+	}
+
+	seqK := NewKernel()
+	_, seqSums := build(seqK.Add, seqK.AddUpdater)
+	seqK.Run(200)
+
+	parK := NewParallelKernel(4)
+	defer parK.Close()
+	i := 0
+	_, parSums := build(
+		func(tk Ticker) { parK.AddTicker(i, tk); i++ },
+		func(u Updater) { parK.AddUpdater(i, u) },
+	)
+	parK.Run(200)
+
+	for j := range seqSums {
+		if *seqSums[j] != *parSums[j] {
+			t.Fatalf("stage %d diverged: sequential=%d parallel=%d", j, *seqSums[j], *parSums[j])
+		}
+	}
+}
+
+type tickFunc func(now uint64)
+
+func (f tickFunc) Tick(now uint64) { f(now) }

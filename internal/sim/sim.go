@@ -87,3 +87,6 @@ func (k *Kernel) RunUntil(pred func() bool, limit uint64) bool {
 	}
 	return pred()
 }
+
+// Close implements Engine; the sequential kernel holds no resources.
+func (k *Kernel) Close() {}

@@ -1,0 +1,127 @@
+// Parallel-engine determinism goldens: for every architecture, seed and
+// worker count, a sharded run must be byte-identical to the sequential run —
+// not just statistically equivalent. The comparison covers the full result
+// summary, the exported probe event stream (JSONL bytes) and the audit
+// conformance snapshot (JSON bytes). `make par-smoke` runs these under the
+// race detector.
+package loft
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"loft/internal/audit"
+	"loft/internal/config"
+	"loft/internal/core"
+	loftnet "loft/internal/loft"
+	"loft/internal/probe"
+)
+
+// observedRun is everything externally visible from one simulation run.
+type observedRun struct {
+	res    core.Result
+	events []byte // probe JSONL export
+	audit  []byte // audit snapshot JSON
+}
+
+func runObserved(t *testing.T, arch core.Arch, seed uint64, workers int) observedRun {
+	t.Helper()
+	cfg := config.PaperLOFT()
+	p := trafficUniform(cfg, 0.2)
+	pr := probe.New(probe.Config{SampleEvery: 256})
+	aud := audit.New(audit.Config{})
+	spec := core.RunSpec{Seed: seed, Warmup: 200, Measure: 1500, Probe: pr, Audit: aud, Workers: workers}
+	var (
+		res core.Result
+		err error
+	)
+	switch arch {
+	case core.ArchLOFT:
+		res, _, err = core.RunLOFT(cfg, p, spec)
+	case core.ArchGSF:
+		res, _, err = core.RunGSF(config.PaperGSF(), p, cfg.FrameFlits, spec)
+	default:
+		t.Fatalf("unknown arch %q", arch)
+	}
+	if err != nil {
+		t.Fatalf("%s seed %d workers %d: %v", arch, seed, workers, err)
+	}
+	var evBuf bytes.Buffer
+	if err := probe.WriteEventsJSONL(&evBuf, pr.Events(), pr.Tracer().Dropped()); err != nil {
+		t.Fatalf("export events: %v", err)
+	}
+	audJSON, err := json.Marshal(aud.Snapshot())
+	if err != nil {
+		t.Fatalf("marshal audit snapshot: %v", err)
+	}
+	return observedRun{res: res, events: evBuf.Bytes(), audit: audJSON}
+}
+
+func checkIdentical(t *testing.T, arch core.Arch, seed uint64, workers int, seq, par observedRun) {
+	t.Helper()
+	if !reflect.DeepEqual(seq.res, par.res) {
+		t.Errorf("%s seed %d: workers=%d result differs from sequential\nseq: %+v\npar: %+v",
+			arch, seed, workers, seq.res, par.res)
+	}
+	if !bytes.Equal(seq.events, par.events) {
+		t.Errorf("%s seed %d: workers=%d probe event stream differs from sequential (%d vs %d bytes)",
+			arch, seed, workers, len(seq.events), len(par.events))
+	}
+	if !bytes.Equal(seq.audit, par.audit) {
+		t.Errorf("%s seed %d: workers=%d audit snapshot differs from sequential\nseq: %s\npar: %s",
+			arch, seed, workers, seq.audit, par.audit)
+	}
+}
+
+// TestParallelDeterminism checks LOFT byte-identity across worker counts.
+func TestParallelDeterminism(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		seq := runObserved(t, core.ArchLOFT, seed, 1)
+		if seq.res.Packets == 0 {
+			t.Fatalf("seed %d: sequential run delivered no packets", seed)
+		}
+		for _, workers := range []int{2, 4} {
+			par := runObserved(t, core.ArchLOFT, seed, workers)
+			checkIdentical(t, core.ArchLOFT, seed, workers, seq, par)
+		}
+	}
+}
+
+// TestParallelGSFDeterminism checks GSF byte-identity across worker counts.
+func TestParallelGSFDeterminism(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		seq := runObserved(t, core.ArchGSF, seed, 1)
+		if seq.res.Packets == 0 {
+			t.Fatalf("seed %d: sequential run delivered no packets", seed)
+		}
+		for _, workers := range []int{2, 4} {
+			par := runObserved(t, core.ArchGSF, seed, workers)
+			checkIdentical(t, core.ArchGSF, seed, workers, seq, par)
+		}
+	}
+}
+
+// TestSteadyStateZeroAlloc pins the zero-allocation steady state: once a
+// LOFT network has run past its warmup transient, advancing more cycles
+// must allocate nothing. The dense input-reservation slab, the recycled
+// look-ahead records and the double-buffered virtual-credit batches all
+// feed this guarantee; a regression in any of them fails here before it
+// shows up as a throughput loss in the benchmarks.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	cfg := config.PaperLOFT()
+	p := trafficUniform(cfg, 0.2)
+	// Warmup beyond the simulated horizon keeps every stats collector on its
+	// early-return branch, so the measurement isolates the simulation core.
+	net, err := loftnet.New(cfg, p, loftnet.Options{Seed: 1, Warmup: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	net.Run(4000)
+	avg := testing.AllocsPerRun(20, func() { net.Run(50) })
+	if avg != 0 {
+		t.Fatalf("steady-state simulation allocates: %.1f allocs per 50-cycle chunk, want 0", avg)
+	}
+}

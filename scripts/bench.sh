@@ -13,7 +13,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_$(date +%Y-%m).json}"
-bench="${BENCH:-BenchmarkSimulatorSpeed|BenchmarkProbeOverhead|BenchmarkAuditOverhead}"
+bench="${BENCH:-BenchmarkSimulatorSpeed|BenchmarkProbeOverhead|BenchmarkAuditOverhead|BenchmarkParallelSpeed|BenchmarkSteadyStateAllocs}"
 benchtime="${BENCHTIME:-10x}"
 count="${COUNT:-3}"
 
@@ -32,6 +32,16 @@ go test -run '^$' -bench "$bench" -benchtime "$benchtime" -count "$count" . | te
 
 awk '
 BEGIN { n = 0 }   # explicit: an uninitialized n would subscript as ""
+function record(name, value, unit) {
+    # Keep the minimum across -count repetitions: a conservative floor the
+    # <2%-regression guard in bench-check compares against (for allocs/op
+    # entries the minimum is simply the best = cleanest repetition).
+    if (name in idx) {
+        if (value + 0 < values[idx[name]] + 0) values[idx[name]] = value
+    } else {
+        idx[name] = n; names[n] = name; values[n] = value; units[n] = unit; n++
+    }
+}
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)            # strip the -GOMAXPROCS suffix
@@ -39,18 +49,16 @@ BEGIN { n = 0 }   # explicit: an uninitialized n would subscript as ""
     for (i = 3; i < NF; i++) {           # (value, unit) pairs after the count
         u = $(i + 1)
         if (u !~ /\//) continue
-        if (u == "B/op" || u == "allocs/op") continue
+        if (u == "B/op") continue
+        if (u == "allocs/op") {          # recorded separately as <name>#allocs
+            record(name "#allocs", $i, u)
+            continue
+        }
         if (u == "ns/op" && unit != "") continue
         value = $i; unit = u
     }
     if (value == "") next
-    # Keep the minimum across -count repetitions: a conservative floor the
-    # <2%-regression guard in bench-check compares against.
-    if (name in idx) {
-        if (value + 0 < values[idx[name]] + 0) values[idx[name]] = value
-    } else {
-        idx[name] = n; names[n] = name; values[n] = value; units[n] = unit; n++
-    }
+    record(name, value, unit)
 }
 END {
     printf "{\n"
