@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-sweep par-smoke vet fmt lint check audit-smoke trace-smoke bench bench-save bench-check bench-probe
+.PHONY: build test race race-sweep par-smoke vet fmt lint check audit-smoke trace-smoke perf-smoke bench bench-save bench-check bench-probe
 
 build:
 	$(GO) build ./...
@@ -23,9 +23,10 @@ race-sweep:
 
 # The intra-run parallel engine's byte-identity goldens under the race
 # detector: sharded node stepping must reproduce the sequential results,
-# probe event streams and audit snapshots exactly, for LOFT and GSF.
+# probe event streams and audit snapshots exactly, for LOFT and GSF — and,
+# via TestPerfmonByteIdentity, identically with the self-profiler attached.
 par-smoke:
-	$(GO) test -race -run 'TestParallelDeterminism|TestParallelGSFDeterminism' -count=1 .
+	$(GO) test -race -run 'TestParallelDeterminism|TestParallelGSFDeterminism|TestPerfmonByteIdentity' -count=1 .
 
 vet:
 	$(GO) vet ./...
@@ -64,7 +65,21 @@ trace-smoke:
 	$(GO) run ./cmd/lofttrace diff "$$dir/run" "$$dir/run"; \
 	rm -rf "$$dir"
 
-check: build vet fmt lint test race-sweep par-smoke race audit-smoke trace-smoke
+# A profiled simulation on the parallel engine exporting a run directory,
+# then the perf toolchain over it: the stage-attribution table and the
+# shard-utilization report must render, the folded flamegraph must be
+# non-empty, and the run perf-diffed against itself must report zero
+# regression breaches and exit 0.
+perf-smoke:
+	@dir="$$(mktemp -d)"; set -e; \
+	$(GO) run ./cmd/loftsim -arch loft -pattern uniform -rate 0.2 \
+		-warmup 200 -cycles 1500 -jnode 2 -perf -probe -probe-out "$$dir/run/"; \
+	$(GO) run ./cmd/lofttrace perf "$$dir/run"; \
+	$(GO) run ./cmd/lofttrace perf -diff "$$dir/run" "$$dir/run"; \
+	test -s "$$dir/run/perf.folded"; \
+	rm -rf "$$dir"
+
+check: build vet fmt lint test race-sweep par-smoke race audit-smoke trace-smoke perf-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -74,14 +89,14 @@ bench-save:
 	scripts/bench.sh
 
 # Re-run the engineering benchmarks against the recorded baseline: the
-# probe-off and audit-off paths and raw simulator speed must not regress
-# more than 2% (best of -count repetitions, so one descheduled run cannot
-# flake the gate).
+# probe-off, audit-off and perf-off paths and raw simulator speed must not
+# regress more than 2% (best of -count repetitions, so one descheduled run
+# cannot flake the gate).
 BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 bench-check:
 	@test -n "$(BASELINE)" || { echo "no BENCH_*.json baseline recorded; run make bench-save"; exit 1; }
 	LOFT_BENCH_BASELINE=$(BASELINE) $(GO) test -run '^$$' \
-		-bench 'BenchmarkSimulatorSpeed|BenchmarkProbeOverhead|BenchmarkAuditOverhead|BenchmarkSteadyStateAllocs' -benchtime 10x -count 3 .
+		-bench 'BenchmarkSimulatorSpeed|BenchmarkProbeOverhead|BenchmarkAuditOverhead|BenchmarkPerfmonOverhead|BenchmarkSteadyStateAllocs' -benchtime 10x -count 3 .
 
 # Probe-layer overhead: "off" must stay within 2% of the pre-probe simulator.
 bench-probe:

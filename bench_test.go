@@ -17,6 +17,7 @@ import (
 	"loft/internal/core"
 	"loft/internal/exp"
 	loftnet "loft/internal/loft"
+	"loft/internal/perfmon"
 	"loft/internal/probe"
 	"loft/internal/tdm"
 	"loft/internal/topo"
@@ -407,6 +408,37 @@ func BenchmarkProbeOverhead(b *testing.B) {
 			b.ReportMetric(cps, "sim-cycles/sec")
 			if mode == "off" {
 				baselineGuard(b, "BenchmarkProbeOverhead/off", cps, 2)
+			}
+		})
+	}
+}
+
+// BenchmarkPerfmonOverhead measures the self-profiler's cost on the same
+// workload as BenchmarkProbeOverhead: "off" must stay within 2% of the
+// un-profiled simulator (the disabled path is the hookguard-enforced nil
+// checks), "on" shows the cost of sampled stage timers at the default
+// sampling period.
+func BenchmarkPerfmonOverhead(b *testing.B) {
+	cfg := config.PaperLOFT()
+	p := trafficUniform(cfg, 0.2)
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			primeRun(b, cfg, p)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var mon *perfmon.Monitor
+				if mode == "on" {
+					mon = perfmon.New(perfmon.Config{SampleEvery: perfmon.DefaultSampleEvery})
+				}
+				spec := core.RunSpec{Seed: 1, Warmup: 0, Measure: 20000, Perf: mon}
+				if _, _, err := core.RunLOFT(cfg, p, spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			cps := float64(20000*b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(cps, "sim-cycles/sec")
+			if mode == "off" {
+				baselineGuard(b, "BenchmarkPerfmonOverhead/off", cps, 2)
 			}
 		})
 	}

@@ -8,14 +8,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"loft/internal/analysis"
 	"loft/internal/audit"
 	"loft/internal/config"
 	"loft/internal/core"
 	"loft/internal/exp"
+	"loft/internal/perfmon"
 	"loft/internal/probe"
 	"loft/internal/profiles"
 	"loft/internal/runenv"
@@ -34,6 +37,8 @@ func main() {
 		probeSample = flag.Uint64("probe-sample", 256, "gauge sampling period in cycles (0 disables time series)")
 		auditOn     = flag.Bool("audit", false, "attach the runtime QoS auditor to every run; violations exit non-zero")
 		auditOut    = flag.String("audit-out", "", "write the audit conformance snapshot JSON here, plus a sibling manifest; implies -audit")
+		perfOn      = flag.Bool("perf", false, "attach the in-simulator profiler to every run: per-stage cycle attribution accumulated across the sweep (forces sequential runs, never changes results)")
+		perfSample  = flag.Uint64("perf-sample", perfmon.DefaultSampleEvery, "profile every Nth cycle (1 = every cycle)")
 		httpAddr    = flag.String("http", "", "serve live introspection (/metrics, /audit, /debug/pprof) on this address; implies -audit")
 		workers     = flag.Int("j", 0, "concurrent simulations per experiment (0 = one per CPU; probe and audit runs are forced sequential)")
 		nodeWorkers = flag.Int("jnode", 0, "shard node ticking inside each simulation across this many OS threads (0 or 1 = sequential; results are byte-identical)")
@@ -55,6 +60,10 @@ func main() {
 	if *auditOn || *auditOut != "" || *httpAddr != "" {
 		aud = audit.New(audit.Config{})
 	}
+	var mon *perfmon.Monitor
+	if *perfOn {
+		mon = perfmon.New(perfmon.Config{SampleEvery: *perfSample, Workers: *nodeWorkers})
+	}
 	var srv *audit.Server
 	if *httpAddr != "" {
 		srv, err = audit.NewServer(*httpAddr)
@@ -64,10 +73,24 @@ func main() {
 		}
 		defer srv.Close()
 		srv.SetTitle("loftexp " + *which)
-		aud.OnPublish(func() { srv.Publish(pr, aud) })
+		aud.OnPublish(func() { srv.Publish(pr, aud, mon) })
 		fmt.Fprintf(os.Stderr, "introspection server listening on %s\n", srv.URL())
 	}
-	o := exp.Options{Seed: *seed, Quick: *quick, Workers: *workers, NodeWorkers: *nodeWorkers, Probe: pr, Audit: aud}
+
+	// SIGINT requests a graceful stop: in-flight simulations end at the next
+	// chunk boundary, later experiments finish immediately, and the
+	// requested artifacts are still flushed. A second SIGINT kills.
+	var interrupted atomic.Bool
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		interrupted.Store(true)
+		signal.Stop(sig)
+		fmt.Fprintln(os.Stderr, "interrupt: stopping at next chunk boundary, flushing snapshots (^C again to kill)")
+	}()
+
+	o := exp.Options{Seed: *seed, Quick: *quick, Workers: *workers, NodeWorkers: *nodeWorkers, Probe: pr, Audit: aud, Perf: mon, Stop: interrupted.Load}
 	if srv != nil {
 		o.Progress = srv.JobProgress
 	}
@@ -92,6 +115,9 @@ func main() {
 		if *which != "all" && *which != r.name {
 			continue
 		}
+		if interrupted.Load() {
+			break
+		}
 		ran = true
 		fmt.Printf("==== %s ====\n", r.name)
 		data, err := r.fn(o)
@@ -102,7 +128,7 @@ func main() {
 		report[r.name] = data
 		fmt.Println()
 	}
-	if !ran {
+	if !ran && !interrupted.Load() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
 		os.Exit(2)
 	}
@@ -119,9 +145,9 @@ func main() {
 		fmt.Printf("wrote JSON report to %s\n", *jsonPath)
 	}
 	if pr != nil || *auditOut != "" {
-		m := expManifest(*which, *seed, runio.Metrics(nil, pr, aud, uint64(config.PaperLOFT().QuantumFlits)))
+		m := expManifest(*which, *seed, *nodeWorkers, runio.Metrics(nil, pr, aud, mon, uint64(config.PaperLOFT().QuantumFlits)))
 		if pr != nil {
-			if err := writeRun(pr, aud, *probeOut, m); err != nil {
+			if err := writeRun(pr, aud, mon, *probeOut, m); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
@@ -133,6 +159,10 @@ func main() {
 			}
 		}
 	}
+	if mon != nil && !(*probeOut != "" && runio.IsDirTarget(*probeOut)) {
+		mon.Snapshot().WriteText(os.Stdout)
+	}
+	auditFailed := false
 	if aud != nil {
 		for _, line := range aud.Summary() {
 			fmt.Printf("  %s\n", line)
@@ -140,16 +170,21 @@ func main() {
 		for _, v := range aud.Violations() {
 			fmt.Fprintf(os.Stderr, "audit violation: %s\n", v)
 		}
-		if aud.Err() != nil {
-			os.Exit(1)
-		}
+		auditFailed = aud.Err() != nil
+	}
+	if interrupted.Load() {
+		fmt.Fprintln(os.Stderr, "run interrupted; partial artifacts flushed")
+		os.Exit(130)
+	}
+	if auditFailed {
+		os.Exit(1)
 	}
 }
 
 // expManifest assembles the manifest recorded with exported probe/audit
 // data. Experiments mix configurations, so unlike loftsim no single config
 // block is recorded; the experiment name takes the pattern slot.
-func expManifest(which string, seed uint64, metrics map[string]float64) trace.Manifest {
+func expManifest(which string, seed uint64, nodeWorkers int, metrics map[string]float64) trace.Manifest {
 	env := runenv.Capture()
 	return trace.Manifest{
 		ManifestVersion: trace.ManifestVersion,
@@ -157,6 +192,9 @@ func expManifest(which string, seed uint64, metrics map[string]float64) trace.Ma
 		Command:         os.Args,
 		CreatedUTC:      env.CreatedUTC,
 		GitRevision:     env.GitRevision,
+		HostCPUs:        env.NumCPU,
+		HostGoMaxProcs:  env.GoMaxProcs,
+		NodeWorkers:     nodeWorkers,
 		Pattern:         which,
 		Seeds:           []uint64{seed},
 		Metrics:         metrics,
@@ -169,7 +207,7 @@ func expManifest(which string, seed uint64, metrics map[string]float64) trace.Ma
 // other path keeps the extension dispatch (probe.FormatForPath) plus a
 // sibling <path>.manifest.json. Ring drops are warned about on stderr
 // either way.
-func writeRun(pr *probe.Probe, aud *audit.Auditor, path string, m trace.Manifest) error {
+func writeRun(pr *probe.Probe, aud *audit.Auditor, mon *perfmon.Monitor, path string, m trace.Manifest) error {
 	if d := pr.Tracer().Dropped(); d > 0 {
 		fmt.Fprintf(os.Stderr, "warning: probe ring overwrote %d oldest events; raise -probe-events for a complete trace\n", d)
 	}
@@ -181,10 +219,10 @@ func writeRun(pr *probe.Probe, aud *audit.Auditor, path string, m trace.Manifest
 		return nil
 	}
 	if runio.IsDirTarget(path) {
-		if err := runio.WriteRunDir(path, pr, aud, m); err != nil {
+		if err := runio.WriteRunDir(path, pr, aud, mon, m); err != nil {
 			return err
 		}
-		fmt.Println(runio.Describe(path, pr, aud))
+		fmt.Println(runio.Describe(path, pr, aud, mon))
 		return nil
 	}
 	if err := runio.WriteFileWithManifest(path, pr, m); err != nil {

@@ -26,21 +26,35 @@
 // records each packet's hop-by-hop flight timeline, and verifies delivered
 // latencies against the paper's analytical delay bounds. Violations are
 // printed and make the run exit non-zero. -http serves live introspection
-// (/metrics, /audit, a progress page, /debug/pprof) during the run and
-// implies -audit.
+// (/metrics, /audit, /perf, a progress page, /debug/pprof) during the run
+// and implies -audit.
+//
+// With -perf the simulator profiles itself: cheap monotonic stage timers
+// attribute wall time to each router pipeline stage and each parallel-engine
+// phase on a sampled subset of cycles (-perf-sample). Profiling never
+// changes simulation results. A run-directory -probe-out additionally
+// receives perf.json, perf.folded (load in any flamegraph viewer) and a
+// cpu.pprof; otherwise the stage-attribution table prints to stdout.
+//
+// SIGINT stops the run gracefully at the next chunk boundary: all requested
+// artifacts — probe exports, audit and perf snapshots, manifest — are
+// flushed for the partial run before the process exits 130.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"sync/atomic"
 
 	"loft/internal/audit"
 	"loft/internal/config"
 	"loft/internal/core"
 	"loft/internal/gsf"
 	"loft/internal/loft"
+	"loft/internal/perfmon"
 	"loft/internal/probe"
 	"loft/internal/profiles"
 	"loft/internal/runenv"
@@ -71,6 +85,8 @@ func main() {
 		probeEvents = flag.Int("probe-events", 1<<20, "event ring buffer capacity")
 		auditOn     = flag.Bool("audit", false, "enable the runtime QoS auditor (invariant checks + delay-bound conformance); violations exit non-zero")
 		auditOut    = flag.String("audit-out", "", "write the audit conformance snapshot JSON here, plus a sibling manifest; implies -audit")
+		perfOn      = flag.Bool("perf", false, "enable the in-simulator profiler: per-stage cycle attribution, parallel-engine telemetry, flamegraph export (never changes results)")
+		perfSample  = flag.Uint64("perf-sample", perfmon.DefaultSampleEvery, "profile every Nth cycle (1 = every cycle)")
 		httpAddr    = flag.String("http", "", "serve live introspection (/metrics, /audit, /debug/pprof) on this address, e.g. :8080; implies -audit")
 		seeds       = flag.Int("seeds", 1, "run this many seeds (seed, seed+1, ...) and report per-seed plus aggregate statistics")
 		workers     = flag.Int("j", 0, "concurrent runs for -seeds > 1 (0 = one per CPU; probe runs are forced sequential)")
@@ -154,6 +170,10 @@ func main() {
 	if *auditOn || *auditOut != "" || *httpAddr != "" {
 		aud = audit.New(audit.Config{})
 	}
+	var mon *perfmon.Monitor
+	if *perfOn {
+		mon = perfmon.New(perfmon.Config{SampleEvery: *perfSample, Workers: *nodeWorkers})
+	}
 	var srv *audit.Server
 	if *httpAddr != "" {
 		srv, err = audit.NewServer(*httpAddr)
@@ -163,14 +183,42 @@ func main() {
 		}
 		defer srv.Close()
 		srv.SetTitle(fmt.Sprintf("loftsim %s / %s", *arch, p.Name))
-		aud.OnPublish(func() { srv.Publish(pr, aud) })
+		aud.OnPublish(func() { srv.Publish(pr, aud, mon) })
 		fmt.Fprintf(os.Stderr, "introspection server listening on %s\n", srv.URL())
 	}
-	run := core.RunSpec{Seed: *seed, Warmup: *warmup, Measure: *cycles, Probe: pr, Audit: aud, Workers: *nodeWorkers}
-	if *seeds > 1 {
-		if err := runSeeds(*arch, lcfg, p, run, *seeds, *workers, *rate, *probeOut, *auditOut, srv); err != nil {
+
+	// SIGINT requests a graceful stop: the run ends at the next chunk
+	// boundary and every requested artifact is still flushed. A second
+	// SIGINT falls back to the default kill.
+	var interrupted atomic.Bool
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		interrupted.Store(true)
+		signal.Stop(sig)
+		fmt.Fprintln(os.Stderr, "interrupt: stopping at next chunk boundary, flushing snapshots (^C again to kill)")
+	}()
+
+	// A run-directory -probe-out with -perf also collects a pprof CPU
+	// profile; it must stop before WriteRunDir checksums the file.
+	var stopCPU func()
+	if mon != nil && *probeOut != "" && runio.IsDirTarget(*probeOut) {
+		if stopCPU, err = runio.StartCPUProfile(*probeOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+	}
+
+	run := core.RunSpec{Seed: *seed, Warmup: *warmup, Measure: *cycles, Probe: pr, Audit: aud, Workers: *nodeWorkers, Perf: mon, Stop: interrupted.Load}
+	if *seeds > 1 {
+		if err := runSeeds(*arch, lcfg, p, run, *seeds, *workers, *rate, *probeOut, *auditOut, srv, stopCPU); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if interrupted.Load() {
+			fmt.Fprintln(os.Stderr, "run interrupted; partial artifacts flushed")
+			os.Exit(130)
 		}
 		return
 	}
@@ -212,11 +260,14 @@ func main() {
 			fmt.Print(gnet.Heatmap())
 		}
 	}
+	if stopCPU != nil {
+		stopCPU()
+	}
 	if pr != nil || *auditOut != "" {
 		m := newManifest(*arch, p.Name, lcfg, run, []uint64{*seed},
-			runio.Metrics(&res, pr, aud, uint64(lcfg.QuantumFlits)))
+			runio.Metrics(&res, pr, aud, mon, uint64(lcfg.QuantumFlits)))
 		if pr != nil {
-			if err := writeRun(pr, aud, *probeOut, m); err != nil {
+			if err := writeRun(pr, aud, mon, *probeOut, m); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
@@ -227,6 +278,9 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+	if mon != nil && !(*probeOut != "" && runio.IsDirTarget(*probeOut)) {
+		mon.Snapshot().WriteText(os.Stdout)
 	}
 	if *verbose {
 		ids := make([]int, 0, len(res.FlowRate))
@@ -240,7 +294,12 @@ func main() {
 				id, f.Src, f.Dst, res.FlowRate[f.ID], res.FlowLatency[f.ID])
 		}
 	}
-	if !reportAudit(aud) {
+	ok := reportAudit(aud)
+	if interrupted.Load() {
+		fmt.Fprintln(os.Stderr, "run interrupted; partial artifacts flushed")
+		os.Exit(130)
+	}
+	if !ok {
 		os.Exit(1)
 	}
 }
@@ -264,12 +323,12 @@ func reportAudit(aud *audit.Auditor) bool {
 // and prints per-seed plus aggregate statistics. Runs share the (read-only)
 // pattern; each owns its network and RNGs, so the output is independent of
 // the worker count.
-func runSeeds(arch string, lcfg config.LOFT, p *traffic.Pattern, run core.RunSpec, n, workers int, rate float64, probeOut, auditOut string, srv *audit.Server) error {
+func runSeeds(arch string, lcfg config.LOFT, p *traffic.Pattern, run core.RunSpec, n, workers int, rate float64, probeOut, auditOut string, srv *audit.Server, stopCPU func()) error {
 	if arch != "loft" && arch != "gsf" {
 		return fmt.Errorf("unknown architecture %q", arch)
 	}
-	if run.Probe != nil || run.Audit != nil {
-		workers = 1 // runs share one probe/auditor: keep them sequential
+	if run.Probe != nil || run.Audit != nil || run.Perf != nil {
+		workers = 1 // runs share one probe/auditor/monitor: keep them sequential
 	}
 	var opts []sweep.Option
 	if srv != nil {
@@ -304,19 +363,22 @@ func runSeeds(arch string, lcfg config.LOFT, p *traffic.Pattern, run core.RunSpe
 	ls, rs := stats.Summarize(lats), stats.Summarize(rates)
 	fmt.Printf("  aggregate : latency %.1f ±%.1f%%, accepted %.4f ±%.1f%% (n=%d)\n",
 		ls.Avg, ls.Stdev*100, rs.Avg, rs.Stdev*100, ls.N)
+	if stopCPU != nil {
+		stopCPU()
+	}
 	if run.Probe != nil || auditOut != "" {
 		seedList := make([]uint64, n)
 		for i := range seedList {
 			seedList[i] = run.Seed + uint64(i)
 		}
-		// Aggregate metrics: the per-seed probe/audit layers are shared, the
-		// headline result metrics are the cross-seed means.
-		metrics := runio.Metrics(nil, run.Probe, run.Audit, uint64(lcfg.QuantumFlits))
+		// Aggregate metrics: the per-seed probe/audit/perf layers are shared,
+		// the headline result metrics are the cross-seed means.
+		metrics := runio.Metrics(nil, run.Probe, run.Audit, run.Perf, uint64(lcfg.QuantumFlits))
 		metrics["avg_latency_cycles"] = ls.Avg
 		metrics["throughput_flits_per_cycle"] = rs.Avg * nodes
 		m := newManifest(arch, p.Name, lcfg, run, seedList, metrics)
 		if run.Probe != nil {
-			if err := writeRun(run.Probe, run.Audit, probeOut, m); err != nil {
+			if err := writeRun(run.Probe, run.Audit, run.Perf, probeOut, m); err != nil {
 				return err
 			}
 		}
@@ -325,6 +387,9 @@ func runSeeds(arch string, lcfg config.LOFT, p *traffic.Pattern, run core.RunSpe
 				return err
 			}
 		}
+	}
+	if run.Perf != nil && !(probeOut != "" && runio.IsDirTarget(probeOut)) {
+		run.Perf.Snapshot().WriteText(os.Stdout)
 	}
 	if !reportAudit(run.Audit) {
 		return fmt.Errorf("audit failed: %d violations across %d seeds", len(run.Audit.Violations()), n)
@@ -343,6 +408,9 @@ func newManifest(arch, pattern string, lcfg config.LOFT, run core.RunSpec, seeds
 		Command:         os.Args,
 		CreatedUTC:      env.CreatedUTC,
 		GitRevision:     env.GitRevision,
+		HostCPUs:        env.NumCPU,
+		HostGoMaxProcs:  env.GoMaxProcs,
+		NodeWorkers:     run.Workers,
 		Arch:            arch,
 		Pattern:         pattern,
 		Seeds:           seeds,
@@ -355,14 +423,14 @@ func newManifest(arch, pattern string, lcfg config.LOFT, run core.RunSpec, seeds
 	}
 }
 
-// writeRun exports the collected probe/audit data. An empty path prints the
-// per-kind event summary; a directory path (existing, or spelled with a
-// trailing separator) receives the full run directory — all three probe
-// export formats, the audit snapshot and the checksummed manifest; any
-// other path keeps the legacy single-file extension dispatch
-// (probe.FormatForPath) and gains a sibling <path>.manifest.json. Ring
-// drops are warned about on stderr either way.
-func writeRun(pr *probe.Probe, aud *audit.Auditor, path string, m trace.Manifest) error {
+// writeRun exports the collected probe/audit/perf data. An empty path
+// prints the per-kind event summary; a directory path (existing, or spelled
+// with a trailing separator) receives the full run directory — all three
+// probe export formats, the audit snapshot, the perf snapshot + folded
+// stacks and the checksummed manifest; any other path keeps the legacy
+// single-file extension dispatch (probe.FormatForPath) and gains a sibling
+// <path>.manifest.json. Ring drops are warned about on stderr either way.
+func writeRun(pr *probe.Probe, aud *audit.Auditor, mon *perfmon.Monitor, path string, m trace.Manifest) error {
 	if d := pr.Tracer().Dropped(); d > 0 {
 		fmt.Fprintf(os.Stderr, "warning: probe ring overwrote %d oldest events; raise -probe-events for a complete trace\n", d)
 	}
@@ -374,10 +442,10 @@ func writeRun(pr *probe.Probe, aud *audit.Auditor, path string, m trace.Manifest
 		return nil
 	}
 	if runio.IsDirTarget(path) {
-		if err := runio.WriteRunDir(path, pr, aud, m); err != nil {
+		if err := runio.WriteRunDir(path, pr, aud, mon, m); err != nil {
 			return err
 		}
-		fmt.Println(runio.Describe(path, pr, aud))
+		fmt.Println(runio.Describe(path, pr, aud, mon))
 		return nil
 	}
 	if err := runio.WriteFileWithManifest(path, pr, m); err != nil {

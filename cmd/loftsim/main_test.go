@@ -33,7 +33,7 @@ func TestWriteProbeExtensionDispatch(t *testing.T) {
 		"out.json":  `"traceEvents"`,
 	} {
 		path := filepath.Join(dir, name)
-		if err := writeRun(pr, nil, path, testManifest()); err != nil {
+		if err := writeRun(pr, nil, nil, path, testManifest()); err != nil {
 			t.Fatalf("writeRun(%s): %v", name, err)
 		}
 		data, err := os.ReadFile(path)
@@ -62,7 +62,7 @@ func TestWriteRunDirectory(t *testing.T) {
 	pr.Emit(1, probe.KindSpecHit, 0, 0, 0, 0)
 	pr.MaybeSample(1)
 	dir := filepath.Join(t.TempDir(), "run")
-	if err := writeRun(pr, nil, dir+string(os.PathSeparator), testManifest()); err != nil {
+	if err := writeRun(pr, nil, nil, dir+string(os.PathSeparator), testManifest()); err != nil {
 		t.Fatalf("writeRun(dir): %v", err)
 	}
 	m, err := trace.ReadManifest(dir)

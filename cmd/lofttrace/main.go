@@ -1,11 +1,13 @@
 // Command lofttrace analyses the artifacts the simulators export: it
 // decodes probe event dumps, decomposes per-quantum latency into its
-// mechanism components, summarizes run manifests, and diffs runs against
-// each other (or BENCH_*.json baselines against each other) with
-// regression thresholds.
+// mechanism components, summarizes run manifests, renders perfmon
+// self-profiles, and diffs runs against each other (or BENCH_*.json
+// baselines against each other) with regression thresholds.
 //
 //	lofttrace summary   <run-dir | manifest.json | events.jsonl>
 //	lofttrace decompose [-slot-cycles N] [-flow N] [-json] <run-dir | events.jsonl>
+//	lofttrace perf      [-json] <run-dir | perf.json>
+//	lofttrace perf      -diff [-threshold PCT] [-json] <base> <new>
 //	lofttrace diff      [-threshold PCT] [-all] [-json] <base> <new>
 //	lofttrace trend     [-threshold PCT] [-json] <metrics.json ...>
 //
@@ -13,6 +15,11 @@
 // name → value JSON files (the BENCH_*.json format). diff exits 1 when a
 // direction-aware metric regressed beyond the threshold, so it gates CI;
 // a run diffed against itself reports zero changed metrics and exits 0.
+//
+// perf renders the stage-attribution table and per-worker shard-utilization
+// report of a -perf-enabled run; perf -diff compares two profiled runs with
+// the same direction-aware differ (stage ns/cycle and shard imbalance
+// regress upward, worker utilization downward).
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"strings"
 
 	"loft/internal/det"
+	"loft/internal/perfmon"
 	"loft/internal/probe"
 	"loft/internal/trace"
 )
@@ -45,6 +53,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		code, err = cmdSummary(args[1:], stdout)
 	case "decompose":
 		code, err = cmdDecompose(args[1:], stdout)
+	case "perf":
+		code, err = cmdPerf(args[1:], stdout)
 	case "diff":
 		code, err = cmdDiff(args[1:], stdout)
 	case "trend":
@@ -67,6 +77,8 @@ func usage(w io.Writer) {
 	fmt.Fprint(w, `usage:
   lofttrace summary   <run-dir | manifest.json | events.jsonl>
   lofttrace decompose [-slot-cycles N] [-flow N] [-json] <run-dir | events.jsonl>
+  lofttrace perf      [-json] <run-dir | perf.json>
+  lofttrace perf      -diff [-threshold PCT] [-json] <base> <new>
   lofttrace diff      [-threshold PCT] [-all] [-json] <base> <new>
   lofttrace trend     [-threshold PCT] [-json] <metrics.json ...>
 `)
@@ -140,6 +152,12 @@ func printManifest(w io.Writer, m *trace.Manifest) {
 	}
 	if m.GitRevision != "" {
 		fmt.Fprintf(w, "  git revision : %s\n", m.GitRevision)
+	}
+	if m.HostCPUs > 0 {
+		fmt.Fprintf(w, "  host         : %d CPUs, GOMAXPROCS %d\n", m.HostCPUs, m.HostGoMaxProcs)
+	}
+	if m.NodeWorkers > 1 {
+		fmt.Fprintf(w, "  node workers : %d (parallel cycle engine)\n", m.NodeWorkers)
 	}
 	for _, a := range m.Artifacts {
 		fmt.Fprintf(w, "  artifact     : %-14s %8d bytes  sha256 %.12s…\n", a.Name, a.Bytes, a.SHA256)
@@ -298,6 +316,85 @@ func cmdDecompose(args []string, stdout io.Writer) (int, error) {
 				h.Hop, h.Count, h.Wait.Mean(), h.Wait.Max(), specPct)
 		}
 	}
+	return 0, nil
+}
+
+// cmdPerf renders a perfmon snapshot (stage-attribution table, per-worker
+// shard-utilization report, gauges) or, with -diff, compares two profiled
+// runs' derived perf metrics with the direction-aware differ.
+func cmdPerf(args []string, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("perf", flag.ContinueOnError)
+	diff := fs.Bool("diff", false, "compare two profiled runs instead of rendering one")
+	threshold := fs.Float64("threshold", 10, "with -diff: relative change (%) beyond which a bad-direction delta is a breach")
+	asJSON := fs.Bool("json", false, "emit the snapshot (or diff report) as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2, nil
+	}
+	if *diff {
+		if fs.NArg() != 2 {
+			return 2, fmt.Errorf("expected <base> <new>, got %d arguments", fs.NArg())
+		}
+		base, err := perfmon.ReadSnapshot(fs.Arg(0))
+		if err != nil {
+			return 2, err
+		}
+		cur, err := perfmon.ReadSnapshot(fs.Arg(1))
+		if err != nil {
+			return 2, err
+		}
+		rep := &trace.DiffReport{Base: fs.Arg(0), New: fs.Arg(1), ThresholdPct: *threshold,
+			Deltas: trace.DiffMetrics(base.Metrics(), cur.Metrics(), *threshold)}
+		for _, d := range rep.Deltas {
+			if d.Changed() {
+				rep.Changed++
+			}
+			if d.Breach {
+				rep.Breaches++
+			}
+		}
+		if *asJSON {
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				return 2, err
+			}
+		} else {
+			fmt.Fprintf(stdout, "perf diff %s -> %s (threshold %.1f%%)\n", rep.Base, rep.New, rep.ThresholdPct)
+			for _, d := range rep.Deltas {
+				mark := " "
+				if d.Breach {
+					mark = "!"
+				}
+				switch d.OnlyIn {
+				case "base":
+					fmt.Fprintf(stdout, " %s %-34s %12.4g -> (absent)\n", mark, d.Name, d.Base)
+				case "new":
+					fmt.Fprintf(stdout, " %s %-34s (absent) -> %.4g\n", mark, d.Name, d.New)
+				default:
+					fmt.Fprintf(stdout, " %s %-34s %12.4g -> %-12.4g %+7.2f%% (%s)\n",
+						mark, d.Name, d.Base, d.New, d.RelPct, d.Direction)
+				}
+			}
+			fmt.Fprintf(stdout, "%d metric(s) changed, %d regression breach(es)\n", rep.Changed, rep.Breaches)
+		}
+		if rep.Breaches > 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	if fs.NArg() != 1 {
+		return 2, fmt.Errorf("expected one target, got %d", fs.NArg())
+	}
+	snap, err := perfmon.ReadSnapshot(fs.Arg(0))
+	if err != nil {
+		return 2, err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return 0, enc.Encode(snap)
+	}
+	snap.WriteText(stdout)
 	return 0, nil
 }
 

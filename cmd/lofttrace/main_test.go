@@ -11,6 +11,7 @@ import (
 	"loft/internal/audit"
 	"loft/internal/config"
 	"loft/internal/core"
+	"loft/internal/perfmon"
 	"loft/internal/probe"
 	"loft/internal/runio"
 	"loft/internal/trace"
@@ -22,9 +23,9 @@ var (
 	testRunDirs = map[int]string{}
 )
 
-// writeTestRun simulates a small LOFT run with the probe and auditor
-// attached and writes a run directory the CLI can consume. Runs are cached
-// per spec setting — the CLI only reads them.
+// writeTestRun simulates a small LOFT run with the probe, auditor and
+// perfmon monitor attached and writes a run directory the CLI can consume.
+// Runs are cached per spec setting — the CLI only reads them.
 func writeTestRun(t *testing.T, spec int) string {
 	t.Helper()
 	testRunMu.Lock()
@@ -36,7 +37,8 @@ func writeTestRun(t *testing.T, spec int) string {
 	p := traffic.Uniform(cfg.Mesh(), 0.3, cfg.PacketFlits, cfg.FrameFlits)
 	pr := probe.New(probe.Config{EventCap: 1 << 20, SampleEvery: 64})
 	aud := audit.New(audit.Config{})
-	res, _, err := core.RunLOFT(cfg, p, core.RunSpec{Seed: 11, Warmup: 100, Measure: 800, Probe: pr, Audit: aud})
+	mon := perfmon.New(perfmon.Config{SampleEvery: 4})
+	res, _, err := core.RunLOFT(cfg, p, core.RunSpec{Seed: 11, Warmup: 100, Measure: 800, Probe: pr, Audit: aud, Perf: mon})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,9 +51,9 @@ func writeTestRun(t *testing.T, spec int) string {
 		Tool:            "loftsim", Arch: "loft", Pattern: "uniform",
 		Seeds: []uint64{11}, WarmupCycles: 100, MeasureCycles: 800,
 		MeshK: cfg.MeshK, Nodes: cfg.Mesh().N(), Config: &cfg,
-		Metrics: runio.Metrics(&res, pr, aud, uint64(cfg.QuantumFlits)),
+		Metrics: runio.Metrics(&res, pr, aud, mon, uint64(cfg.QuantumFlits)),
 	}
-	if err := runio.WriteRunDir(dir, pr, aud, m); err != nil {
+	if err := runio.WriteRunDir(dir, pr, aud, mon, m); err != nil {
 		t.Fatal(err)
 	}
 	testRunDirs[spec] = dir
@@ -123,6 +125,51 @@ func TestDecomposeOnRunDirectory(t *testing.T) {
 	code, jsonOut, _ := runCLI(t, "decompose", "-json", dir)
 	if code != 0 || !strings.Contains(jsonOut, `"slot_cycles": 2`) || !strings.Contains(jsonOut, `"booking_wait"`) {
 		t.Errorf("decompose -json: code=%d out=%s", code, jsonOut)
+	}
+}
+
+// TestPerfOnRunDirectory pins the acceptance criterion: `lofttrace perf`
+// renders the per-stage attribution table and the per-worker
+// shard-utilization machinery from a -perf-enabled run directory.
+func TestPerfOnRunDirectory(t *testing.T) {
+	dir := writeTestRun(t, 12)
+	code, out, errOut := runCLI(t, "perf", dir)
+	if code != 0 {
+		t.Fatalf("perf: code=%d stderr=%s", code, errOut)
+	}
+	for _, want := range []string{"stage attribution", "booking", "lookahead", "commit", "SHARE", "NS/CALL", "gauges"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("perf output missing %q:\n%s", want, out)
+		}
+	}
+	code, jsonOut, _ := runCLI(t, "perf", "-json", dir)
+	if code != 0 || !strings.Contains(jsonOut, `"sample_every"`) || !strings.Contains(jsonOut, `"stages"`) {
+		t.Errorf("perf -json: code=%d out=%s", code, jsonOut)
+	}
+	// The folded-stack flamegraph export sits next to the snapshot.
+	folded, err := os.ReadFile(filepath.Join(dir, runio.FoldedFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(folded), "sim;node;booking ") {
+		t.Errorf("folded stacks missing node stage frames:\n%s", folded)
+	}
+	if code, _, _ := runCLI(t, "perf", filepath.Join(dir, "nope")); code != 2 {
+		t.Error("perf on a missing target: want exit 2")
+	}
+}
+
+// TestPerfDiffSelfIsZero: a profiled run perf-diffed against itself has no
+// breaches (values are wall times, so they only compare equal against the
+// same snapshot — which is exactly what CI's self-check does).
+func TestPerfDiffSelfIsZero(t *testing.T) {
+	dir := writeTestRun(t, 12)
+	code, out, errOut := runCLI(t, "perf", "-diff", dir, dir)
+	if code != 0 {
+		t.Fatalf("perf self-diff: code=%d stderr=%s", code, errOut)
+	}
+	if !strings.Contains(out, "0 regression breach(es)") {
+		t.Errorf("perf self-diff not clean:\n%s", out)
 	}
 }
 

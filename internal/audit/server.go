@@ -10,11 +10,13 @@ import (
 	"net/http/pprof"
 	"sync"
 
+	"loft/internal/perfmon"
 	"loft/internal/probe"
 )
 
 // Server is the live introspection endpoint: /metrics (Prometheus text),
-// /audit (JSON Snapshot), / (progress + heatmap HTML), and /debug/pprof.
+// /audit (JSON Snapshot), /perf (JSON perfmon snapshot), / (progress +
+// heatmap + worker-utilization HTML), and /debug/pprof.
 //
 // The simulator is single-threaded and its probe/audit state is not
 // concurrency-safe, so the server never reads live simulator state:
@@ -34,6 +36,8 @@ type Server struct {
 	title     string   //loft:guardedby mu
 	metrics   []byte   //loft:guardedby mu
 	auditJSON []byte   //loft:guardedby mu
+	perfJSON  []byte   //loft:guardedby mu
+	perfText  string   //loft:guardedby mu
 	cycle     uint64   //loft:guardedby mu
 	total     uint64   //loft:guardedby mu
 	heatmap   string   //loft:guardedby mu
@@ -54,6 +58,7 @@ func NewServer(addr string) (*Server, error) {
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/audit", s.handleAudit)
+	mux.HandleFunc("/perf", s.handlePerf)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -95,11 +100,11 @@ func (s *Server) JobProgress(done, total int) {
 	s.mu.Unlock()
 }
 
-// Publish renders the current probe and audit state and swaps it in for the
-// HTTP handlers. It MUST be called from the simulation thread: probe
-// gauges and the audit snapshot read live simulator state. Either argument
-// may be nil.
-func (s *Server) Publish(p *probe.Probe, a *Auditor) {
+// Publish renders the current probe, audit and perfmon state and swaps it
+// in for the HTTP handlers. It MUST be called from the simulation thread:
+// probe gauges, the audit snapshot and the perf snapshot read live
+// simulator state. Any argument may be nil.
+func (s *Server) Publish(p *probe.Probe, a *Auditor, mon *perfmon.Monitor) {
 	var metrics bytes.Buffer
 	_ = probe.WritePrometheus(&metrics, p)
 	a.writePrometheus(&metrics)
@@ -116,9 +121,21 @@ func (s *Server) Publish(p *probe.Probe, a *Auditor) {
 		cycle, total = snap.Cycle, snap.TotalCycles
 	}
 
+	var perfJSON []byte
+	var perfText string
+	if mon != nil {
+		snap := mon.Snapshot()
+		perfJSON, _ = json.MarshalIndent(snap, "", "  ")
+		var text bytes.Buffer
+		snap.WriteText(&text)
+		perfText = text.String()
+	}
+
 	s.mu.Lock()
 	s.metrics = metrics.Bytes()
 	s.auditJSON = auditJSON
+	s.perfJSON = perfJSON
+	s.perfText = perfText
 	s.summary = summary
 	s.heatmap = heatmap
 	s.cycle, s.total = cycle, total
@@ -159,7 +176,8 @@ var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
 <div class="bar"><div style="width:{{.JobsPct}}%"></div></div>{{end}}
 {{range .Summary}}<p>{{.}}</p>{{end}}
 {{with .Heatmap}}<h2>link utilization</h2><pre>{{.}}</pre>{{end}}
-<p><a href="/metrics">/metrics</a> · <a href="/audit">/audit</a> · <a href="/debug/pprof/">/debug/pprof</a></p>
+{{with .Perf}}<h2>self-profile (stage attribution, worker utilization)</h2><pre>{{.}}</pre>{{end}}
+<p><a href="/metrics">/metrics</a> · <a href="/audit">/audit</a> · <a href="/perf">/perf</a> · <a href="/debug/pprof/">/debug/pprof</a></p>
 </body></html>
 `))
 
@@ -176,10 +194,12 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		JobsDone, JobsTotal int
 		Summary             []string
 		Heatmap             string
+		Perf                string
 	}{
 		Title: s.title, Cycle: s.cycle, Total: s.total,
 		JobsDone: s.jobsDone, JobsTotal: s.jobsTotal,
 		Summary: append([]string(nil), s.summary...), Heatmap: s.heatmap,
+		Perf: s.perfText,
 	}
 	s.mu.Unlock()
 	if data.Total > 0 {
@@ -207,6 +227,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleAudit(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	body := append([]byte(nil), s.auditJSON...)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if len(body) == 0 {
+		fmt.Fprint(w, "{}\n")
+		return
+	}
+	_, _ = w.Write(body)
+}
+
+func (s *Server) handlePerf(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	body := append([]byte(nil), s.perfJSON...)
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	if len(body) == 0 {

@@ -10,6 +10,7 @@ import (
 	"loft/internal/audit"
 	"loft/internal/config"
 	"loft/internal/core"
+	"loft/internal/perfmon"
 	"loft/internal/probe"
 )
 
@@ -46,15 +47,24 @@ func TestServerEndpoints(t *testing.T) {
 	if body, ctype = get(t, srv.URL()+"/audit"); body != "{}\n" && body != "{}" || ctype != "application/json" {
 		t.Fatalf("pre-publish /audit = %q (%s)", body, ctype)
 	}
+	if body, ctype = get(t, srv.URL()+"/perf"); body != "{}\n" && body != "{}" || ctype != "application/json" {
+		t.Fatalf("pre-publish /perf = %q (%s)", body, ctype)
+	}
 
-	// Publish a real probe + auditor snapshot and re-read everything.
+	// Publish a real probe + auditor + perfmon snapshot and re-read
+	// everything.
 	pr := probe.New(probe.Config{EventCap: 16, SampleEvery: 1})
 	pr.Emit(1, probe.KindSpecHit, 0, 0, 0, 0)
 	aud := audit.New(audit.Config{})
 	aud.StartRun(1000)
 	aud.OnCycle(500)
+	mon := perfmon.New(perfmon.Config{SampleEvery: 1})
+	tm := mon.Timer()
+	tm.Begin(0)
+	tm.Lap(perfmon.StageBooking)
+	mon.OnCycle(0)
 	srv.JobProgress(2, 4)
-	srv.Publish(pr, aud)
+	srv.Publish(pr, aud, mon)
 
 	body, _ = get(t, srv.URL()+"/metrics")
 	for _, want := range []string{"probe_events_total", "audit_violations_total 0", "audit_cycle 500"} {
@@ -70,9 +80,17 @@ func TestServerEndpoints(t *testing.T) {
 	if snap.Cycle != 500 || snap.TotalCycles != 1000 || !snap.Clean {
 		t.Fatalf("/audit snapshot = %+v", snap)
 	}
+	body, _ = get(t, srv.URL()+"/perf")
+	var perf perfmon.Snapshot
+	if err := json.Unmarshal([]byte(body), &perf); err != nil {
+		t.Fatalf("/perf not valid JSON: %v\n%s", err, body)
+	}
+	if perf.SampledCycles != 1 || len(perf.Stages) == 0 || perf.Stages[0].Name != "booking" {
+		t.Fatalf("/perf snapshot = %+v", perf)
+	}
 	body, ctype = get(t, srv.URL()+"/")
 	if !strings.Contains(ctype, "text/html") || !strings.Contains(body, "unit test") ||
-		!strings.Contains(body, "2 / 4") {
+		!strings.Contains(body, "2 / 4") || !strings.Contains(body, "stage attribution") {
 		t.Fatalf("index page wrong (%s):\n%s", ctype, body)
 	}
 	if body, _ = get(t, srv.URL()+"/debug/pprof/cmdline"); body == "" {
@@ -92,7 +110,7 @@ func TestServerLiveDuringRun(t *testing.T) {
 	defer srv.Close()
 	pr := probe.New(probe.Config{EventCap: 1 << 12, SampleEvery: 64})
 	aud := audit.New(audit.Config{CheckEvery: 128, PublishEvery: 64})
-	aud.OnPublish(func() { srv.Publish(pr, aud) })
+	aud.OnPublish(func() { srv.Publish(pr, aud, nil) })
 
 	done := make(chan error, 1)
 	go func() {

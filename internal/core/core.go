@@ -10,6 +10,7 @@ import (
 	"loft/internal/flit"
 	"loft/internal/gsf"
 	"loft/internal/loft"
+	"loft/internal/perfmon"
 	"loft/internal/probe"
 	"loft/internal/stats"
 	"loft/internal/traffic"
@@ -45,10 +46,44 @@ type RunSpec struct {
 	// N > 1 shards node ticking across N OS threads. Results are
 	// byte-identical for any value (see DESIGN.md §13).
 	Workers int
+	// Perf attaches the self-profiler when non-nil: stage-level wall-time
+	// attribution, parallel-engine telemetry and occupancy gauges.
+	// Profiling never changes simulation results (see DESIGN.md §14).
+	Perf *perfmon.Monitor
+	// Stop, when non-nil, is polled between simulation chunks; once it
+	// returns true the run ends early at a chunk boundary. The partial run
+	// still finishes cleanly (audit FinishRun, stats close), so CLIs use it
+	// to flush final snapshots on SIGINT.
+	Stop func() bool
 }
 
 // Total returns warmup + measure cycles.
 func (r RunSpec) Total() uint64 { return r.Warmup + r.Measure }
+
+// stopChunk is the polling granularity for RunSpec.Stop: small enough that
+// interrupt latency stays imperceptible, large enough that the per-chunk
+// overhead (a closure call and a stats close) vanishes in the noise.
+const stopChunk = 1024
+
+// runNetwork advances a network Total() cycles, honoring the optional Stop
+// poll at chunk boundaries. Chunked Run calls are byte-identical to one big
+// Run: every cycle's work depends only on the cycle number, and
+// Throughput.Close is monotonic in `now`, so the last call wins.
+func runNetwork(run func(n uint64), spec RunSpec) {
+	total := spec.Total()
+	if spec.Stop == nil {
+		run(total)
+		return
+	}
+	for total > 0 && !spec.Stop() {
+		c := uint64(stopChunk)
+		if total < c {
+			c = total
+		}
+		run(c)
+		total -= c
+	}
+}
 
 // Result summarizes one run.
 type Result struct {
@@ -101,14 +136,14 @@ func summarize(arch Arch, lat, latNet *stats.Latency, latFlow *stats.FlowLatency
 // RunLOFT builds a LOFT network for cfg and pattern, runs it, and returns
 // the result summary together with the network for further inspection.
 func RunLOFT(cfg config.LOFT, p *traffic.Pattern, spec RunSpec) (Result, *loft.Network, error) {
-	net, err := loft.New(cfg, p, loft.Options{Seed: spec.Seed, Warmup: spec.Warmup, Probe: spec.Probe, Audit: spec.Audit, Workers: spec.Workers})
+	net, err := loft.New(cfg, p, loft.Options{Seed: spec.Seed, Warmup: spec.Warmup, Probe: spec.Probe, Audit: spec.Audit, Workers: spec.Workers, Perf: spec.Perf})
 	if err != nil {
 		return Result{}, nil, err
 	}
 	if spec.Audit != nil {
 		spec.Audit.StartRun(spec.Total())
 	}
-	net.Run(spec.Total())
+	runNetwork(net.Run, spec)
 	if spec.Audit != nil {
 		spec.Audit.FinishRun(net.Now())
 	}
@@ -125,14 +160,14 @@ func RunLOFT(cfg config.LOFT, p *traffic.Pattern, spec RunSpec) (Result, *loft.N
 // pattern's reservations (expressed against baseFrameFlits) are rescaled to
 // GSF's frame size.
 func RunGSF(cfg config.GSF, p *traffic.Pattern, baseFrameFlits int, spec RunSpec) (Result, *gsf.Network, error) {
-	net, err := gsf.New(cfg, p, gsf.Options{Seed: spec.Seed, Warmup: spec.Warmup, BaseFrameFlits: baseFrameFlits, Probe: spec.Probe, Audit: spec.Audit, Workers: spec.Workers})
+	net, err := gsf.New(cfg, p, gsf.Options{Seed: spec.Seed, Warmup: spec.Warmup, BaseFrameFlits: baseFrameFlits, Probe: spec.Probe, Audit: spec.Audit, Workers: spec.Workers, Perf: spec.Perf})
 	if err != nil {
 		return Result{}, nil, err
 	}
 	if spec.Audit != nil {
 		spec.Audit.StartRun(spec.Total())
 	}
-	net.Run(spec.Total())
+	runNetwork(net.Run, spec)
 	if spec.Audit != nil {
 		spec.Audit.FinishRun(net.Now())
 	}

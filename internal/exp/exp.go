@@ -10,6 +10,7 @@ import (
 	"loft/internal/audit"
 	"loft/internal/config"
 	"loft/internal/core"
+	"loft/internal/perfmon"
 	"loft/internal/probe"
 	"loft/internal/sweep"
 )
@@ -41,17 +42,26 @@ type Options struct {
 	// audited experiments are forced sequential; violations accumulate
 	// across runs and the caller checks Audit.Err() at the end.
 	Audit *audit.Auditor
+	// Perf attaches the self-profiler to every simulation the experiment
+	// runs. Like Probe/Audit, all runs share the one monitor, so profiled
+	// experiments are forced sequential; stage attribution accumulates
+	// across the sweep.
+	Perf *perfmon.Monitor
+	// Stop, when non-nil, is polled between simulation chunks; once it
+	// returns true the current run ends early at a chunk boundary (the
+	// cmd-level SIGINT handler lands here).
+	Stop func() bool
 	// Progress, when non-nil, is called after every finished simulation
 	// with (done, total) for that experiment's sweep. It must be safe for
 	// concurrent use (parallel sweeps call it from worker goroutines).
 	Progress func(done, total int)
 }
 
-// workers resolves the effective worker count. Probe and audit runs are
-// forced sequential: all runs share one probe/auditor, which is neither
-// safe nor readable under concurrent emission.
+// workers resolves the effective worker count. Probe, audit and perf runs
+// are forced sequential: all runs share one probe/auditor/monitor, which is
+// neither safe nor readable under concurrent emission.
 func (o Options) workers() int {
-	if o.Probe != nil || o.Audit != nil {
+	if o.Probe != nil || o.Audit != nil || o.Perf != nil {
 		return 1
 	}
 	return sweep.Workers(o.Workers)
@@ -68,9 +78,9 @@ func (o Options) sweepOpts() []sweep.Option {
 // runSpec returns the RunSpec for the chosen fidelity.
 func (o Options) runSpec() core.RunSpec {
 	if o.Quick {
-		return core.RunSpec{Seed: o.Seed, Warmup: 2000, Measure: 6000, Probe: o.Probe, Audit: o.Audit, Workers: o.NodeWorkers}
+		return core.RunSpec{Seed: o.Seed, Warmup: 2000, Measure: 6000, Probe: o.Probe, Audit: o.Audit, Workers: o.NodeWorkers, Perf: o.Perf, Stop: o.Stop}
 	}
-	return core.RunSpec{Seed: o.Seed, Warmup: 5000, Measure: 20000, Probe: o.Probe, Audit: o.Audit, Workers: o.NodeWorkers}
+	return core.RunSpec{Seed: o.Seed, Warmup: 5000, Measure: 20000, Probe: o.Probe, Audit: o.Audit, Workers: o.NodeWorkers, Perf: o.Perf, Stop: o.Stop}
 }
 
 // loftCfg returns the paper LOFT configuration with the given speculative

@@ -20,6 +20,7 @@ import (
 	"loft/internal/buffers"
 	"loft/internal/config"
 	"loft/internal/flit"
+	"loft/internal/perfmon"
 	"loft/internal/probe"
 	"loft/internal/route"
 	"loft/internal/sim"
@@ -114,6 +115,9 @@ type node struct {
 	// parallel engine; audit is this node's (possibly staging) auditor hook.
 	probe *probe.Probe
 	audit *audit.Hook
+	// perf is this node's stage timer (nil when profiling is off);
+	// owner-local, so shard-local under the parallel engine.
+	perf *perfmon.Timer
 	// staged marks parallel operation: effects on network-global state
 	// (frame census, throttle counter, stats collectors) buffer here during
 	// the compute phase and replay at the cycle barrier in node-id order.
@@ -160,6 +164,7 @@ func newNode(id topo.NodeID, cfg config.GSF, net *Network) *node {
 		pktFlits: make(map[pktKey]pktProgress),
 		probe:    net.probe,
 		audit:    audit.NewHook(net.audit, staged),
+		perf:     net.perf.Timer(),
 		staged:   staged,
 	}
 	if staged {
@@ -195,8 +200,14 @@ func newNode(id topo.NodeID, cfg config.GSF, net *Network) *node {
 //
 //loft:hotpath
 func (n *node) Tick(now uint64) {
+	if n.perf != nil {
+		n.perf.Begin(now)
+	}
 	for _, pkt := range n.net.injectors[n.id].Next(now) {
 		n.enqueue(pkt)
+	}
+	if n.perf != nil {
+		n.perf.Lap(perfmon.StageBooking)
 	}
 	n.tick(now)
 }
@@ -272,14 +283,29 @@ func (n *node) tick(now uint64) {
 			}
 		}
 	}
+	if n.perf != nil {
+		n.perf.Lap(perfmon.StageDrain)
+	}
 	n.allocateVCs(now)
+	if n.perf != nil {
+		n.perf.Lap(perfmon.StageVCAlloc)
+	}
 	n.switchFlits(now)
+	if n.perf != nil {
+		n.perf.Lap(perfmon.StageSwitch)
+	}
 	n.inject(now)
+	if n.perf != nil {
+		n.perf.Lap(perfmon.StageBooking)
+	}
 	for d := 0; d < 4; d++ {
 		if n.pendCredSet[d] {
 			n.credOut[d].Write(n.pendCred[d])
 			n.pendCredSet[d] = false
 		}
+	}
+	if n.perf != nil {
+		n.perf.Lap(perfmon.StageFlush)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"loft/internal/audit"
 	"loft/internal/config"
 	"loft/internal/det"
+	"loft/internal/perfmon"
 	"loft/internal/probe"
 	"loft/internal/sim"
 	"loft/internal/stats"
@@ -24,6 +25,10 @@ type Network struct {
 	workers int
 	probe   *probe.Probe
 	audit   *audit.Auditor
+	// perf is the attached self-profiler (nil = off); perfT is the
+	// network-owned stage timer for the frame census and serial commit.
+	perf  *perfmon.Monitor
+	perfT *perfmon.Timer
 
 	injectors []*traffic.Injector
 
@@ -61,6 +66,10 @@ type Options struct {
 	// compute/commit step. Results are byte-identical either way (see
 	// DESIGN.md §13).
 	Workers int
+	// Perf enables the self-profiler when non-nil (stage attribution,
+	// engine telemetry, occupancy gauges). Profiling never changes
+	// simulation results; see DESIGN.md §14.
+	Perf *perfmon.Monitor
 }
 
 // New builds a GSF network for the given pattern.
@@ -86,6 +95,7 @@ func New(cfg config.GSF, pattern *traffic.Pattern, opts Options) (*Network, erro
 		workers:    workers,
 		probe:      opts.Probe,
 		audit:      opts.Audit,
+		perf:       opts.Perf,
 		head:       0,
 		frameCount: make(map[int]int),
 		lat:        stats.NewLatencySeeded(opts.Warmup, opts.Seed),
@@ -120,12 +130,20 @@ func New(cfg config.GSF, pattern *traffic.Pattern, opts Options) (*Network, erro
 	}
 	net.wire()
 	net.registerGauges()
+	net.registerPerfGauges()
 	net.bindAudit()
+	net.perfT = net.perf.Timer()
+	if workers > 1 {
+		net.perf.SetWorkers(workers)
+	}
 	if net.par != nil {
 		for i, n := range net.nodes {
 			net.par.AddTicker(i, n)
 		}
 		net.par.AddSerial(net.commitCycle)
+		if net.perf != nil {
+			net.par.SetPerf(net.perf.Engine(workers))
+		}
 	} else {
 		net.engine.(*sim.Kernel).Add(net)
 	}
@@ -181,6 +199,30 @@ func (net *Network) registerGauges() {
 	}
 }
 
+// registerPerfGauges publishes the self-profiler's occupancy gauges:
+// aggregate source-queue backlog and in-network flit census. Gauges run on
+// the coordinator, so reading shared state is safe. No-op when profiling is
+// off.
+func (net *Network) registerPerfGauges() {
+	if net.perf == nil {
+		return
+	}
+	net.perf.Gauge("gsf.srcq.flits", func() float64 {
+		total := 0
+		for _, n := range net.nodes {
+			total += n.srcQueue.Len()
+		}
+		return float64(total)
+	})
+	net.perf.Gauge("gsf.inflight.flits", func() float64 {
+		total := 0
+		for _, c := range net.frameCount {
+			total += c
+		}
+		return float64(total)
+	})
+}
+
 func (net *Network) wire() {
 	// Each register's updater lives on the shard of the node that Writes it,
 	// so the commit phase touches only shard-local registers.
@@ -220,12 +262,24 @@ func (net *Network) Tick(now uint64) {
 	for _, n := range net.nodes {
 		n.Tick(now)
 	}
+	if net.perfT != nil {
+		net.perfT.Begin(now)
+	}
 	net.tickBarrier(now)
+	if net.perfT != nil {
+		net.perfT.Lap(perfmon.StageGSFFrame)
+	}
 	if net.probe != nil {
 		net.probe.MaybeSample(now)
 	}
 	if net.audit != nil {
 		net.audit.OnCycle(now)
+	}
+	if net.perfT != nil {
+		net.perfT.Lap(perfmon.StageCommit)
+	}
+	if net.perf != nil {
+		net.perf.OnCycle(now)
 	}
 }
 
@@ -235,15 +289,30 @@ func (net *Network) Tick(now uint64) {
 //
 //loft:hotpath
 func (net *Network) commitCycle(now uint64) {
+	if net.perfT != nil {
+		net.perfT.Begin(now)
+	}
 	for _, n := range net.nodes {
 		n.flushStaged()
 	}
+	if net.perfT != nil {
+		net.perfT.Lap(perfmon.StageCommit)
+	}
 	net.tickBarrier(now)
+	if net.perfT != nil {
+		net.perfT.Lap(perfmon.StageGSFFrame)
+	}
 	if net.probe != nil {
 		net.probe.MaybeSample(now)
 	}
 	if net.audit != nil {
 		net.audit.OnCycle(now)
+	}
+	if net.perfT != nil {
+		net.perfT.Lap(perfmon.StageCommit)
+	}
+	if net.perf != nil {
+		net.perf.OnCycle(now)
 	}
 }
 

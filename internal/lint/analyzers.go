@@ -65,8 +65,12 @@ var observabilityPackages = []string{
 // tracePackages are the offline analysis layer: manifest and diff output
 // must be byte-stable so self-diffs report zero delta and artifact checksums
 // reproduce, which makes them determinism-checked like the exporters.
-// internal/runenv is deliberately absent — it is the one place below the
-// CLIs allowed to read wall time and the git revision.
+// internal/runenv and internal/perfmon are deliberately absent from every
+// list — they are the two places below the CLIs allowed to read wall time
+// (runenv for provenance, perfmon for stage timers); neither feeds values
+// back into simulation state, so profiled runs remain byte-identical. The
+// perfmon sink calls made from simulation packages still go through
+// hookguard, because those call sites live in the listed packages.
 var tracePackages = []string{
 	"loft/internal/trace",
 	"loft/internal/runio",

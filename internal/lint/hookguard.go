@@ -8,16 +8,20 @@ import (
 )
 
 // HookGuard returns the analyzer enforcing the hook-free disabled path: every
-// call to a probe/audit sink method (probe.Probe.Emit/MaybeSample,
-// probe.Tracer.Emit, the lsf.AuditSink interface, audit.Auditor taps) must be
-// dominated by a nil check of its receiver. The sinks happen to be
-// nil-receiver-safe today, but the guard is what keeps an un-instrumented run
-// from paying a call (and pointer chase) per cycle — and keeps that guarantee
-// when a sink later grows state its methods dereference unconditionally.
+// call to a probe/audit/perfmon sink method (probe.Probe.Emit/MaybeSample,
+// probe.Tracer.Emit, the lsf.AuditSink interface, audit.Auditor taps,
+// perfmon.Timer/EngineTimer laps and Monitor.OnCycle) must be dominated by a
+// nil check of its receiver. The sinks happen to be nil-receiver-safe today,
+// but the guard is what keeps an un-instrumented run from paying a call (and
+// pointer chase) per cycle — and keeps that guarantee when a sink later
+// grows state its methods dereference unconditionally. This is also what
+// makes -perf provably zero-overhead when disabled: the profiler's hot-path
+// entry points cannot be reached without a nil guard compiling to a single
+// predictable branch.
 func HookGuard() *Analyzer {
 	return &Analyzer{
 		Name:  "hookguard",
-		Doc:   "probe/audit sink calls must be dominated by a nil check of the receiver",
+		Doc:   "probe/audit/perfmon sink calls must be dominated by a nil check of the receiver",
 		Match: matchPaths(simulationPackages, tracePackages),
 		Run:   hookguardRun,
 	}
@@ -202,6 +206,16 @@ func sinkReceiver(pass *Pass, call *ast.CallExpr) (recv ast.Expr, sink string, o
 		// disabled path must skip the forwarder for the same reason it skips
 		// the auditor itself.
 		return sel.X, "audit.Hook." + name, true
+	case strings.HasSuffix(pkgPath, "internal/perfmon") && typeName == "Timer" && (name == "Begin" || name == "Lap"):
+		return sel.X, "perfmon.Timer." + name, true
+	case strings.HasSuffix(pkgPath, "internal/perfmon") && typeName == "EngineTimer" &&
+		(name == "CycleStart" || name == "PhaseDone" || name == "WorkerStart" || name == "WorkerDone"):
+		return sel.X, "perfmon.EngineTimer." + name, true
+	case strings.HasSuffix(pkgPath, "internal/perfmon") && typeName == "Monitor" && name == "OnCycle":
+		// Monitor's registration/handle methods (Timer, Engine, Gauge,
+		// SetWorkers, Snapshot) are nil-receiver-safe setup calls, not
+		// per-cycle sinks — only the cycle tap needs the guard.
+		return sel.X, "perfmon.Monitor." + name, true
 	}
 	return nil, "", false
 }

@@ -5,6 +5,7 @@ package a
 import (
 	"loft/internal/audit"
 	"loft/internal/lsf"
+	"loft/internal/perfmon"
 	"loft/internal/probe"
 )
 
@@ -14,6 +15,9 @@ type router struct {
 	aud   lsf.AuditSink
 	live  *audit.Auditor
 	hook  *audit.Hook
+	perf  *perfmon.Timer
+	eng   *perfmon.EngineTimer
+	mon   *perfmon.Monitor
 }
 
 func (r *router) tick(now uint64) {
@@ -24,6 +28,16 @@ func (r *router) tick(now uint64) {
 	r.live.OnCycle(now)                                   // want `sink call audit\.Auditor\.OnCycle on unguarded receiver`
 	r.hook.GSFInject(0, 0, now)                           // want `sink call audit\.Hook\.GSFInject on unguarded receiver`
 	r.hook.Flush()                                        // want `sink call audit\.Hook\.Flush on unguarded receiver`
+}
+
+func (r *router) profile(now uint64) {
+	r.perf.Begin(now)                             // want `sink call perfmon\.Timer\.Begin on unguarded receiver r\.perf`
+	r.perf.Lap(perfmon.StageBooking)              // want `sink call perfmon\.Timer\.Lap on unguarded receiver`
+	r.eng.CycleStart(now)                         // want `sink call perfmon\.EngineTimer\.CycleStart on unguarded receiver`
+	r.eng.PhaseDone(perfmon.PhaseTick)            // want `sink call perfmon\.EngineTimer\.PhaseDone on unguarded receiver`
+	start := r.eng.WorkerStart()                  // want `sink call perfmon\.EngineTimer\.WorkerStart on unguarded receiver`
+	r.eng.WorkerDone(0, perfmon.PhaseTick, start) // want `sink call perfmon\.EngineTimer\.WorkerDone on unguarded receiver`
+	r.mon.OnCycle(now)                            // want `sink call perfmon\.Monitor\.OnCycle on unguarded receiver`
 }
 
 func (r *router) grant(slot uint64) {

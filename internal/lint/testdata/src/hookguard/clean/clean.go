@@ -5,6 +5,7 @@ package clean
 import (
 	"loft/internal/audit"
 	"loft/internal/lsf"
+	"loft/internal/perfmon"
 	"loft/internal/probe"
 )
 
@@ -14,6 +15,9 @@ type router struct {
 	aud     lsf.AuditSink
 	live    *audit.Auditor
 	hook    *audit.Hook
+	perf    *perfmon.Timer
+	eng     *perfmon.EngineTimer
+	mon     *perfmon.Monitor
 	enabled bool
 }
 
@@ -70,8 +74,38 @@ func (r *router) nested(now uint64) {
 	}
 }
 
-// Handle-style calls (Registry/Counter) are deliberately not sinks: the
-// no-op lives in the handle itself.
+// Perfmon sinks under every guard shape the analyzer recognizes.
+func (r *router) profiled(now uint64) {
+	if r.perf != nil {
+		r.perf.Begin(now)
+		r.perf.Lap(perfmon.StageBooking)
+	}
+	if r.enabled && r.eng != nil {
+		r.eng.CycleStart(now)
+		r.eng.PhaseDone(perfmon.PhaseTick)
+	}
+	if r.mon == nil {
+		return
+	}
+	r.mon.OnCycle(now)
+}
+
+// Worker-side engine laps behind an early-return guard, as the parallel
+// kernel's shard loop writes them.
+func (r *router) shard(now uint64) {
+	if r.eng == nil {
+		return
+	}
+	start := r.eng.WorkerStart()
+	r.eng.WorkerDone(0, perfmon.PhaseTick, start)
+}
+
+// Handle-style calls (Registry/Counter, Monitor.Timer/Engine/Gauge/
+// Snapshot) are deliberately not sinks: the no-op lives in the handle
+// itself and call sites are expected to stay unconditional.
 func (r *router) handles() {
 	r.probe.Registry().Counter("clean.count").Inc()
+	r.perf = r.mon.Timer()
+	r.eng = r.mon.Engine(2)
+	_ = r.mon.Snapshot()
 }

@@ -8,6 +8,7 @@ import (
 	"loft/internal/det"
 	"loft/internal/flit"
 	"loft/internal/lsf"
+	"loft/internal/perfmon"
 	"loft/internal/probe"
 	"loft/internal/sim"
 	"loft/internal/stats"
@@ -28,6 +29,10 @@ type Network struct {
 	workers int
 	probe   *probe.Probe
 	audit   *audit.Auditor
+	// perf is the attached self-profiler (nil = off); perfT is the
+	// network-owned stage timer for serial-commit work.
+	perf  *perfmon.Monitor
+	perfT *perfmon.Timer
 
 	lat     *stats.Latency // total latency (generation → delivery)
 	latNet  *stats.Latency // network latency (injection → delivery)
@@ -54,6 +59,11 @@ type Options struct {
 	// N > 1 shards node stepping across N workers (sim.ParallelKernel).
 	// Results are byte-identical either way; see DESIGN.md §13.
 	Workers int
+	// Perf enables the self-profiler when non-nil: per-stage wall-time
+	// attribution on every node, engine phase telemetry under the parallel
+	// kernel, and occupancy gauges. Profiling never changes simulation
+	// results; see DESIGN.md §14.
+	Perf *perfmon.Monitor
 }
 
 // New builds a LOFT network for the given configuration and traffic
@@ -81,6 +91,7 @@ func New(cfg config.LOFT, pattern *traffic.Pattern, opts Options) (*Network, err
 		workers: workers,
 		probe:   opts.Probe,
 		audit:   opts.Audit,
+		perf:    opts.Perf,
 		lat:     stats.NewLatencySeeded(opts.Warmup, opts.Seed),
 		latNet:  stats.NewLatencySeeded(opts.Warmup, opts.Seed),
 		latFlow: stats.NewFlowLatency(opts.Warmup),
@@ -103,12 +114,20 @@ func New(cfg config.LOFT, pattern *traffic.Pattern, opts Options) (*Network, err
 		n.ni.setInjector(traffic.NewInjector(pattern, topo.NodeID(i), opts.Seed))
 	}
 	net.registerGauges()
+	net.registerPerfGauges()
 	net.bindAudit()
+	net.perfT = net.perf.Timer()
+	if workers > 1 {
+		net.perf.SetWorkers(workers)
+	}
 	if net.par != nil {
 		for i, n := range net.nodes {
 			net.par.AddTicker(i, n)
 		}
 		net.par.AddSerial(net.commitCycle)
+		if net.perf != nil {
+			net.par.SetPerf(net.perf.Engine(workers))
+		}
 	} else {
 		net.engine.(*sim.Kernel).Add(net)
 	}
@@ -194,9 +213,7 @@ func (net *Network) registerGauges() {
 					return float64(n.linkBusy[d]) * q
 				})
 				t := n.outTables[d]
-				reg.Gauge(fmt.Sprintf("loft.table.n%d.%s", n.id, d), func() float64 {
-					return float64(t.BookedSlots()) / float64(t.WindowSlots())
-				})
+				reg.Gauge(fmt.Sprintf("loft.table.n%d.%s", n.id, d), t.Occupancy)
 			}
 			ip := n.inputs[d]
 			reg.Gauge(fmt.Sprintf("loft.buf.n%d.%s", n.id, d), func() float64 {
@@ -209,11 +226,40 @@ func (net *Network) registerGauges() {
 				})
 			}
 		}
-		inj := n.injTable
-		reg.Gauge(fmt.Sprintf("loft.table.n%d.inject", n.id), func() float64 {
-			return float64(inj.BookedSlots()) / float64(inj.WindowSlots())
-		})
+		reg.Gauge(fmt.Sprintf("loft.table.n%d.inject", n.id), n.injTable.Occupancy)
 	}
+}
+
+// registerPerfGauges publishes the self-profiler's occupancy gauges:
+// aggregate NI backlog and mean reservation-table fill. They poll shared
+// node state, which is safe because gauges run on the coordinator (the
+// serial hook under the parallel engine). No-op when profiling is off.
+func (net *Network) registerPerfGauges() {
+	if net.perf == nil {
+		return
+	}
+	net.perf.Gauge("loft.ni.backlog", func() float64 {
+		total := 0
+		for _, n := range net.nodes {
+			total += n.ni.backlog()
+		}
+		return float64(total)
+	})
+	net.perf.Gauge("loft.table.occupancy", func() float64 {
+		var sum float64
+		var k int
+		for _, n := range net.nodes {
+			sum += n.injTable.Occupancy()
+			k++
+			for d := topo.North; d < topo.NumDirs; d++ {
+				if t := n.outTables[d]; t != nil {
+					sum += t.Occupancy()
+					k++
+				}
+			}
+		}
+		return sum / float64(k)
+	})
 }
 
 // wire creates the link registers between neighbors and registers every
@@ -313,11 +359,20 @@ func (net *Network) Tick(now uint64) {
 	for _, n := range net.nodes {
 		n.Tick(now)
 	}
+	if net.perfT != nil {
+		net.perfT.Begin(now)
+	}
 	if net.probe != nil {
 		net.probe.MaybeSample(now)
 	}
 	if net.audit != nil {
 		net.audit.OnCycle(now)
+	}
+	if net.perfT != nil {
+		net.perfT.Lap(perfmon.StageCommit)
+	}
+	if net.perf != nil {
+		net.perf.OnCycle(now)
 	}
 }
 
@@ -329,6 +384,9 @@ func (net *Network) Tick(now uint64) {
 //
 //loft:hotpath
 func (net *Network) commitCycle(now uint64) {
+	if net.perfT != nil {
+		net.perfT.Begin(now)
+	}
 	for _, n := range net.nodes {
 		n.flushStaged()
 	}
@@ -337,6 +395,12 @@ func (net *Network) commitCycle(now uint64) {
 	}
 	if net.audit != nil {
 		net.audit.OnCycle(now)
+	}
+	if net.perfT != nil {
+		net.perfT.Lap(perfmon.StageCommit)
+	}
+	if net.perf != nil {
+		net.perf.OnCycle(now)
 	}
 }
 

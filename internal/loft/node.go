@@ -9,6 +9,7 @@ import (
 	"loft/internal/config"
 	"loft/internal/flit"
 	"loft/internal/lsf"
+	"loft/internal/perfmon"
 	"loft/internal/probe"
 	"loft/internal/sim"
 	"loft/internal/topo"
@@ -215,6 +216,10 @@ type Node struct {
 	staged    bool
 	stagedObs []obsRec
 
+	// perf is this node's stage timer (nil when profiling is off). It is
+	// owner-local state, so it stays shard-local under the parallel engine.
+	perf *perfmon.Timer
+
 	stats NodeStats
 }
 
@@ -239,7 +244,8 @@ func (r *rrState) granted(d topo.Dir) { r.next = (int(d) + 1) % int(topo.NumDirs
 func newNode(id topo.NodeID, cfg config.LOFT, mesh topo.Mesh, net *Network) *Node {
 	staged := net.workers > 1
 	n := &Node{id: id, cfg: cfg, mesh: mesh, net: net, staged: staged,
-		probe: net.probe, audit: audit.NewHook(net.audit, staged)}
+		probe: net.probe, audit: audit.NewHook(net.audit, staged),
+		perf: net.perf.Timer()}
 	if staged {
 		// Shard-local staging view: the node (and its tables, which capture
 		// n.probe below) emits into a private buffer replayed at the cycle
@@ -300,36 +306,66 @@ func (n *Node) slotOf(c uint64) uint64 { return c / uint64(n.cfg.QuantumFlits) }
 //
 //loft:hotpath
 func (n *Node) Tick(now uint64) {
+	if n.perf != nil {
+		n.perf.Begin(now)
+	}
 	n.drain(now)
+	if n.perf != nil {
+		n.perf.Lap(perfmon.StageDrain)
+	}
 	if now%uint64(n.cfg.QuantumFlits) == 0 {
-		if now > 0 {
-			n.injTable.Tick()
-			for d := topo.North; d < topo.NumDirs; d++ {
-				if n.outTables[d] != nil {
-					n.outTables[d].Tick()
-				}
-			}
-			n.sink.applyReturns()
-		}
-		if n.cfg.LocalStatusReset {
-			n.maybeReset()
-		}
-		if verifyLSF {
-			n.injTable.VerifyZero()
-			for d := topo.North; d < topo.NumDirs; d++ {
-				if n.outTables[d] != nil {
-					n.outTables[d].VerifyZero()
-				}
-			}
+		n.frameTick(now)
+		if n.perf != nil {
+			n.perf.Lap(perfmon.StageFrame)
 		}
 		slot := n.slotOf(now)
 		n.forwardData(slot, now)
 		n.ni.forward(slot, now)
+		if n.perf != nil {
+			n.perf.Lap(perfmon.StageSwitch)
+		}
 	}
 	n.ni.generate(now)
 	n.ni.book(now)
+	if n.perf != nil {
+		n.perf.Lap(perfmon.StageBooking)
+	}
 	n.la.process(now)
+	if n.perf != nil {
+		n.perf.Lap(perfmon.StageLookahead)
+	}
 	n.flush(now)
+	if n.perf != nil {
+		n.perf.Lap(perfmon.StageFlush)
+	}
+}
+
+// frameTick is the per-slot reservation-table maintenance that precedes the
+// slot's switch pass: table ticks, deferred ejection credit returns, local
+// status resets and (in debug runs) ledger verification.
+//
+//loft:hotpath
+func (n *Node) frameTick(now uint64) {
+	if now > 0 {
+		n.injTable.Tick()
+		for d := topo.North; d < topo.NumDirs; d++ {
+			if n.outTables[d] != nil {
+				n.outTables[d].Tick()
+			}
+		}
+		n.sink.applyReturns()
+	}
+	if n.cfg.LocalStatusReset {
+		n.maybeReset()
+	}
+	if verifyLSF {
+		n.injTable.VerifyZero()
+		for d := topo.North; d < topo.NumDirs; d++ {
+			if n.outTables[d] != nil {
+				n.outTables[d].VerifyZero()
+			}
+		}
+	}
 }
 
 // drain consumes every incoming register. Look-ahead flits are drained

@@ -742,6 +742,11 @@ func (t *Table) WindowSlots() int { return t.wt }
 // table fill; exported for the probe layer's gauges).
 func (t *Table) BookedSlots() int { return t.busyCount }
 
+// Occupancy returns the booked fraction of the live reservation window in
+// [0,1] — the table-fill figure the probe gauges and the perfmon
+// queue-occupancy gauges both report.
+func (t *Table) Occupancy() float64 { return float64(t.busyCount) / float64(t.wt) }
+
 func minInt(a, b int) int {
 	if a < b {
 		return a

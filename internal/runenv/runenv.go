@@ -1,6 +1,6 @@
 // Package runenv captures the nondeterministic facts of the execution
-// environment — wall-clock time and git revision — that run manifests
-// record for provenance. It is deliberately the only package below the CLIs
+// environment — wall-clock time, git revision and host parallelism — that
+// run manifests record for provenance. It is deliberately the only package below the CLIs
 // allowed to read a wall clock: the simulation, observability and trace
 // packages are determinism-checked (internal/lint) and must stay functions
 // of (config, seed), while a manifest's whole point is to say when and from
@@ -9,6 +9,7 @@ package runenv
 
 import (
 	"os/exec"
+	"runtime"
 	"strings"
 	"time"
 )
@@ -20,6 +21,13 @@ type Info struct {
 	// GitRevision is the working tree's HEAD commit, best effort: empty
 	// when the binary runs outside a git checkout or git is unavailable.
 	GitRevision string
+	// NumCPU is the host's logical CPU count. Parallel-engine results
+	// (BenchmarkParallelSpeed, shard-utilization reports) are meaningless
+	// without it: a 1-CPU container shows no speedup however many node
+	// workers are configured.
+	NumCPU int
+	// GoMaxProcs is the effective GOMAXPROCS at capture time.
+	GoMaxProcs int
 }
 
 // Capture reads the environment now.
@@ -27,6 +35,8 @@ func Capture() Info {
 	return Info{
 		CreatedUTC:  time.Now().UTC().Format(time.RFC3339),
 		GitRevision: gitRevision(),
+		NumCPU:      runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
 	}
 }
 

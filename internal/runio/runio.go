@@ -15,7 +15,9 @@ import (
 
 	"loft/internal/audit"
 	"loft/internal/core"
+	"loft/internal/perfmon"
 	"loft/internal/probe"
+	"loft/internal/profiles"
 	"loft/internal/trace"
 )
 
@@ -25,6 +27,15 @@ const (
 	SeriesFile = "series.csv"
 	ChromeFile = "trace.json"
 	AuditFile  = "audit.json"
+	// PerfFile is the perfmon snapshot (stage attribution, engine telemetry,
+	// gauges); FoldedFile is the same data as folded stacks for flamegraph
+	// viewers; CPUProfileFile is an optional pprof CPU profile. Perf files
+	// carry wall-time values, so they are nondeterministic by design and
+	// excluded from byte-identity comparisons (manifest checksums still pin
+	// them).
+	PerfFile       = perfmon.SnapshotFile
+	FoldedFile     = "perf.folded"
+	CPUProfileFile = "cpu.pprof"
 )
 
 // IsDirTarget reports whether path names a run directory rather than a
@@ -41,10 +52,12 @@ func IsDirTarget(path string) bool {
 
 // WriteRunDir writes a full run directory: events.jsonl, series.csv and
 // trace.json from the probe (when attached), audit.json from the auditor
-// (when attached), and manifest.json with every artifact checksummed. The
+// (when attached), perf.json and perf.folded from the perfmon monitor (when
+// attached), and manifest.json with every artifact checksummed. A cpu.pprof
+// left in the directory by StartCPUProfile is checksummed too. The
 // manifest's Artifacts field is filled here; everything else comes from the
 // caller.
-func WriteRunDir(dir string, pr *probe.Probe, aud *audit.Auditor, m trace.Manifest) error {
+func WriteRunDir(dir string, pr *probe.Probe, aud *audit.Auditor, mon *perfmon.Monitor, m trace.Manifest) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -70,6 +83,15 @@ func WriteRunDir(dir string, pr *probe.Probe, aud *audit.Auditor, m trace.Manife
 			return err
 		}
 		names = append(names, AuditFile)
+	}
+	if mon != nil {
+		if err := WritePerfSnapshot(dir, mon); err != nil {
+			return err
+		}
+		names = append(names, PerfFile, FoldedFile)
+	}
+	if _, err := os.Stat(filepath.Join(dir, CPUProfileFile)); err == nil {
+		names = append(names, CPUProfileFile)
 	}
 	m.Artifacts = m.Artifacts[:0]
 	for _, name := range names {
@@ -106,6 +128,40 @@ func WriteAuditSnapshot(path string, aud *audit.Auditor) error {
 	return os.WriteFile(path, append(blob, '\n'), 0o644)
 }
 
+// WritePerfSnapshot writes the monitor's snapshot into dir twice: PerfFile
+// as indented JSON (the same document the introspection server serves at
+// /perf, and what `lofttrace perf` reads back) and FoldedFile as folded
+// stacks for flamegraph viewers.
+func WritePerfSnapshot(dir string, mon *perfmon.Monitor) error {
+	snap := mon.Snapshot()
+	blob, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, PerfFile), append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, FoldedFile))
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteFolded(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// StartCPUProfile begins a pprof CPU profile into dir/CPUProfileFile,
+// creating dir if needed. The returned stop function must run before
+// WriteRunDir so the profile's final bytes are what the manifest checksums.
+func StartCPUProfile(dir string) (stop func(), err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return profiles.Start(filepath.Join(dir, CPUProfileFile), "")
+}
+
 func writeExport(path string, pr *probe.Probe, f probe.Format) error {
 	file, err := os.Create(path)
 	if err != nil {
@@ -120,9 +176,10 @@ func writeExport(path string, pr *probe.Probe, f probe.Format) error {
 
 // Metrics assembles the manifest metric map from a run summary and the
 // attached layers: headline result metrics, scheduler outcome rates from
-// the probe's kind counters, the offline latency decomposition, and the
-// auditor's delay-bound margin. Any of the three sources may be nil.
-func Metrics(res *core.Result, pr *probe.Probe, aud *audit.Auditor, slotCycles uint64) map[string]float64 {
+// the probe's kind counters, the offline latency decomposition, the
+// auditor's delay-bound margin, and the perfmon monitor's stage/engine
+// summary metrics. Any of the four sources may be nil.
+func Metrics(res *core.Result, pr *probe.Probe, aud *audit.Auditor, mon *perfmon.Monitor, slotCycles uint64) map[string]float64 {
 	m := make(map[string]float64)
 	if res != nil {
 		m["throughput_flits_per_cycle"] = res.TotalRate
@@ -162,11 +219,16 @@ func Metrics(res *core.Result, pr *probe.Probe, aud *audit.Auditor, slotCycles u
 		m["delay_bound_margin_pct"] = s.WorstMarginPct
 		m["audit_violations"] = float64(s.Violations)
 	}
+	if mon != nil {
+		for k, v := range mon.Snapshot().Metrics() {
+			m[k] = v
+		}
+	}
 	return m
 }
 
 // Describe summarizes what a run directory write produced, for CLI output.
-func Describe(dir string, pr *probe.Probe, aud *audit.Auditor) string {
+func Describe(dir string, pr *probe.Probe, aud *audit.Auditor, mon *perfmon.Monitor) string {
 	parts := []string{}
 	if pr != nil {
 		parts = append(parts, fmt.Sprintf("%s/%s/%s (%d events retained, %d dropped)",
@@ -174,6 +236,9 @@ func Describe(dir string, pr *probe.Probe, aud *audit.Auditor) string {
 	}
 	if aud != nil {
 		parts = append(parts, AuditFile)
+	}
+	if mon != nil {
+		parts = append(parts, fmt.Sprintf("%s/%s", PerfFile, FoldedFile))
 	}
 	parts = append(parts, trace.ManifestName)
 	return fmt.Sprintf("wrote run directory %s: %s", dir, strings.Join(parts, ", "))

@@ -8,6 +8,7 @@ import (
 	"loft/internal/audit"
 	"loft/internal/config"
 	"loft/internal/core"
+	"loft/internal/perfmon"
 	"loft/internal/probe"
 	"loft/internal/trace"
 	"loft/internal/traffic"
@@ -50,7 +51,7 @@ func TestMetricsFromLiveRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := Metrics(&res, pr, nil, uint64(cfg.QuantumFlits))
+	m := Metrics(&res, pr, nil, nil, uint64(cfg.QuantumFlits))
 	for _, name := range []string{
 		"throughput_flits_per_cycle", "packets",
 		"avg_latency_cycles", "p50_latency_cycles", "p99_latency_cycles",
@@ -70,9 +71,60 @@ func TestMetricsFromLiveRun(t *testing.T) {
 			t.Errorf("headline metric %q has no quality direction", name)
 		}
 	}
-	// All three sources nil: empty but non-nil map, no panic.
-	if got := Metrics(nil, nil, nil, 0); len(got) != 0 {
+	// All four sources nil: empty but non-nil map, no panic.
+	if got := Metrics(nil, nil, nil, nil, 0); len(got) != 0 {
 		t.Errorf("nil sources produced metrics: %v", got)
+	}
+}
+
+// TestWriteRunDirWithPerf pins the perf artifact path: a profiled run's
+// directory gains perf.json (readable back through perfmon.ReadSnapshot)
+// and perf.folded, both checksummed into the manifest, and the manifest
+// metrics carry the perf summary values.
+func TestWriteRunDirWithPerf(t *testing.T) {
+	cfg := config.PaperLOFT()
+	p := testPattern(cfg)
+	mon := perfmon.New(perfmon.Config{SampleEvery: 8})
+	res, _, err := core.RunLOFT(cfg, p, core.RunSpec{Seed: 7, Warmup: 100, Measure: 1000, Perf: mon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "run")
+	m := trace.Manifest{ManifestVersion: trace.ManifestVersion, Tool: "test",
+		Metrics: Metrics(&res, nil, nil, mon, uint64(cfg.QuantumFlits))}
+	if err := WriteRunDir(dir, nil, nil, mon, m); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := perfmon.ReadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.SampledCycles == 0 || len(snap.Stages) == 0 {
+		t.Fatalf("round-tripped snapshot is empty: %+v", snap)
+	}
+	got, err := trace.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, a := range got.Artifacts {
+		if a.SHA256 == "" || a.Bytes == 0 {
+			t.Errorf("artifact %s not checksummed: %+v", a.Name, a)
+		}
+		names[a.Name] = true
+	}
+	if !names[PerfFile] || !names[FoldedFile] {
+		t.Fatalf("artifacts = %+v, want %s and %s", got.Artifacts, PerfFile, FoldedFile)
+	}
+	if got.Metrics["perf sampled cycles"] == 0 {
+		t.Errorf("manifest metrics missing perf summary: %v", got.Metrics)
+	}
+	folded, err := os.ReadFile(filepath.Join(dir, FoldedFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folded) == 0 {
+		t.Error("perf.folded is empty")
 	}
 }
 
@@ -84,7 +136,7 @@ func TestWriteRunDirAuditOnly(t *testing.T) {
 		t.Fatal(err)
 	}
 	dir := filepath.Join(t.TempDir(), "run")
-	if err := WriteRunDir(dir, nil, aud, trace.Manifest{ManifestVersion: trace.ManifestVersion, Tool: "test"}); err != nil {
+	if err := WriteRunDir(dir, nil, aud, nil, trace.Manifest{ManifestVersion: trace.ManifestVersion, Tool: "test"}); err != nil {
 		t.Fatal(err)
 	}
 	m, err := trace.ReadManifest(dir)

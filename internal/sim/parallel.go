@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"sync"
+
+	"loft/internal/perfmon"
 )
 
 // Engine is a simulation clock driver: the sequential Kernel and the
@@ -81,6 +83,11 @@ type ParallelKernel struct {
 	wg      sync.WaitGroup
 	exited  sync.WaitGroup
 
+	// perf is the kernel's telemetry hook (nil = off). The coordinator
+	// arms it between barriers and workers read it only inside a dispatched
+	// phase, so it needs no synchronization beyond the existing barriers.
+	perf *perfmon.EngineTimer
+
 	mu sync.Mutex
 	// panics collects panics raised inside worker shards; the coordinator
 	// re-raises the first one after the barrier so a scheduler fault aborts
@@ -121,6 +128,10 @@ func (k *ParallelKernel) AddUpdater(sh int, u Updater) {
 	s := &k.shards[sh%len(k.shards)]
 	s.updaters = append(s.updaters, u)
 }
+
+// SetPerf attaches an engine telemetry timer (nil detaches). Must be called
+// before the first Step, alongside component registration.
+func (k *ParallelKernel) SetPerf(t *perfmon.EngineTimer) { k.perf = t }
 
 // AddSerial registers a hook run between the tick barrier and the update
 // phase, on the coordinator goroutine, in registration order. Networks use
@@ -179,16 +190,26 @@ func (k *ParallelKernel) runShard(i int) {
 			k.mu.Unlock()
 		}
 	}()
+	var start int64
+	if k.perf != nil {
+		start = k.perf.WorkerStart()
+	}
 	sh := &k.shards[i]
 	now := k.cycle
 	if k.phase == phaseTick {
 		for _, t := range sh.tickers {
 			t.Tick(now)
 		}
+		if k.perf != nil {
+			k.perf.WorkerDone(i, perfmon.PhaseTick, start)
+		}
 		return
 	}
 	for _, u := range sh.updaters {
 		u.Update(now)
+	}
+	if k.perf != nil {
+		k.perf.WorkerDone(i, perfmon.PhaseUpdate, start)
 	}
 }
 
@@ -230,13 +251,25 @@ func (k *ParallelKernel) Step() {
 		k.start()
 	}
 	k.cycle = k.now
+	if k.perf != nil {
+		k.perf.CycleStart(k.now)
+	}
 	k.phase = phaseTick
 	k.dispatch()
+	if k.perf != nil {
+		k.perf.PhaseDone(perfmon.PhaseTick)
+	}
 	for _, f := range k.serial {
 		f(k.cycle)
 	}
+	if k.perf != nil {
+		k.perf.PhaseDone(perfmon.PhaseSerial)
+	}
 	k.phase = phaseUpdate
 	k.dispatch()
+	if k.perf != nil {
+		k.perf.PhaseDone(perfmon.PhaseUpdate)
+	}
 	k.now++
 }
 

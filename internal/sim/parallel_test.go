@@ -4,6 +4,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+
+	"loft/internal/perfmon"
 )
 
 func TestParallelKernelStepsComponents(t *testing.T) {
@@ -101,6 +103,61 @@ func TestParallelKernelCloseRestarts(t *testing.T) {
 	defer k.Close()
 	if c.ticks != 5 || k.Now() != 5 {
 		t.Fatalf("ticks=%d Now=%d after restart, want 5,5", c.ticks, k.Now())
+	}
+}
+
+// TestParallelKernelMoreWorkersThanComponents covers degenerate sharding:
+// a pool wider than the component population leaves some shards permanently
+// empty, and those workers must still rendezvous at both barriers every
+// cycle without stalling or double-stepping the populated shards.
+func TestParallelKernelMoreWorkersThanComponents(t *testing.T) {
+	k := NewParallelKernel(8)
+	defer k.Close()
+	cs := make([]*counter, 3)
+	for i := range cs {
+		cs[i] = &counter{}
+		k.AddTicker(i, cs[i])
+	}
+	var serial uint64
+	k.AddSerial(func(now uint64) { serial++ })
+	k.Run(25)
+	for i, c := range cs {
+		if c.ticks != 25 || c.updates != 25 {
+			t.Fatalf("shard %d: ticks=%d updates=%d, want 25,25", i, c.ticks, c.updates)
+		}
+	}
+	if serial != 25 || k.Now() != 25 {
+		t.Fatalf("serial=%d Now=%d, want 25,25", serial, k.Now())
+	}
+	// Close-then-restart must also hold with idle shards in the pool.
+	k.Close()
+	k.Run(5)
+	if cs[0].ticks != 30 {
+		t.Fatalf("ticks=%d after restart, want 30", cs[0].ticks)
+	}
+}
+
+func TestParallelKernelPerfTelemetry(t *testing.T) {
+	m := perfmon.New(perfmon.Config{SampleEvery: 1, Workers: 2})
+	k := NewParallelKernel(2)
+	defer k.Close()
+	k.SetPerf(m.Engine(k.Workers()))
+	for i := 0; i < 4; i++ {
+		k.AddTicker(i, &counter{})
+	}
+	k.AddSerial(func(now uint64) { m.OnCycle(now) })
+	k.Run(10)
+	s := m.Snapshot()
+	if s.Engine == nil {
+		t.Fatal("no engine telemetry collected")
+	}
+	if s.Engine.SampledCycles != 10 || s.Engine.Workers != 2 {
+		t.Fatalf("engine stat: %+v", s.Engine)
+	}
+	for _, w := range s.Engine.PerWorker {
+		if w.Phases != 20 { // 10 tick + 10 update phases each
+			t.Fatalf("worker %d saw %d phases, want 20", w.Worker, w.Phases)
+		}
 	}
 }
 

@@ -34,11 +34,12 @@ func (d Direction) String() string {
 // matching list wins, so "deny" beats the "rate" in "reserve_deny_rate".
 var lowerBetter = []string{
 	"latency", "wait", "deny", "skip", "abort", "drop", "margin",
-	"reset", "violation", "incomplete", "ns/op",
+	"reset", "violation", "incomplete", "ns/op", "ns/cycle", "imbalance",
 }
 
 var higherBetter = []string{
 	"throughput", "packets", "saved", "cycles/sec", "flits", "benchmark",
+	"util",
 }
 
 // MetricDirection classifies a metric name. Latencies, waits, deny/skip/
@@ -176,6 +177,9 @@ func configChanges(a, b *Manifest) ([]string, error) {
 	add("Seeds", a.Seeds, b.Seeds)
 	add("WarmupCycles", a.WarmupCycles, b.WarmupCycles)
 	add("MeasureCycles", a.MeasureCycles, b.MeasureCycles)
+	add("HostCPUs", a.HostCPUs, b.HostCPUs)
+	add("HostGoMaxProcs", a.HostGoMaxProcs, b.HostGoMaxProcs)
+	add("NodeWorkers", a.NodeWorkers, b.NodeWorkers)
 	am, err := configMap(a)
 	if err != nil {
 		return nil, err

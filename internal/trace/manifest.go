@@ -39,6 +39,15 @@ type Manifest struct {
 	CreatedUTC      string   `json:"created_utc,omitempty"`
 	GitRevision     string   `json:"git_revision,omitempty"`
 
+	// Host parallelism context: without it, parallel-engine numbers from
+	// different machines (say, a 1-CPU CI container vs a 16-core desktop)
+	// are indistinguishable in cross-run diffs.
+	HostCPUs       int `json:"host_cpus,omitempty"`
+	HostGoMaxProcs int `json:"host_gomaxprocs,omitempty"`
+	// NodeWorkers is the effective intra-run worker count (-jnode); 0 or
+	// absent means the sequential engine.
+	NodeWorkers int `json:"node_workers,omitempty"`
+
 	Arch          string   `json:"arch,omitempty"`
 	Pattern       string   `json:"pattern,omitempty"`
 	Seeds         []uint64 `json:"seeds,omitempty"`

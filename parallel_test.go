@@ -16,6 +16,7 @@ import (
 	"loft/internal/config"
 	"loft/internal/core"
 	loftnet "loft/internal/loft"
+	"loft/internal/perfmon"
 	"loft/internal/probe"
 )
 
@@ -27,12 +28,19 @@ type observedRun struct {
 }
 
 func runObserved(t *testing.T, arch core.Arch, seed uint64, workers int) observedRun {
+	return runObservedPerf(t, arch, seed, workers, nil)
+}
+
+// runObservedPerf is runObserved with an optional perfmon monitor attached;
+// the perf snapshot itself holds wall times and is deliberately NOT part of
+// observedRun — byte-identity is asserted over the simulation outputs only.
+func runObservedPerf(t *testing.T, arch core.Arch, seed uint64, workers int, mon *perfmon.Monitor) observedRun {
 	t.Helper()
 	cfg := config.PaperLOFT()
 	p := trafficUniform(cfg, 0.2)
 	pr := probe.New(probe.Config{SampleEvery: 256})
 	aud := audit.New(audit.Config{})
-	spec := core.RunSpec{Seed: seed, Warmup: 200, Measure: 1500, Probe: pr, Audit: aud, Workers: workers}
+	spec := core.RunSpec{Seed: seed, Warmup: 200, Measure: 1500, Probe: pr, Audit: aud, Workers: workers, Perf: mon}
 	var (
 		res core.Result
 		err error
@@ -103,6 +111,33 @@ func TestParallelGSFDeterminism(t *testing.T) {
 	}
 }
 
+// TestPerfmonByteIdentity is the profiling-never-changes-results golden: a
+// perfmon-instrumented run — sequential and sharded, sampling every cycle —
+// must produce byte-identical results, probe event streams and audit
+// snapshots to the bare run. Wall times land only in the perf snapshot,
+// which is excluded from the comparison (and from run-directory goldens)
+// precisely because it is nondeterministic by design.
+func TestPerfmonByteIdentity(t *testing.T) {
+	for _, arch := range []core.Arch{core.ArchLOFT, core.ArchGSF} {
+		bare := runObserved(t, arch, 1, 1)
+		if bare.res.Packets == 0 {
+			t.Fatalf("%s: bare run delivered no packets", arch)
+		}
+		for _, workers := range []int{1, 2} {
+			mon := perfmon.New(perfmon.Config{SampleEvery: 1, Workers: workers})
+			prof := runObservedPerf(t, arch, 1, workers, mon)
+			checkIdentical(t, arch, 1, workers, bare, prof)
+			snap := mon.Snapshot()
+			if snap.SampledCycles == 0 || len(snap.Stages) == 0 {
+				t.Errorf("%s workers=%d: profiler attached but collected nothing: %+v", arch, workers, snap)
+			}
+			if workers > 1 && snap.Engine == nil {
+				t.Errorf("%s workers=%d: no parallel-engine telemetry", arch, workers)
+			}
+		}
+	}
+}
+
 // TestSteadyStateZeroAlloc pins the zero-allocation steady state: once a
 // LOFT network has run past its warmup transient, advancing more cycles
 // must allocate nothing. The dense input-reservation slab, the recycled
@@ -124,4 +159,25 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 	if avg != 0 {
 		t.Fatalf("steady-state simulation allocates: %.1f allocs per 50-cycle chunk, want 0", avg)
 	}
+
+	// The profiler must preserve the guarantee: stage timers write into
+	// fixed arrays and gauges are polled into preallocated slots, so a
+	// perf-enabled run — sampling every single cycle — allocates nothing
+	// either.
+	t.Run("perf-enabled", func(t *testing.T) {
+		mon := perfmon.New(perfmon.Config{SampleEvery: 1})
+		pnet, err := loftnet.New(cfg, p, loftnet.Options{Seed: 1, Warmup: 1 << 30, Perf: mon})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pnet.Close()
+		pnet.Run(4000)
+		avg := testing.AllocsPerRun(20, func() { pnet.Run(50) })
+		if avg != 0 {
+			t.Fatalf("perf-enabled steady state allocates: %.1f allocs per 50-cycle chunk, want 0", avg)
+		}
+		if snap := mon.Snapshot(); snap.SampledCycles == 0 {
+			t.Fatal("profiler attached but sampled no cycles")
+		}
+	})
 }

@@ -6,14 +6,14 @@
 # ns/op for benchmarks without one.
 #
 # Usage: scripts/bench.sh [output.json]
-#   BENCH=<regex>     benchmarks to run  (default: SimulatorSpeed|ProbeOverhead|AuditOverhead)
+#   BENCH=<regex>     benchmarks to run  (default: SimulatorSpeed|ProbeOverhead|AuditOverhead|PerfmonOverhead|...)
 #   BENCHTIME=<n>x    iterations per benchmark (default: 10x)
 #   COUNT=<n>         repetitions; the minimum is recorded (default: 3)
 set -eu
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_$(date +%Y-%m).json}"
-bench="${BENCH:-BenchmarkSimulatorSpeed|BenchmarkProbeOverhead|BenchmarkAuditOverhead|BenchmarkParallelSpeed|BenchmarkSteadyStateAllocs}"
+bench="${BENCH:-BenchmarkSimulatorSpeed|BenchmarkProbeOverhead|BenchmarkAuditOverhead|BenchmarkPerfmonOverhead|BenchmarkParallelSpeed|BenchmarkSteadyStateAllocs}"
 benchtime="${BENCHTIME:-10x}"
 count="${COUNT:-3}"
 
@@ -80,10 +80,14 @@ awk -F'[:,]' '
 /"BenchmarkProbeOverhead\/on"/  { pon  = $2 + 0 }
 /"BenchmarkAuditOverhead\/off"/ { aoff = $2 + 0 }
 /"BenchmarkAuditOverhead\/on"/  { aon  = $2 + 0 }
+/"BenchmarkPerfmonOverhead\/off"/ { foff = $2 + 0 }
+/"BenchmarkPerfmonOverhead\/on"/  { fon  = $2 + 0 }
 END {
     if (poff > 0 && pon > poff * 1.02)
         printf "bench.sh: WARNING: inverted overhead pair: ProbeOverhead/on (%g) > off (%g); noisy measurement, consider re-running\n", pon, poff > "/dev/stderr"
     if (aoff > 0 && aon > aoff * 1.02)
         printf "bench.sh: WARNING: inverted overhead pair: AuditOverhead/on (%g) > off (%g); noisy measurement, consider re-running\n", aon, aoff > "/dev/stderr"
+    if (foff > 0 && fon > foff * 1.02)
+        printf "bench.sh: WARNING: inverted overhead pair: PerfmonOverhead/on (%g) > off (%g); noisy measurement, consider re-running\n", fon, foff > "/dev/stderr"
 }
 ' "$out"
