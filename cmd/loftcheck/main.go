@@ -1,5 +1,6 @@
 // Command loftcheck runs the repo's custom static analyzers (internal/lint)
-// over the module: determinism, hookguard, hotpath, lockdiscipline.
+// over the module: determinism, hookguard, hotpath, lockdiscipline,
+// stagepurity, allocbound.
 //
 // Usage:
 //

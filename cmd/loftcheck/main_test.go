@@ -72,8 +72,9 @@ func TestBrokenModuleJSON(t *testing.T) {
 		t.Fatalf("exit code = %d, want 1\n%s", code, out)
 	}
 	var doc struct {
-		Packages    int  `json:"packages"`
-		Clean       bool `json:"clean"`
+		Packages    int      `json:"packages"`
+		Clean       bool     `json:"clean"`
+		Analyzers   []string `json:"analyzers"`
 		Diagnostics []struct {
 			Analyzer string `json:"analyzer"`
 			File     string `json:"file"`
@@ -91,6 +92,9 @@ func TestBrokenModuleJSON(t *testing.T) {
 	d := doc.Diagnostics[0]
 	if d.Analyzer != "determinism" || d.File != filepath.Join("internal", "lsf", "bad.go") || d.Line <= 0 || d.Col <= 0 {
 		t.Errorf("diagnostic fields wrong: %+v", d)
+	}
+	if len(doc.Analyzers) != 6 {
+		t.Errorf("envelope names %d analyzers, want 6: %v", len(doc.Analyzers), doc.Analyzers)
 	}
 }
 
@@ -117,6 +121,16 @@ func TestRunSelectsAnalyzers(t *testing.T) {
 	}
 }
 
+func TestNoMatchPatternIsRunError(t *testing.T) {
+	out, code := runBin(t, "./nonexistent/...")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2\n%s", code, out)
+	}
+	if !strings.Contains(out, "./nonexistent/...") {
+		t.Errorf("error does not echo the pattern:\n%s", out)
+	}
+}
+
 func TestUnknownAnalyzerIsUsageError(t *testing.T) {
 	out, code := runBin(t, "-run", "nosuch", "./...")
 	if code != 2 {
@@ -132,7 +146,7 @@ func TestListAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code = %d, want 0\n%s", code, out)
 	}
-	for _, name := range []string{"determinism", "hookguard", "hotpath", "lockdiscipline"} {
+	for _, name := range []string{"determinism", "hookguard", "hotpath", "lockdiscipline", "stagepurity", "allocbound"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing %s:\n%s", name, out)
 		}

@@ -111,17 +111,16 @@ type node struct {
 	// linkBusy counts flits forwarded per mesh output (link utilization).
 	linkBusy [4]uint64
 
-	// probe aliases net.probe, or a per-node staging view of it under the
-	// parallel engine; audit is this node's (possibly staging) auditor hook.
-	probe *probe.Probe
+	// probe is this node's staging view of net.probe; audit is this node's
+	// (possibly staging) auditor hook.
+	probe *probe.Stage
 	audit *audit.Hook
 	// perf is this node's stage timer (nil when profiling is off);
 	// owner-local, so shard-local under the parallel engine.
 	perf *perfmon.Timer
-	// staged marks parallel operation: effects on network-global state
-	// (frame census, throttle counter, stats collectors) buffer here during
-	// the compute phase and replay at the cycle barrier in node-id order.
-	staged         bool
+	// Effects on network-global state (frame census, throttle counter, stats
+	// collectors) always buffer here during the compute phase and replay at
+	// the cycle barrier in node-id order, under both engines.
 	frameDeltas    []frameDelta
 	throttleStaged uint64
 	stagedObs      []gsfObs
@@ -154,7 +153,9 @@ type pktProgress struct {
 }
 
 func newNode(id topo.NodeID, cfg config.GSF, net *Network) *node {
-	staged := net.workers > 1
+	// Probe emissions and global-state effects always stage (see the field
+	// comments); the audit hook stages only when sharded because its staged
+	// ops are allocating closures.
 	n := &node{
 		id:       id,
 		net:      net,
@@ -162,13 +163,9 @@ func newNode(id topo.NodeID, cfg config.GSF, net *Network) *node {
 		flows:    make(map[flit.FlowID]*flowState),
 		injVC:    -1,
 		pktFlits: make(map[pktKey]pktProgress),
-		probe:    net.probe,
-		audit:    audit.NewHook(net.audit, staged),
+		probe:    net.probe.NewStage(),
+		audit:    audit.NewHook(net.audit, net.workers > 1),
 		perf:     net.perf.Timer(),
-		staged:   staged,
-	}
-	if staged {
-		n.probe = net.probe.NewStage()
 	}
 	for d := topo.North; d < topo.NumDirs; d++ {
 		n.vcs[d] = make([]*inputVC, cfg.VirtualChannels)
@@ -199,6 +196,7 @@ func newNode(id topo.NodeID, cfg config.GSF, net *Network) *node {
 // execute identical per-node work.
 //
 //loft:hotpath
+//loft:computephase
 func (n *node) Tick(now uint64) {
 	if n.perf != nil {
 		n.perf.Begin(now)
@@ -212,21 +210,18 @@ func (n *node) Tick(now uint64) {
 	n.tick(now)
 }
 
-// addFrame adjusts the global frame census; under the parallel engine the
-// update is staged and replayed at the cycle barrier.
+// addFrame adjusts the global frame census: the update is staged and
+// replayed at the cycle barrier (frameCount is commit-only state).
 func (n *node) addFrame(frame, delta int) {
-	if n.staged {
-		n.frameDeltas = append(n.frameDeltas, frameDelta{frame, delta})
-		return
-	}
-	n.net.frameCount[frame] += delta
+	n.frameDeltas = append(n.frameDeltas, frameDelta{frame, delta})
 }
 
 // flushStaged commits this node's buffered cycle effects. Called by the
-// network's serial barrier hook in node-id order, which reproduces the
-// sequential schedule byte for byte.
+// network's commit hook in node-id order, which reproduces one fixed
+// schedule byte for byte regardless of worker count.
 //
 //loft:hotpath
+//loft:commitphase
 func (n *node) flushStaged() {
 	for _, fd := range n.frameDeltas {
 		n.net.frameCount[fd.frame] += fd.delta
@@ -424,18 +419,7 @@ func (n *node) eject(f flit.Flit, now uint64) {
 	}
 	prog.flits++
 	tail := f.Tail
-	if n.staged {
-		n.stagedObs = append(n.stagedObs, gsfObs{f: f, injected: prog.injected, now: now, tail: tail})
-	} else {
-		n.net.thr.Observe(f.Flow, int(f.Src), now)
-		if tail {
-			n.net.lat.Observe(f.Created, now+1)
-			n.net.latFlow.Observe(f.Flow, f.Created, now+1)
-			if f.Created >= n.net.latNet.Warmup() {
-				n.net.latNet.Observe(prog.injected, now+1)
-			}
-		}
-	}
+	n.stagedObs = append(n.stagedObs, gsfObs{f: f, injected: prog.injected, now: now, tail: tail})
 	if !tail {
 		n.pktFlits[key] = prog
 		return
@@ -507,12 +491,9 @@ func (n *node) inject(now uint64) {
 		if fs.c == 0 {
 			if fs.ifr >= h+cfg.FrameWindow-1 {
 				// Window exhausted: source throttled. Emit one event per
-				// stall edge and count every stalled cycle.
-				if n.staged {
-					n.throttleStaged++
-				} else {
-					n.net.throttleCycles.Inc()
-				}
+				// stall edge and count every stalled cycle (staged: the
+				// shared counter commits at the barrier).
+				n.throttleStaged++
 				if !fs.throttled {
 					fs.throttled = true
 					if n.probe != nil {

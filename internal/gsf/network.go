@@ -32,10 +32,16 @@ type Network struct {
 
 	injectors []*traffic.Injector
 
-	// Barrier / global frame state.
-	head       int // H: the head frame (absolute)
+	// Barrier / global frame state. Commit-only: the compute phase may read
+	// head (stable between barriers) but every write happens in the serial
+	// commit phase — nodes stage census updates as frameDeltas instead.
+	//
+	//loft:commitonly
+	head int // H: the head frame (absolute)
+	//loft:commitonly
 	frameCount map[int]int
-	barrier    int // countdown; 0 = idle
+	//loft:commitonly
+	barrier int // countdown; 0 = idle
 
 	// throttleCycles counts source-stall cycles for the probe registry
 	// (events fire only on the stall edge).
@@ -255,39 +261,25 @@ func (net *Network) wire() {
 
 // Tick advances every node and the barrier controller (sim.Ticker, used by
 // the sequential kernel; the parallel engine ticks nodes directly and runs
-// commitCycle as its serial barrier hook).
+// commitCycle as its serial barrier hook). Nodes stage their global-state
+// effects even here, so the sequential cycle runs the same
+// compute-then-commit sequence as the parallel engine.
 //
 //loft:hotpath
 func (net *Network) Tick(now uint64) {
 	for _, n := range net.nodes {
 		n.Tick(now)
 	}
-	if net.perfT != nil {
-		net.perfT.Begin(now)
-	}
-	net.tickBarrier(now)
-	if net.perfT != nil {
-		net.perfT.Lap(perfmon.StageGSFFrame)
-	}
-	if net.probe != nil {
-		net.probe.MaybeSample(now)
-	}
-	if net.audit != nil {
-		net.audit.OnCycle(now)
-	}
-	if net.perfT != nil {
-		net.perfT.Lap(perfmon.StageCommit)
-	}
-	if net.perf != nil {
-		net.perf.OnCycle(now)
-	}
+	net.commitCycle(now)
 }
 
-// commitCycle is the parallel engine's serial hook: it replays every node's
-// staged effects in node-id order (matching the sequential tick order), then
-// advances the barrier controller and the per-cycle observers.
+// commitCycle is the serial commit half of a cycle (the parallel engine's
+// AddSerial hook, and the tail of the sequential Tick): it replays every
+// node's staged effects in node-id order, then advances the barrier
+// controller and the per-cycle observers.
 //
 //loft:hotpath
+//loft:commitphase
 func (net *Network) commitCycle(now uint64) {
 	if net.perfT != nil {
 		net.perfT.Begin(now)

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// AllocBound returns the analyzer that turns the steady-state zero-alloc
+// contract into a build gate. Where hotpath flags allocation *patterns* the
+// AST can see (fmt, log, growing slices), allocbound asks the compiler
+// itself: it maps the escape-analysis verdicts of `go build -gcflags=-m`
+// (built once per run by the driver, replayed from the build cache) onto the
+// same //loft:hotpath call-graph closure and reports every "escapes to heap"
+// / "moved to heap" finding whose position falls inside a hot function.
+//
+// The division of labor with TestSteadyStateZeroAlloc: the test measures one
+// configuration's exercised path at run time; allocbound bounds every path
+// the compiler can prove allocates, including branches no test drives. The
+// two can disagree in one direction only — an escape the runtime never hits
+// (a cold branch inside a hot function) still fails the gate, because a hot
+// function is a promise about all of its branches; genuinely cold work
+// belongs behind a //loft:coldpath helper. Arguments of panic(...) are
+// exempt, matching hotpath: a panicking simulator may allocate its last
+// words.
+func AllocBound() *Analyzer {
+	return &Analyzer{
+		Name:         "allocbound",
+		Doc:          "compiler escape analysis must report no heap allocation inside the //loft:hotpath closure",
+		Match:        matchPaths(simulationPackages, tracePackages),
+		Run:          allocboundRun,
+		NeedsEscapes: true,
+	}
+}
+
+func allocboundRun(pass *Pass) {
+	if pass.escapes == nil {
+		return // driver builds the index before any NeedsEscapes analyzer runs
+	}
+	decls, cold, seeds := hotClosureSeeds(pass)
+	if len(seeds) == 0 {
+		return
+	}
+	for fn, seed := range callClosure(pass, seeds, decls, cold) {
+		fd := decls[fn]
+		tf := pass.Fset.File(fd.Pos())
+		if tf == nil {
+			continue
+		}
+		diags := pass.escapes[tf.Name()]
+		if len(diags) == 0 {
+			continue
+		}
+		start := tf.Line(fd.Pos())
+		end := tf.Line(fd.End())
+		exempt := panicArgLines(pass, tf, fd.Body)
+		for _, ed := range diags {
+			if ed.Line < start || ed.Line > end || exempt[ed.Line] {
+				continue
+			}
+			pass.Reportf(escapePos(tf, ed.Line, ed.Col),
+				"heap allocation on a hot path (reachable from //loft:hotpath %s): %s; hoist the allocation to setup, reuse a receiver-owned buffer, or move the branch behind a //loft:coldpath helper",
+				seed.Name(), ed.Message)
+		}
+	}
+}
+
+// panicArgLines expands the panic-argument source ranges of a body to the set
+// of lines they cover: escape findings on those lines (the fmt.Sprintf
+// feeding a panic, its arguments spilling to heap) are exempt.
+func panicArgLines(pass *Pass, tf *token.File, body *ast.BlockStmt) map[int]bool {
+	out := make(map[int]bool)
+	for _, r := range panicArgRanges(pass, body) {
+		for line := tf.Line(r[0]); line <= tf.Line(r[1]-1); line++ {
+			out[line] = true
+		}
+	}
+	return out
+}
+
+// escapePos converts a compiler line:col (1-based, col in bytes) back to a
+// token.Pos in the analyzed fileset so the diagnostic sorts and renders like
+// every other finding.
+func escapePos(tf *token.File, line, col int) token.Pos {
+	if line < 1 || line > tf.LineCount() {
+		return tf.Pos(0)
+	}
+	pos := tf.LineStart(line) + token.Pos(col-1)
+	// Clamp to the file in case the compiler's column exceeds what the parser
+	// recorded (tabs, BOM, build-injected code).
+	if pos < tf.LineStart(line) || int(pos)-tf.Base() >= tf.Size() {
+		return tf.LineStart(line)
+	}
+	return pos
+}

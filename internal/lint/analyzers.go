@@ -13,6 +13,8 @@ func All() []*Analyzer {
 		HookGuard(),
 		HotPath(),
 		LockDiscipline(),
+		StagePurity(),
+		AllocBound(),
 	}
 }
 
@@ -169,6 +171,64 @@ func pkgFuncPath(info *types.Info, call *ast.CallExpr) (path, name string) {
 		return "", ""
 	}
 	return fn.Pkg().Path(), fn.Name()
+}
+
+// funcDecls collects every function declaration of the package with a body,
+// keyed by its defining object.
+func funcDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, _ := pass.Info.Defs[fd.Name].(*types.Func); obj != nil {
+				decls[obj] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// callClosure computes the static per-package call-graph closure from the
+// seed functions, returning root[f] = the seed that makes f reachable (for
+// diagnostic provenance). Functions in stop are not entered and do not
+// propagate. Interface dispatch and calls through function values are not
+// followed (calleeFunc returns nil for them); cross-package callees are out
+// of scope — each package declares its own entry points.
+func callClosure(pass *Pass, seeds []*types.Func, decls map[*types.Func]*ast.FuncDecl, stop map[*types.Func]bool) map[*types.Func]*types.Func {
+	root := make(map[*types.Func]*types.Func)
+	queue := append([]*types.Func(nil), seeds...)
+	for _, s := range seeds {
+		root[s] = s
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		ast.Inspect(decls[fn].Body, func(n ast.Node) bool {
+			if _, isLit := n.(*ast.FuncLit); isLit {
+				return false // closures run on their own schedule
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass.Info, call)
+			if callee == nil || callee.Pkg() != pass.Pkg || stop[callee] {
+				return true
+			}
+			if _, declared := decls[callee]; !declared {
+				return true
+			}
+			if _, seen := root[callee]; !seen {
+				root[callee] = root[fn]
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+	return root
 }
 
 // terminates reports whether a statement list unconditionally transfers

@@ -22,6 +22,8 @@ var corpusAnalyzers = []struct {
 	{"hookguard", HookGuard},
 	{"hotpath", HotPath},
 	{"lockdiscipline", LockDiscipline},
+	{"stagepurity", StagePurity},
+	{"allocbound", AllocBound},
 }
 
 func TestCorpus(t *testing.T) {
@@ -37,7 +39,17 @@ func TestCorpus(t *testing.T) {
 				if err != nil {
 					t.Fatalf("load %s: %v", dir, err)
 				}
-				active, suppressed := runPackage(pkg, []*Analyzer{ca.mk()}, true)
+				a := ca.mk()
+				var escapes escapeIndex
+				if a.NeedsEscapes {
+					// Corpus packages sit under testdata/ (invisible to ./...
+					// wildcards), so the index is built from the explicit dir.
+					escapes, err = buildEscapeIndex(ld.root, []string{"./internal/lint/" + filepath.ToSlash(dir)})
+					if err != nil {
+						t.Fatalf("escape index for %s: %v", dir, err)
+					}
+				}
+				active, suppressed := runPackage(pkg, []*Analyzer{a}, true, escapes)
 				if len(suppressed) != 0 {
 					t.Errorf("corpus package %s has suppressions; corpora must pin findings with want comments", dir)
 				}

@@ -18,11 +18,15 @@ import (
 //   - ranges over maps whose iteration order can escape the loop: a body
 //     that appends to an outer slice, sends on a channel, emits output, or
 //     returns a value derived from the iteration sees Go's randomized map
-//     order. Iterate det.Keys(m) (internal/det) instead.
+//     order. Iterate det.Keys(m) (internal/det) instead;
+//   - environment reads (os.Getenv/LookupEnv/Environ): results must not
+//     depend on the invoking shell. internal/runenv is the one sanctioned
+//     environment reader below the CLIs, and it is absent from every
+//     checked-package list.
 func Determinism() *Analyzer {
 	return &Analyzer{
 		Name:  "determinism",
-		Doc:   "forbid wall clocks, global RNGs, and order-dependent map iteration in simulation packages",
+		Doc:   "forbid wall clocks, global RNGs, env reads, and order-dependent map iteration in simulation packages",
 		Match: matchPaths(simulationPackages, observabilityPackages, tracePackages),
 		Run:   determinismRun,
 	}
@@ -70,6 +74,11 @@ func checkForbiddenFunc(pass *Pass, id *ast.Ident) {
 	case "math/rand", "math/rand/v2":
 		if !randConstructors[fn.Name()] {
 			pass.Reportf(id.Pos(), "use of global %s.%s: the process-wide stream breaks sweep determinism; draw from a per-run seeded RNG (internal/sim.RNG)", fn.Pkg().Name(), fn.Name())
+		}
+	case "os":
+		switch fn.Name() {
+		case "Getenv", "LookupEnv", "Environ":
+			pass.Reportf(id.Pos(), "call to os.%s in a simulation package: environment reads make results depend on the invoking shell; internal/runenv is the sanctioned environment reader", fn.Name())
 		}
 	}
 }

@@ -20,7 +20,7 @@ func loadSuppressCorpus(t *testing.T) (active, suppressed []Diagnostic) {
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
-	return runPackage(pkg, []*Analyzer{Determinism()}, true)
+	return runPackage(pkg, []*Analyzer{Determinism()}, true, nil)
 }
 
 func TestSuppressions(t *testing.T) {
@@ -72,7 +72,7 @@ func TestSuppressionForUnknownAnalyzerNotReportedUnused(t *testing.T) {
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
-	active, _ := runPackage(pkg, []*Analyzer{HookGuard()}, true)
+	active, _ := runPackage(pkg, []*Analyzer{HookGuard()}, true, nil)
 	for _, d := range active {
 		if strings.Contains(d.Message, "unused //lint:ignore") {
 			t.Errorf("ignore for an analyzer outside this run reported unused: %s", d)
@@ -82,15 +82,23 @@ func TestSuppressionForUnknownAnalyzerNotReportedUnused(t *testing.T) {
 
 func TestWriteJSONSchema(t *testing.T) {
 	active, suppressed := loadSuppressCorpus(t)
-	res := Result{Diagnostics: active, Suppressed: suppressed, Packages: 1}
+	res := Result{
+		Diagnostics: active,
+		Suppressed:  suppressed,
+		Packages:    1,
+		Analyzers:   []string{"determinism"},
+		Revision:    "deadbeef",
+	}
 
 	var buf bytes.Buffer
 	if err := WriteJSON(&buf, res); err != nil {
 		t.Fatalf("WriteJSON: %v", err)
 	}
 	var doc struct {
-		Packages    int  `json:"packages"`
-		Clean       bool `json:"clean"`
+		Packages    int      `json:"packages"`
+		Clean       bool     `json:"clean"`
+		Analyzers   []string `json:"analyzers"`
+		Revision    string   `json:"revision"`
 		Diagnostics []struct {
 			Analyzer string `json:"analyzer"`
 			File     string `json:"file"`
@@ -107,6 +115,9 @@ func TestWriteJSONSchema(t *testing.T) {
 	}
 	if doc.Packages != 1 || doc.Clean {
 		t.Errorf("packages=%d clean=%v, want 1/false", doc.Packages, doc.Clean)
+	}
+	if len(doc.Analyzers) != 1 || doc.Analyzers[0] != "determinism" || doc.Revision != "deadbeef" {
+		t.Errorf("envelope analyzers=%v revision=%q, want [determinism]/deadbeef", doc.Analyzers, doc.Revision)
 	}
 	if len(doc.Diagnostics) != len(active) {
 		t.Errorf("diagnostics count %d, want %d", len(doc.Diagnostics), len(active))

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// escapeDiag is one compiler escape-analysis finding.
+type escapeDiag struct {
+	Line, Col int
+	Message   string // e.g. "make([]byte, n) escapes to heap"
+}
+
+// escapeIndex maps module-root-relative files to their escape findings.
+type escapeIndex map[string][]escapeDiag
+
+// escapeLineRE matches one -gcflags=-m diagnostic line. The compiler prints
+// paths relative to the directory it runs in; buildEscapeIndex runs in the
+// module root, so the captured file matches the loader's position labels.
+var escapeLineRE = regexp.MustCompile(`^(\.[/\\])?(.+\.go):(\d+):(\d+): (.+)$`)
+
+// buildEscapeIndex runs the compiler's escape analysis over the given
+// package patterns and indexes the heap-allocation findings by file. The
+// -gcflags=-m=2 diagnostics replay from the build cache on unchanged code,
+// so repeat runs cost milliseconds, not a rebuild. A build failure is a
+// driver error: allocbound cannot vouch for code that does not compile.
+//
+// -m=2 (rather than -m) buys the flow traces: every heap verdict is followed
+// by indented "flow:"/"from ..." lines at the same position explaining why
+// the value escapes. A position whose trace contains "from panic(" is panic
+// material — the string a guard concatenates for its last words, often
+// attributed to the caller's line when the panicking callee is inlined — and
+// is exempt, because that allocation only happens on the failure path the
+// zero-alloc contract already forfeits.
+func buildEscapeIndex(root string, patterns []string) (escapeIndex, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"build", "-gcflags=-m=2"}, patterns...)...)
+	cmd.Dir = root
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go build -gcflags=-m=2 %s: %v\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+	type posKey struct {
+		file      string
+		line, col int
+	}
+	order := make(map[string][]escapeDiag)
+	panicFlow := make(map[posKey]bool)
+	seen := make(map[string]bool) // inlining replays a finding at the same position once per inline site
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		m := escapeLineRE.FindStringSubmatch(line)
+		if m == nil {
+			continue // package headers, notes without positions
+		}
+		msg := m[5]
+		ln, _ := strconv.Atoi(m[3])
+		col, _ := strconv.Atoi(m[4])
+		file := strings.ReplaceAll(m[2], "\\", "/")
+		if strings.HasPrefix(msg, " ") {
+			// Indented flow-trace line belonging to the verdict at the same
+			// position.
+			if strings.Contains(msg, "from panic(") {
+				panicFlow[posKey{file, ln, col}] = true
+			}
+			continue
+		}
+		// Keep only the heap verdicts: "... escapes to heap" and "moved to
+		// heap: x" (stack-confirming "does not escape" lines and inlining
+		// chatter are the bulk of -m output). -m=2 suffixes traced verdicts
+		// with ":".
+		msg = strings.TrimSuffix(msg, ":")
+		if !strings.HasSuffix(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap") {
+			continue
+		}
+		if strings.Contains(msg, "does not escape") {
+			continue
+		}
+		key := file + ":" + m[3] + ":" + m[4] + ":" + msg
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		order[file] = append(order[file], escapeDiag{Line: ln, Col: col, Message: msg})
+	}
+	idx := make(escapeIndex)
+	for file, diags := range order {
+		// "moved to heap: x" comes with a traced twin "x escapes to heap" at
+		// the same position; keep the moved-to-heap wording, it names the
+		// variable more directly.
+		moved := make(map[string]bool)
+		for _, d := range diags {
+			if v, ok := strings.CutPrefix(d.Message, "moved to heap: "); ok {
+				moved[fmt.Sprintf("%d:%d:%s", d.Line, d.Col, v)] = true
+			}
+		}
+		for _, d := range diags {
+			if panicFlow[posKey{file, d.Line, d.Col}] {
+				continue
+			}
+			if v, ok := strings.CutSuffix(d.Message, " escapes to heap"); ok &&
+				moved[fmt.Sprintf("%d:%d:%s", d.Line, d.Col, v)] {
+				continue
+			}
+			idx[file] = append(idx[file], d)
+		}
+	}
+	return idx, nil
+}
+
+// headRevision returns the repo's HEAD commit, best effort: empty outside a
+// git checkout or when git is unavailable.
+func headRevision(root string) string {
+	cmd := exec.Command("git", "rev-parse", "HEAD")
+	cmd.Dir = root
+	out, err := cmd.Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -9,9 +9,9 @@ import (
 
 // HookGuard returns the analyzer enforcing the hook-free disabled path: every
 // call to a probe/audit/perfmon sink method (probe.Probe.Emit/MaybeSample,
-// probe.Tracer.Emit, the lsf.AuditSink interface, audit.Auditor taps,
-// perfmon.Timer/EngineTimer laps and Monitor.OnCycle) must be dominated by a
-// nil check of its receiver. The sinks happen to be nil-receiver-safe today,
+// probe.Stage.Emit/FlushStage, probe.Tracer.Emit, the lsf.AuditSink
+// interface, audit.Auditor taps, perfmon.Timer/EngineTimer laps and
+// Monitor.OnCycle) must be dominated by a nil check of its receiver. The sinks happen to be nil-receiver-safe today,
 // but the guard is what keeps an un-instrumented run from paying a call (and
 // pointer chase) per cycle — and keeps that guarantee when a sink later
 // grows state its methods dereference unconditionally. This is also what
@@ -193,8 +193,10 @@ func sinkReceiver(pass *Pass, call *ast.CallExpr) (recv ast.Expr, sink string, o
 	switch {
 	case strings.HasSuffix(pkgPath, "internal/lsf") && typeName == "AuditSink":
 		return sel.X, "lsf.AuditSink." + name, true
-	case strings.HasSuffix(pkgPath, "internal/probe") && typeName == "Probe" && (name == "Emit" || name == "MaybeSample" || name == "FlushStage"):
+	case strings.HasSuffix(pkgPath, "internal/probe") && typeName == "Probe" && (name == "Emit" || name == "EmitSeq" || name == "MaybeSample"):
 		return sel.X, "probe.Probe." + name, true
+	case strings.HasSuffix(pkgPath, "internal/probe") && typeName == "Stage" && (name == "Emit" || name == "EmitSeq" || name == "FlushStage"):
+		return sel.X, "probe.Stage." + name, true
 	case strings.HasSuffix(pkgPath, "internal/probe") && typeName == "Tracer" && name == "Emit":
 		return sel.X, "probe.Tracer." + name, true
 	case strings.HasSuffix(pkgPath, "internal/audit") && typeName == "Auditor" &&

@@ -33,9 +33,24 @@ func HotPath() *Analyzer {
 }
 
 func hotpathRun(pass *Pass) {
-	decls := make(map[*types.Func]*ast.FuncDecl)
-	cold := make(map[*types.Func]bool)
-	var seeds []*types.Func
+	decls, cold, seeds := hotClosureSeeds(pass)
+	if len(seeds) == 0 {
+		return
+	}
+	for fn, seed := range callClosure(pass, seeds, decls, cold) {
+		checkHotFunc(pass, decls[fn], seed)
+	}
+}
+
+// hotClosureSeeds collects the package's function declarations, its
+// //loft:coldpath stop set and its //loft:hotpath seeds (in declaration
+// order, so multi-seed reachability attributes deterministically). hotpath
+// and allocbound share the exact same closure: what must not allocate via
+// AST heuristics must not allocate per the compiler's escape analysis
+// either.
+func hotClosureSeeds(pass *Pass) (decls map[*types.Func]*ast.FuncDecl, cold map[*types.Func]bool, seeds []*types.Func) {
+	decls = funcDecls(pass)
+	cold = make(map[*types.Func]bool)
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
@@ -46,59 +61,14 @@ func hotpathRun(pass *Pass) {
 			if obj == nil {
 				continue
 			}
-			decls[obj] = fd
 			if funcMarker(fd, "//loft:coldpath") {
 				cold[obj] = true
-				continue
-			}
-			if funcMarker(fd, "//loft:hotpath") {
+			} else if funcMarker(fd, "//loft:hotpath") {
 				seeds = append(seeds, obj)
 			}
 		}
 	}
-	if len(seeds) == 0 {
-		return
-	}
-
-	// Close over the static per-package call graph. root[f] records which
-	// //loft:hotpath seed makes f hot, for the diagnostic message. Interface
-	// dispatch and calls through function values are not followed (calleeFunc
-	// returns nil for them); cross-package callees are out of scope — each
-	// package declares its own hot entry points.
-	root := make(map[*types.Func]*types.Func)
-	queue := append([]*types.Func(nil), seeds...)
-	for _, s := range seeds {
-		root[s] = s
-	}
-	for len(queue) > 0 {
-		fn := queue[0]
-		queue = queue[1:]
-		ast.Inspect(decls[fn].Body, func(n ast.Node) bool {
-			if _, isLit := n.(*ast.FuncLit); isLit {
-				return false // closures run on their own schedule
-			}
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			callee := calleeFunc(pass.Info, call)
-			if callee == nil || callee.Pkg() != pass.Pkg || cold[callee] {
-				return true
-			}
-			if _, declared := decls[callee]; !declared {
-				return true
-			}
-			if _, seen := root[callee]; !seen {
-				root[callee] = root[fn]
-				queue = append(queue, callee)
-			}
-			return true
-		})
-	}
-
-	for fn, seed := range root {
-		checkHotFunc(pass, decls[fn], seed)
-	}
+	return decls, cold, seeds
 }
 
 func checkHotFunc(pass *Pass, fd *ast.FuncDecl, seed *types.Func) {

@@ -18,9 +18,13 @@ type jsonDiagnostic struct {
 	Suppressed string `json:"suppressed,omitempty"`
 }
 
-// jsonResult is the top-level `loftcheck -json` document.
+// jsonResult is the top-level `loftcheck -json` document. Analyzers and
+// revision make an archived artifact self-describing: a CI diff between two
+// runs can tell "code changed" apart from "the analyzer set changed".
 type jsonResult struct {
 	Packages    int              `json:"packages"`
+	Analyzers   []string         `json:"analyzers"`
+	Revision    string           `json:"revision,omitempty"`
 	Diagnostics []jsonDiagnostic `json:"diagnostics"`
 	Suppressed  []jsonDiagnostic `json:"suppressed,omitempty"`
 	Clean       bool             `json:"clean"`
@@ -42,6 +46,8 @@ func toJSONDiag(d Diagnostic) jsonDiagnostic {
 func WriteJSON(w io.Writer, r Result) error {
 	out := jsonResult{
 		Packages:    r.Packages,
+		Analyzers:   append([]string{}, r.Analyzers...),
+		Revision:    r.Revision,
 		Diagnostics: make([]jsonDiagnostic, 0, len(r.Diagnostics)),
 		Clean:       r.Clean(),
 	}

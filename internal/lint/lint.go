@@ -18,6 +18,12 @@
 //     must not format, log, or allocate per call.
 //   - lockdiscipline: struct fields annotated //loft:guardedby <mutex> may
 //     only be accessed while that mutex is held.
+//   - stagepurity: functions reachable from a parallel compute-phase entry
+//     point (//loft:computephase, or registered via ParallelKernel.AddTicker/
+//     AddUpdater) must not call serial-only sinks or write //loft:commitonly
+//     fields — all order-sensitive effects go through the staging buffers.
+//   - allocbound: the compiler's own escape analysis (go build -gcflags=-m)
+//     must report no heap allocation inside the //loft:hotpath closure.
 //
 // Diagnostics carry file:line:col positions and can be suppressed — with a
 // mandatory reason — by a `//lint:ignore <analyzer> <reason>` comment on the
@@ -50,6 +56,10 @@ type Analyzer struct {
 	Match func(importPath string) bool
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
+	// NeedsEscapes marks analyzers consuming the compiler escape-analysis
+	// index; the driver builds it once per run when any selected analyzer
+	// sets it, and fails the run (not the package) if the build breaks.
+	NeedsEscapes bool
 }
 
 // Pass carries one package's typed syntax to an analyzer.
@@ -61,6 +71,9 @@ type Pass struct {
 
 	analyzer *Analyzer
 	diags    *[]Diagnostic
+	// escapes is the run-wide escape-analysis index (nil unless a selected
+	// analyzer declared NeedsEscapes), keyed by module-root-relative file.
+	escapes escapeIndex
 }
 
 // Reportf records one diagnostic at pos.
@@ -88,12 +101,20 @@ func (d Diagnostic) String() string {
 
 // Result is the outcome of one driver run.
 type Result struct {
-	// Diagnostics are the active findings, sorted by position.
+	// Diagnostics are the active findings, sorted by (file, line, column,
+	// analyzer) across every analyzed package.
 	Diagnostics []Diagnostic
-	// Suppressed are findings neutralized by //lint:ignore comments.
+	// Suppressed are findings neutralized by //lint:ignore comments, sorted
+	// the same way.
 	Suppressed []Diagnostic
 	// Packages counts the packages analyzed.
 	Packages int
+	// Analyzers names the analyzers that ran, in reporting order.
+	Analyzers []string
+	// Revision is the repo HEAD commit the run analyzed (best effort; empty
+	// outside a git checkout). It makes archived -json artifacts diffable
+	// across CI runs.
+	Revision string
 }
 
 // Clean reports whether the run produced no active diagnostics.
@@ -145,8 +166,9 @@ func collectIgnores(fset *token.FileSet, f *ast.File, diags *[]Diagnostic) map[i
 }
 
 // runPackage executes every applicable analyzer over one loaded package and
-// returns its active and suppressed diagnostics.
-func runPackage(pkg *Package, analyzers []*Analyzer, bypassMatch bool) (active, suppressed []Diagnostic) {
+// returns its active and suppressed diagnostics. escapes may be nil when no
+// selected analyzer needs the escape-analysis index.
+func runPackage(pkg *Package, analyzers []*Analyzer, bypassMatch bool, escapes escapeIndex) (active, suppressed []Diagnostic) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		if !bypassMatch && a.Match != nil && !a.Match(pkg.Pkg.Path()) {
@@ -159,6 +181,7 @@ func runPackage(pkg *Package, analyzers []*Analyzer, bypassMatch bool) (active, 
 			Info:     pkg.Info,
 			analyzer: a,
 			diags:    &diags,
+			escapes:  escapes,
 		}
 		a.Run(pass)
 	}
@@ -267,17 +290,35 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	var escapes escapeIndex
+	for _, a := range analyzers {
+		if a.NeedsEscapes {
+			escapes, err = buildEscapeIndex(ld.root, cfg.Patterns)
+			if err != nil {
+				return Result{}, err
+			}
+			break
+		}
+	}
 	var res Result
+	for _, a := range analyzers {
+		res.Analyzers = append(res.Analyzers, a.Name)
+	}
+	res.Revision = headRevision(ld.root)
 	for _, t := range targets {
 		pkg, err := ld.load(t)
 		if err != nil {
 			return Result{}, err
 		}
 		res.Packages++
-		active, suppressed := runPackage(pkg, analyzers, false)
+		active, suppressed := runPackage(pkg, analyzers, false, escapes)
 		res.Diagnostics = append(res.Diagnostics, active...)
 		res.Suppressed = append(res.Suppressed, suppressed...)
 	}
+	// Per-package runs emit sorted; re-sort globally so the emission order is
+	// a pure function of the findings, not of package iteration order.
+	sortDiags(res.Diagnostics)
+	sortDiags(res.Suppressed)
 	return res, nil
 }
 

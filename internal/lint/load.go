@@ -220,10 +220,15 @@ func (ld *loader) loadFiles(importPath, dir string, goFiles []string) (*Package,
 }
 
 // rel renders path relative to the module root when possible: diagnostics
-// then read the same from any working directory inside the repo.
+// then read the same from any working directory inside the repo, and the
+// labels line up with the compiler's root-relative escape-analysis output.
 func (ld *loader) rel(path string) string {
-	if r, err := filepath.Rel(ld.root, path); err == nil && !strings.HasPrefix(r, "..") {
-		return r
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		return path
+	}
+	if r, err := filepath.Rel(ld.root, abs); err == nil && !strings.HasPrefix(r, "..") {
+		return filepath.ToSlash(r)
 	}
 	return path
 }

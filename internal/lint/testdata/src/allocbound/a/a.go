@@ -1,0 +1,32 @@
+// Package a is the allocbound true-positive corpus: heap allocations the
+// compiler's escape analysis proves inside the //loft:hotpath closure.
+package a
+
+type ring struct {
+	buf    []byte
+	latest *int
+	notify func()
+}
+
+// Tick is the hot entry point; the variable-sized make leaks into the
+// receiver, so escape analysis moves it to the heap.
+//
+//loft:hotpath
+func (r *ring) Tick(now uint64) {
+	n := int(now % 64)
+	r.buf = make([]byte, n) // want `heap allocation on a hot path \(reachable from //loft:hotpath Tick\)`
+	r.fill(n)               // want `moved to heap: x` (the inlined copy replays the finding at the call site)
+	r.arm()                 // want `func literal escapes to heap`
+}
+
+// fill is hot by reachability; taking the address of a local that outlives
+// the call moves it to the heap.
+func (r *ring) fill(n int) {
+	x := n * 2 // want `heap allocation on a hot path .*moved to heap: x`
+	r.latest = &x
+}
+
+// arm stores a capturing closure: the func literal escapes.
+func (r *ring) arm() {
+	r.notify = func() { r.buf = r.buf[:0] } // want `heap allocation on a hot path .*func literal escapes to heap`
+}

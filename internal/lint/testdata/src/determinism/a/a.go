@@ -5,6 +5,7 @@ package a
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"time"
 )
 
@@ -26,6 +27,19 @@ func globalRand() int {
 
 func globalFloat() float64 {
 	return rand.Float64() // want `use of global rand\.Float64`
+}
+
+func envRead() string {
+	return os.Getenv("LOFT_MODE") // want `call to os\.Getenv`
+}
+
+func envLookup() bool {
+	_, ok := os.LookupEnv("LOFT_MODE") // want `call to os\.LookupEnv`
+	return ok
+}
+
+func envDump() []string {
+	return os.Environ() // want `call to os\.Environ`
 }
 
 func mapAppend(m map[int]string) []string {

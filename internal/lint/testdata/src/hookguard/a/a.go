@@ -11,6 +11,7 @@ import (
 
 type router struct {
 	probe *probe.Probe
+	stage *probe.Stage
 	trc   *probe.Tracer
 	aud   lsf.AuditSink
 	live  *audit.Auditor
@@ -21,13 +22,16 @@ type router struct {
 }
 
 func (r *router) tick(now uint64) {
-	r.probe.Emit(now, probe.KindReserveGrant, 0, 0, 0, 0) // want `sink call probe\.Probe\.Emit on unguarded receiver r\.probe`
-	r.probe.MaybeSample(now)                              // want `sink call probe\.Probe\.MaybeSample on unguarded receiver`
-	r.probe.FlushStage()                                  // want `sink call probe\.Probe\.FlushStage on unguarded receiver`
-	r.trc.Emit(probe.Event{})                             // want `sink call probe\.Tracer\.Emit on unguarded receiver`
-	r.live.OnCycle(now)                                   // want `sink call audit\.Auditor\.OnCycle on unguarded receiver`
-	r.hook.GSFInject(0, 0, now)                           // want `sink call audit\.Hook\.GSFInject on unguarded receiver`
-	r.hook.Flush()                                        // want `sink call audit\.Hook\.Flush on unguarded receiver`
+	r.probe.Emit(now, probe.KindReserveGrant, 0, 0, 0, 0)     // want `sink call probe\.Probe\.Emit on unguarded receiver r\.probe`
+	r.probe.EmitSeq(now, probe.KindLAIssue, 0, 0, 0, 1, 0)    // want `sink call probe\.Probe\.EmitSeq on unguarded receiver`
+	r.probe.MaybeSample(now)                                  // want `sink call probe\.Probe\.MaybeSample on unguarded receiver`
+	r.stage.Emit(now, probe.KindReserveGrant, 0, 0, 0, 0)     // want `sink call probe\.Stage\.Emit on unguarded receiver r\.stage`
+	r.stage.EmitSeq(now, probe.KindDataInject, 0, 0, 0, 1, 0) // want `sink call probe\.Stage\.EmitSeq on unguarded receiver`
+	r.stage.FlushStage()                                      // want `sink call probe\.Stage\.FlushStage on unguarded receiver`
+	r.trc.Emit(probe.Event{})                                 // want `sink call probe\.Tracer\.Emit on unguarded receiver`
+	r.live.OnCycle(now)                                       // want `sink call audit\.Auditor\.OnCycle on unguarded receiver`
+	r.hook.GSFInject(0, 0, now)                               // want `sink call audit\.Hook\.GSFInject on unguarded receiver`
+	r.hook.Flush()                                            // want `sink call audit\.Hook\.Flush on unguarded receiver`
 }
 
 func (r *router) profile(now uint64) {

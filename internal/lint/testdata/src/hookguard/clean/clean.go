@@ -11,6 +11,7 @@ import (
 
 type router struct {
 	probe   *probe.Probe
+	stage   *probe.Stage
 	trc     *probe.Tracer
 	aud     lsf.AuditSink
 	live    *audit.Auditor
@@ -25,7 +26,10 @@ type router struct {
 func (r *router) tick(now uint64) {
 	if r.probe != nil {
 		r.probe.MaybeSample(now)
-		r.probe.FlushStage()
+	}
+	if r.stage != nil {
+		r.stage.EmitSeq(now, probe.KindDataInject, 0, 0, 0, 1, 0)
+		r.stage.FlushStage()
 	}
 	if r.live != nil {
 		r.live.OnCycle(now)

@@ -1,0 +1,98 @@
+// Package a is the stagepurity true-positive corpus: serial-only sinks and
+// //loft:commitonly writes reachable from parallel compute-phase entry
+// points, both annotated (//loft:computephase) and auto-seeded
+// (ParallelKernel.AddTicker).
+package a
+
+import (
+	"math/rand"
+
+	"loft/internal/audit"
+	"loft/internal/perfmon"
+	"loft/internal/probe"
+	"loft/internal/sim"
+	"loft/internal/stats"
+)
+
+type fabric struct {
+	//loft:commitonly
+	head int
+	//loft:commitonly
+	frameCount map[int]int
+	//loft:commitonly
+	barrier int
+}
+
+type node struct {
+	net   *fabric
+	probe *probe.Probe
+	trc   *probe.Tracer
+	reg   *probe.Registry
+	ctr   *probe.Counter
+	stage *probe.Stage
+	aud   *audit.Auditor
+	hook  *audit.Hook
+	lat   *stats.Latency
+	thr   *stats.Throughput
+	hist  *stats.Histogram
+	mon   *perfmon.Monitor
+}
+
+// Tick is a compute-phase entry point by annotation.
+//
+//loft:computephase
+func (n *node) Tick(now uint64) {
+	n.probe.Emit(now, probe.KindReserveGrant, 0, 0, 0, 0) // want `serial-only sink probe\.Probe\.Emit called in the parallel compute phase \(reachable from compute-phase entry Tick\)`
+	n.stage.FlushStage()                                  // want `serial-only sink probe\.Stage\.FlushStage called in the parallel compute phase`
+	n.trc.Emit(probe.Event{})                             // want `serial-only sink probe\.Tracer\.Emit called in the parallel compute phase`
+	n.hook.Flush()                                        // want `serial-only sink audit\.Hook\.Flush called in the parallel compute phase`
+	n.net.head = int(now)                                 // want `write to //loft:commitonly field head in the parallel compute phase`
+	n.net.barrier--                                       // want `write to //loft:commitonly field barrier in the parallel compute phase`
+	n.net.frameCount[0]++                                 // want `write to //loft:commitonly field frameCount in the parallel compute phase`
+	delete(n.net.frameCount, 1)                           // want `write to //loft:commitonly field frameCount in the parallel compute phase`
+	_ = n.net.head                                        // reads of commit-only state are fine: it is stable between barriers
+	n.observe(now)
+	n.commit(now)
+}
+
+// observe is hot only by reachability: Tick calls it.
+func (n *node) observe(now uint64) {
+	n.probe.MaybeSample(now) // want `serial-only sink probe\.Probe\.MaybeSample called in the parallel compute phase \(reachable from compute-phase entry Tick\)`
+	n.reg.Sample(now)        // want `serial-only sink probe\.Registry\.Sample called in the parallel compute phase`
+	n.ctr.Inc()              // want `serial-only sink probe\.Counter\.Inc called in the parallel compute phase`
+	n.aud.OnCycle(now)       // want `serial-only sink audit\.Auditor\.OnCycle called in the parallel compute phase`
+	n.lat.Observe(0, now)    // want `serial-only sink stats\.Latency\.Observe called in the parallel compute phase`
+	n.thr.Observe(0, 0, now) // want `serial-only sink stats\.Throughput\.Observe called in the parallel compute phase`
+	n.hist.Observe(now)      // want `serial-only sink stats\.Histogram\.Observe called in the parallel compute phase`
+	n.mon.OnCycle(now)       // want `serial-only sink perfmon\.Monitor\.OnCycle called in the parallel compute phase`
+	_ = rand.Intn(4)         // want `serial-only sink rand\.Intn called in the parallel compute phase`
+}
+
+// commit is marked //loft:commitphase: propagation stops here, so its sinks
+// and commit-only writes are sanctioned.
+//
+//loft:commitphase
+func (n *node) commit(now uint64) {
+	n.net.head = int(now)
+	n.stage.FlushStage()
+	n.probe.Emit(now, probe.KindReserveGrant, 0, 0, 0, 0)
+}
+
+// comp is seeded without any annotation: wire registers it on the parallel
+// kernel, so both its Tick and its Update run in the compute phase.
+type comp struct {
+	probe *probe.Probe
+	lat   *stats.Latency
+}
+
+func (c *comp) Tick(now uint64) {
+	c.probe.Emit(now, probe.KindReserveGrant, 0, 0, 0, 0) // want `serial-only sink probe\.Probe\.Emit called in the parallel compute phase \(reachable from compute-phase entry Tick\)`
+}
+
+func (c *comp) Update(now uint64) {
+	c.lat.Observe(0, now) // want `serial-only sink stats\.Latency\.Observe called in the parallel compute phase \(reachable from compute-phase entry Update\)`
+}
+
+func wire(k *sim.ParallelKernel, c *comp) {
+	k.AddTicker(0, c)
+}

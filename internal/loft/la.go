@@ -49,6 +49,16 @@ func (la *laRouter) allocEnt() *laEnt {
 		la.pool = la.pool[:k-1]
 		return e
 	}
+	return newEnt()
+}
+
+// newEnt is the refill path. init seeds the pool to the exact live bound, so
+// this only runs if that bound is ever wrong; out of line so the heap
+// allocation stays off the Tick closure.
+//
+//loft:coldpath
+//go:noinline
+func newEnt() *laEnt {
 	return new(laEnt)
 }
 

@@ -352,37 +352,25 @@ func (net *Network) installReservations() error {
 
 // Tick advances every node one cycle (sim.Ticker; sequential engine only —
 // the parallel engine registers nodes individually and runs commitCycle at
-// the barrier instead).
+// the barrier instead). Nodes stage their shared-state effects even here,
+// so the sequential cycle is the same compute-then-commit sequence the
+// parallel engine runs — one code path, one emission order.
 //
 //loft:hotpath
 func (net *Network) Tick(now uint64) {
 	for _, n := range net.nodes {
 		n.Tick(now)
 	}
-	if net.perfT != nil {
-		net.perfT.Begin(now)
-	}
-	if net.probe != nil {
-		net.probe.MaybeSample(now)
-	}
-	if net.audit != nil {
-		net.audit.OnCycle(now)
-	}
-	if net.perfT != nil {
-		net.perfT.Lap(perfmon.StageCommit)
-	}
-	if net.perf != nil {
-		net.perf.OnCycle(now)
-	}
+	net.commitCycle(now)
 }
 
-// commitCycle is the parallel engine's serial hook, run between the tick
-// barrier and the update phase: replay every node's staged shared-state
-// effects in node-id order — the order the sequential kernel produces them
-// in — then run the per-cycle observability work exactly where the
-// sequential Tick runs it.
+// commitCycle is the serial commit half of a cycle (the parallel engine's
+// AddSerial hook, and the tail of the sequential Tick): replay every node's
+// staged shared-state effects in node-id order, then run the per-cycle
+// observability work.
 //
 //loft:hotpath
+//loft:commitphase
 func (net *Network) commitCycle(now uint64) {
 	if net.perfT != nil {
 		net.perfT.Begin(now)

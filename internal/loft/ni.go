@@ -51,6 +51,16 @@ func (ni *netIface) flowQueue(id flit.FlowID) *flowQ {
 	if q, ok := ni.byFlow[id]; ok {
 		return q
 	}
+	return ni.newFlowQueue(id)
+}
+
+// newFlowQueue builds a flow's queue on its first packet. A run sees each
+// flow once, so this is setup amortized over the whole run; out of line so
+// the allocations stay off the Tick closure.
+//
+//loft:coldpath
+//go:noinline
+func (ni *netIface) newFlowQueue(id flit.FlowID) *flowQ {
 	q := &flowQ{id: id}
 	// The NI queue is bounded to NIQueueFlits across all flows (generate
 	// drops beyond it), so one flow can hold at most that many quanta;

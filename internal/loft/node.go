@@ -89,6 +89,17 @@ func (ip *inputPort) alloc() *inEntry {
 		ip.free = ip.free[:k-1]
 		return e
 	}
+	return ip.allocSlow()
+}
+
+// allocSlow is the pool-exhausted fallback: it heap-allocates, which only a
+// pathological workload reaches, so it is kept out of line (and out of the
+// zero-alloc hot-path closure) to stop the allocation from being inlined
+// into alloc's steady-state callers.
+//
+//loft:coldpath
+//go:noinline
+func (ip *inputPort) allocSlow() *inEntry {
 	return new(inEntry)
 }
 
@@ -205,15 +216,15 @@ type Node struct {
 	// linkBusy counts quanta forwarded per output (link utilization).
 	linkBusy [topo.NumDirs]uint64
 
-	// probe aliases net.probe, or a per-node staging view of it under the
-	// parallel engine (nil when observability is disabled).
-	probe *probe.Probe
+	// probe is this node's staging view of net.probe (nil when observability
+	// is disabled): compute-phase emissions buffer locally and replay in
+	// node-id order at the cycle barrier, under both engines.
+	probe *probe.Stage
 	// audit is this node's view of net.audit, staging under the parallel
 	// engine (nil when -audit is off).
 	audit *audit.Hook
-	// staged marks parallel operation: shared-state observations buffer in
-	// stagedObs during the compute phase and replay at the cycle barrier.
-	staged    bool
+	// stagedObs buffers shared-state statistics observations made during the
+	// compute phase; commitCycle replays them via flushStaged.
 	stagedObs []obsRec
 
 	// perf is this node's stage timer (nil when profiling is off). It is
@@ -242,16 +253,15 @@ func (r *rrState) dir(i int) topo.Dir { return topo.Dir((r.next + i) % int(topo.
 func (r *rrState) granted(d topo.Dir) { r.next = (int(d) + 1) % int(topo.NumDirs) }
 
 func newNode(id topo.NodeID, cfg config.LOFT, mesh topo.Mesh, net *Network) *Node {
-	staged := net.workers > 1
-	n := &Node{id: id, cfg: cfg, mesh: mesh, net: net, staged: staged,
-		probe: net.probe, audit: audit.NewHook(net.audit, staged),
+	// The node (and its tables, which capture n.probe below) always emits
+	// into a private staging view replayed at the cycle barrier: staging
+	// unconditionally keeps the compute phase free of shared-sink calls under
+	// both engines, which is what stagepurity proves. The audit hook still
+	// stages only when sharded — its staged ops are closures, so always-on
+	// staging would allocate on audited sequential runs for no benefit.
+	n := &Node{id: id, cfg: cfg, mesh: mesh, net: net,
+		probe: net.probe.NewStage(), audit: audit.NewHook(net.audit, net.workers > 1),
 		perf: net.perf.Timer()}
-	if staged {
-		// Shard-local staging view: the node (and its tables, which capture
-		// n.probe below) emits into a private buffer replayed at the cycle
-		// barrier.
-		n.probe = net.probe.NewStage()
-	}
 	params := lsf.Params{
 		SlotsPerFrame: cfg.SlotsPerFrame(),
 		Frames:        cfg.FrameWindow,
@@ -305,6 +315,7 @@ func (n *Node) slotOf(c uint64) uint64 { return c / uint64(n.cfg.QuantumFlits) }
 // iteration order does not affect results.
 //
 //loft:hotpath
+//loft:computephase
 func (n *Node) Tick(now uint64) {
 	if n.perf != nil {
 		n.perf.Begin(now)
@@ -685,31 +696,24 @@ func (n *Node) flush(uint64) {
 }
 
 // observeFlits records ejection throughput, deferring to the cycle barrier
-// under the parallel engine (the stats collectors are shared state).
+// (the stats collectors are shared state the compute phase must not touch).
 func (n *Node) observeFlits(q Quantum, now uint64) {
-	if n.staged {
-		n.stagedObs = append(n.stagedObs, obsRec{q: q, a: now})
-		return
-	}
-	n.net.observeFlits(q, now)
+	n.stagedObs = append(n.stagedObs, obsRec{q: q, a: now})
 }
 
 // observePacket records a completed packet's latencies, deferring to the
-// cycle barrier under the parallel engine.
+// cycle barrier.
 func (n *Node) observePacket(q Quantum, injected, done uint64) {
-	if n.staged {
-		n.stagedObs = append(n.stagedObs, obsRec{q: q, a: injected, b: done, packet: true})
-		return
-	}
-	n.net.observePacket(q, injected, done)
+	n.stagedObs = append(n.stagedObs, obsRec{q: q, a: injected, b: done, packet: true})
 }
 
 // flushStaged replays this node's deferred shared-state effects — stats
 // observations, probe events, audit operations — at the cycle barrier.
-// Replaying nodes in id order reproduces the sequential kernel's exact call
-// sequence, which is what keeps parallel results byte-identical.
+// Replaying nodes in id order reproduces one fixed call sequence regardless
+// of worker count, which is what keeps parallel results byte-identical.
 //
 //loft:hotpath
+//loft:commitphase
 func (n *Node) flushStaged() {
 	for i := range n.stagedObs {
 		r := &n.stagedObs[i]

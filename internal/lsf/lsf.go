@@ -139,8 +139,10 @@ type Table struct {
 
 	// Probe context (nil when observability is disabled). Event timestamps
 	// are slot times scaled to cycles by slotCycles so LSF events align
-	// with the cycle-granular events of the surrounding network.
-	probe        *probe.Probe
+	// with the cycle-granular events of the surrounding network. The table
+	// holds a staging view because it ticks inside the compute phase: events
+	// buffer locally and the owning node replays them at the cycle barrier.
+	probe        *probe.Stage
 	pNode, pLink int32
 	slotCycles   uint64
 
@@ -175,10 +177,10 @@ func NewTable(name string, p Params) *Table {
 // Name returns the table's diagnostic name.
 func (t *Table) Name() string { return t.name }
 
-// SetProbe attaches an observability probe. node and link identify this
-// table in traces; cyclesPerSlot converts the table's slot times into cycles
-// for event timestamps. A nil probe keeps instrumentation disabled.
-func (t *Table) SetProbe(p *probe.Probe, node, link int32, cyclesPerSlot int) {
+// SetProbe attaches an observability staging view. node and link identify
+// this table in traces; cyclesPerSlot converts the table's slot times into
+// cycles for event timestamps. A nil stage keeps instrumentation disabled.
+func (t *Table) SetProbe(p *probe.Stage, node, link int32, cyclesPerSlot int) {
 	t.probe = p
 	t.pNode = node
 	t.pLink = link
@@ -274,7 +276,12 @@ func (t *Table) timeOf(p int) uint64 {
 // head frame move on with replenished reservations and the recycled frame's
 // skipped counter resets.
 //
+// Tick runs inside the parallel compute phase (each table belongs to one
+// node's shard), so everything it reaches must stage its shared-state
+// effects — the AuditSink taps route through the staged audit.Hook.
+//
 //loft:hotpath
+//loft:computephase
 func (t *Table) Tick() {
 	t.version++
 	old := t.cp
@@ -367,7 +374,11 @@ func (t *Table) conditionOne(self *flowState, f int) bool {
 // frame of the window are exhausted (or unusable), and the caller must
 // retry after the head frame advances.
 //
+// Like Tick, Request runs inside the parallel compute phase, called from
+// the owning node's look-ahead router during its shard's tick.
+//
 //loft:hotpath
+//loft:computephase
 func (t *Table) Request(f flit.FlowID, quantum uint64, minSlot uint64) (uint64, bool) {
 	st := t.flow(f)
 	if st == nil {

@@ -227,41 +227,66 @@ type Config struct {
 // Probe bundles a tracer and a metrics registry. A nil *Probe is the
 // disabled state: every method is nil-receiver safe and components keep
 // their *Probe unconditionally, so instrumentation points need no flags.
+//
+// A Probe is a serial-only sink: Emit, EmitSeq and MaybeSample mutate the
+// shared tracer and registry, so they may only run on the coordinator
+// (commit-phase) side of a cycle. Compute-phase code emits through a Stage
+// instead — the distinction is a separate type precisely so the stagepurity
+// analyzer can tell the two apart statically.
 type Probe struct {
 	tracer      *Tracer
 	reg         *Registry
 	sampleEvery uint64
+}
 
-	// parent is non-nil for staging probes (see NewStage): Emit appends to
-	// staged instead of the tracer, and FlushStage replays into the parent.
+// Stage is a per-node staging buffer over a parent probe. Events emitted
+// through the stage are buffered locally (no shared state is touched during
+// the compute phase) until FlushStage replays them into the parent tracer
+// at the cycle barrier, preserving emission order. A nil *Stage is the
+// disabled state, mirroring the nil-*Probe convention.
+type Stage struct {
 	parent *Probe
 	staged []Event
 }
 
-// NewStage returns a staging view of the probe for one parallel shard.
-// Events emitted through the stage are buffered locally (no shared state is
-// touched during the compute phase) until FlushStage replays them into the
-// parent tracer at the cycle barrier. The stage shares the parent's metrics
-// registry: gauges register closures that are only read by the serialized
-// sampler, which is safe. A nil probe returns a nil stage.
-func (p *Probe) NewStage() *Probe {
+// NewStage returns a staging view of the probe for one node. A nil probe
+// returns a nil stage.
+func (p *Probe) NewStage() *Stage {
 	if p == nil {
 		return nil
 	}
-	return &Probe{reg: p.reg, sampleEvery: p.sampleEvery, parent: p}
+	return &Stage{parent: p}
 }
 
-// FlushStage replays events buffered by a staging probe into the parent
-// tracer, in emission order, and empties the stage. No-op on nil or
-// non-staging probes.
-func (p *Probe) FlushStage() {
-	if p == nil || p.parent == nil {
+// Emit buffers one event in the stage (no-op when disabled).
+func (s *Stage) Emit(cycle uint64, k Kind, node, loc, flow int32, arg uint64) {
+	if s == nil {
 		return
 	}
-	for _, e := range p.staged {
-		p.parent.tracer.Emit(e)
+	s.staged = append(s.staged, Event{Cycle: cycle, Kind: k, Node: node, Loc: loc, Flow: flow, Arg: arg})
+}
+
+// EmitSeq buffers one event carrying a per-flow quantum sequence (no-op when
+// disabled).
+func (s *Stage) EmitSeq(cycle uint64, k Kind, node, loc, flow int32, seq, arg uint64) {
+	if s == nil {
+		return
 	}
-	p.staged = p.staged[:0]
+	s.staged = append(s.staged, Event{Cycle: cycle, Kind: k, Node: node, Loc: loc, Flow: flow, Seq: seq, Arg: arg})
+}
+
+// FlushStage replays the buffered events into the parent tracer, in emission
+// order, and empties the stage (the backing array is kept, so steady-state
+// cycles stop reallocating). Serial-only: networks call it from the commit
+// phase in node-id order. No-op on a nil stage.
+func (s *Stage) FlushStage() {
+	if s == nil {
+		return
+	}
+	for _, e := range s.staged {
+		s.parent.tracer.Emit(e)
+	}
+	s.staged = s.staged[:0]
 }
 
 // New returns an enabled probe.
@@ -279,32 +304,23 @@ func New(cfg Config) *Probe {
 // Enabled reports whether the probe is collecting.
 func (p *Probe) Enabled() bool { return p != nil }
 
-// Emit records one event (no-op when disabled).
+// Emit records one event (no-op when disabled). Serial-only: compute-phase
+// code goes through a Stage instead.
 func (p *Probe) Emit(cycle uint64, k Kind, node, loc, flow int32, arg uint64) {
 	if p == nil {
 		return
 	}
-	e := Event{Cycle: cycle, Kind: k, Node: node, Loc: loc, Flow: flow, Arg: arg}
-	if p.parent != nil {
-		p.staged = append(p.staged, e)
-		return
-	}
-	p.tracer.Emit(e)
+	p.tracer.Emit(Event{Cycle: cycle, Kind: k, Node: node, Loc: loc, Flow: flow, Arg: arg})
 }
 
 // EmitSeq records one event carrying a per-flow quantum sequence (no-op when
 // disabled). The data-path kinds use it so offline analysis can reassemble
-// exact per-quantum timelines.
+// exact per-quantum timelines. Serial-only, like Emit.
 func (p *Probe) EmitSeq(cycle uint64, k Kind, node, loc, flow int32, seq, arg uint64) {
 	if p == nil {
 		return
 	}
-	e := Event{Cycle: cycle, Kind: k, Node: node, Loc: loc, Flow: flow, Seq: seq, Arg: arg}
-	if p.parent != nil {
-		p.staged = append(p.staged, e)
-		return
-	}
-	p.tracer.Emit(e)
+	p.tracer.Emit(Event{Cycle: cycle, Kind: k, Node: node, Loc: loc, Flow: flow, Seq: seq, Arg: arg})
 }
 
 // Tracer returns the underlying tracer (nil when disabled).
