@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-sweep par-smoke vet fmt lint lint-test check audit-smoke trace-smoke perf-smoke bench bench-save bench-check bench-probe
+.PHONY: build test race race-sweep par-smoke vet fmt lint lint-test check audit-smoke trace-smoke perf-smoke chaos-smoke bench bench-save bench-check bench-probe
 
 build:
 	$(GO) build ./...
@@ -25,8 +25,11 @@ race-sweep:
 # detector: sharded node stepping must reproduce the sequential results,
 # probe event streams and audit snapshots exactly, for LOFT and GSF — and,
 # via TestPerfmonByteIdentity, identically with the self-profiler attached.
+# The chaos goldens extend the same contract to faulted runs: a five-kind
+# fault plan and lsf table corruptions must stay byte-identical across
+# worker counts while the auditor still catches the injected damage.
 par-smoke:
-	$(GO) test -race -run 'TestParallelDeterminism|TestParallelGSFDeterminism|TestPerfmonByteIdentity' -count=1 .
+	$(GO) test -race -run 'TestParallelDeterminism|TestParallelGSFDeterminism|TestPerfmonByteIdentity|TestChaosPlanParallelDeterminism|TestInjectFaultParallelDeterminism' -count=1 .
 
 vet:
 	$(GO) vet ./...
@@ -86,7 +89,29 @@ perf-smoke:
 	test -s "$$dir/run/perf.folded"; \
 	rm -rf "$$dir"
 
-check: build vet fmt lint test race-sweep par-smoke race audit-smoke trace-smoke perf-smoke
+# Graceful degradation under a full five-kind fault plan, audited, across
+# three seeds and under the race detector: victim flows must keep every
+# delay bound and the adversary must stay inside its quarantine cap, so the
+# command exits non-zero on any violation. Then the same chaotic run is
+# exported sequentially and with -jnode 4 and the probe event stream and
+# audit snapshot must be byte-identical — fault injection may not perturb
+# the parallel engine's determinism contract.
+chaos-smoke:
+	@set -e; plan='link-down node=7 dir=south from=700 to=900; flit-loss node=3 dir=east rate=0.3 from=600 to=1800; credit-stall node=15 dir=south from=1000 to=1060; router-stall node=9 from=1200 to=1210; adversary flow=1 factor=3 cap=0.6 from=800'; \
+	for seed in 1 2 3; do \
+		$(GO) run -race ./cmd/loftsim -pattern case1 -rate 0.6 \
+			-warmup 500 -cycles 2000 -seed $$seed -fault "$$plan" -audit; \
+	done; \
+	dir="$$(mktemp -d)"; \
+	$(GO) run ./cmd/loftsim -pattern case1 -rate 0.6 -warmup 500 \
+		-cycles 2000 -fault "$$plan" -audit -probe-out "$$dir/a/"; \
+	$(GO) run ./cmd/loftsim -pattern case1 -rate 0.6 -warmup 500 \
+		-cycles 2000 -jnode 4 -fault "$$plan" -audit -probe-out "$$dir/b/"; \
+	cmp "$$dir/a/events.jsonl" "$$dir/b/events.jsonl"; \
+	cmp "$$dir/a/audit.json" "$$dir/b/audit.json"; \
+	rm -rf "$$dir"
+
+check: build vet fmt lint test race-sweep par-smoke race audit-smoke trace-smoke perf-smoke chaos-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -96,14 +121,14 @@ bench-save:
 	scripts/bench.sh
 
 # Re-run the engineering benchmarks against the recorded baseline: the
-# probe-off, audit-off and perf-off paths and raw simulator speed must not
-# regress more than 2% (best of -count repetitions, so one descheduled run
-# cannot flake the gate).
+# probe-off, audit-off, perf-off and fault-off paths and raw simulator
+# speed must not regress more than 2% (best of -count repetitions, so one
+# descheduled run cannot flake the gate).
 BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 bench-check:
 	@test -n "$(BASELINE)" || { echo "no BENCH_*.json baseline recorded; run make bench-save"; exit 1; }
 	LOFT_BENCH_BASELINE=$(BASELINE) $(GO) test -run '^$$' \
-		-bench 'BenchmarkSimulatorSpeed|BenchmarkProbeOverhead|BenchmarkAuditOverhead|BenchmarkPerfmonOverhead|BenchmarkSteadyStateAllocs' -benchtime 10x -count 3 .
+		-bench 'BenchmarkSimulatorSpeed|BenchmarkProbeOverhead|BenchmarkAuditOverhead|BenchmarkPerfmonOverhead|BenchmarkFaultOverhead|BenchmarkSteadyStateAllocs' -benchtime 10x -count 3 .
 
 # Probe-layer overhead: "off" must stay within 2% of the pre-probe simulator.
 bench-probe:

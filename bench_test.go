@@ -16,6 +16,7 @@ import (
 	"loft/internal/config"
 	"loft/internal/core"
 	"loft/internal/exp"
+	"loft/internal/fault"
 	loftnet "loft/internal/loft"
 	"loft/internal/perfmon"
 	"loft/internal/probe"
@@ -473,6 +474,51 @@ func BenchmarkAuditOverhead(b *testing.B) {
 			b.ReportMetric(cps, "sim-cycles/sec")
 			if mode == "off" {
 				baselineGuard(b, "BenchmarkAuditOverhead/off", cps, 2)
+			}
+		})
+	}
+}
+
+// BenchmarkFaultOverhead measures the fault-injection layer's cost on the
+// same workload as BenchmarkProbeOverhead: "off" must stay within 2% of the
+// fault-free simulator (no plan armed leaves every node's fault pointer nil,
+// so the hot path pays only nil checks), "on" arms a five-kind chaos plan
+// and shows the full gating + retry cost.
+func BenchmarkFaultOverhead(b *testing.B) {
+	cfg := config.PaperLOFT()
+	p := trafficUniform(cfg, 0.2)
+	plan, err := fault.Parse(`
+		link-down    node=7  dir=south from=5000 to=7000
+		flit-loss    node=3  dir=east  rate=0.2 from=2000 to=15000
+		credit-stall node=15 dir=west  from=8000 to=8200
+		router-stall node=9  from=9000 to=9050
+		adversary    flow=1  factor=3 cap=1 from=4000`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			primeRun(b, cfg, p)
+			b.ResetTimer()
+			var faults uint64
+			for i := 0; i < b.N; i++ {
+				spec := core.RunSpec{Seed: 1, Warmup: 0, Measure: 20000}
+				if mode == "on" {
+					spec.Fault = plan
+				}
+				res, _, err := core.RunLOFT(cfg, p, spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				faults = res.FaultsInjected
+			}
+			if mode == "on" && faults == 0 {
+				b.Fatal("chaos plan armed but no faults fired")
+			}
+			cps := float64(20000*b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(cps, "sim-cycles/sec")
+			if mode == "off" {
+				baselineGuard(b, "BenchmarkFaultOverhead/off", cps, 2)
 			}
 		})
 	}

@@ -18,6 +18,7 @@ import (
 	"loft/internal/config"
 	"loft/internal/core"
 	"loft/internal/exp"
+	"loft/internal/fault"
 	"loft/internal/perfmon"
 	"loft/internal/probe"
 	"loft/internal/profiles"
@@ -31,6 +32,7 @@ func main() {
 		which       = flag.String("exp", "all", "experiment: fig6, fig10, fig11a, fig11b, fig12, fig13, table2, bounds, areapower, all")
 		quick       = flag.Bool("quick", false, "reduced cycle counts and sweep densities")
 		seed        = flag.Uint64("seed", 1, "deterministic traffic seed")
+		faultSpec   = flag.String("fault", "", "arm a deterministic fault-injection plan on every run: inline spec or a plan file (see DESIGN.md §16); GSF-including experiments accept adversary-only plans")
 		jsonPath    = flag.String("json", "", "also write all results as JSON to this file")
 		probeOn     = flag.Bool("probe", false, "attach the observability probe layer to every run")
 		probeOut    = flag.String("probe-out", "", "write probe data here: a directory (trailing /) gets all formats + manifest.json, else by extension (.jsonl events, .csv time series, otherwise Chrome trace JSON) with a sibling manifest; implies -probe")
@@ -46,6 +48,26 @@ func main() {
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	var plan *fault.Plan
+	if *faultSpec != "" {
+		p, err := fault.Load(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loftexp:", err)
+			os.Exit(2)
+		}
+		plan = p
+	}
+	jSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "j" {
+			jSet = true
+		}
+	})
+	observed := *probeOn || *probeOut != "" || *auditOn || *auditOut != "" || *httpAddr != "" || *perfOn
+	if err := validateExpFlags(*which, *workers, *nodeWorkers, jSet, observed, plan); err != nil {
+		fmt.Fprintln(os.Stderr, "loftexp:", err)
+		os.Exit(2)
+	}
 	stopProfiles, err := profiles.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -90,7 +112,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "interrupt: stopping at next chunk boundary, flushing snapshots (^C again to kill)")
 	}()
 
-	o := exp.Options{Seed: *seed, Quick: *quick, Workers: *workers, NodeWorkers: *nodeWorkers, Probe: pr, Audit: aud, Perf: mon, Stop: interrupted.Load}
+	o := exp.Options{Seed: *seed, Quick: *quick, Workers: *workers, NodeWorkers: *nodeWorkers, Probe: pr, Audit: aud, Perf: mon, Stop: interrupted.Load, Fault: plan}
 	if srv != nil {
 		o.Progress = srv.JobProgress
 	}
@@ -146,6 +168,7 @@ func main() {
 	}
 	if pr != nil || *auditOut != "" {
 		m := expManifest(*which, *seed, *nodeWorkers, runio.Metrics(nil, pr, aud, mon, uint64(config.PaperLOFT().QuantumFlits)))
+		m.FaultPlan = plan.String()
 		if pr != nil {
 			if err := writeRun(pr, aud, mon, *probeOut, m); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -179,6 +202,53 @@ func main() {
 	if auditFailed {
 		os.Exit(1)
 	}
+}
+
+// expNames lists the experiments -exp accepts, in run order.
+var expNames = []string{"fig6", "fig10", "fig11a", "fig11b", "fig12", "fig13", "table2", "bounds", "areapower"}
+
+// simExps marks experiments that run network simulations; a fault plan is
+// meaningless on the rest. gsfExps marks the subset that also simulates the
+// GSF baseline, which accepts adversary-only plans.
+var (
+	simExps = map[string]bool{"fig10": true, "fig11a": true, "fig11b": true, "fig12": true, "fig13": true, "bounds": true, "all": true}
+	gsfExps = map[string]bool{"fig11a": true, "fig11b": true, "fig12": true, "fig13": true, "bounds": true, "all": true}
+)
+
+// validateExpFlags rejects flag combinations up front that would otherwise
+// fail mid-sweep or be silently ignored: an unknown -exp used to surface only
+// after the introspection server was already listening, a link-level fault
+// plan would abort a GSF run halfway through an experiment, and an explicit
+// -j on an observed sweep was silently forced sequential. Callers report the
+// error and exit 2.
+func validateExpFlags(which string, workers, nodeWorkers int, jSet, observed bool, plan *fault.Plan) error {
+	known := which == "all"
+	for _, n := range expNames {
+		if which == n {
+			known = true
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown experiment %q (want all or one of %s)", which, strings.Join(expNames, ", "))
+	}
+	if workers < 0 {
+		return fmt.Errorf("-j %d is negative; use 0 for one worker per CPU", workers)
+	}
+	if nodeWorkers < 0 {
+		return fmt.Errorf("-jnode %d is negative; use 0 or 1 for the sequential engine", nodeWorkers)
+	}
+	if plan != nil {
+		if !simExps[which] {
+			return fmt.Errorf("-fault has no effect on %q: it runs no network simulation", which)
+		}
+		if gsfExps[which] && !plan.Adversarial() {
+			return fmt.Errorf("fault plan %q uses link-level faults, but %q also simulates the GSF baseline, which accepts adversary events only; use -exp fig10 or an adversary-only plan", plan, which)
+		}
+	}
+	if jSet && workers > 1 && observed {
+		return fmt.Errorf("-j %d conflicts with -probe/-audit/-perf: observed sweeps share one observer and run sequentially; drop -j or the observer flags", workers)
+	}
+	return nil
 }
 
 // expManifest assembles the manifest recorded with exported probe/audit

@@ -6,6 +6,7 @@
 //	loftsim -arch gsf  -pattern hotspot -rate 0.01
 //	loftsim -arch loft -pattern case1 -rate 0.6 -spec 8 -v
 //	loftsim -arch loft -pattern case1 -rate 0.6 -probe -probe-out trace.json
+//	loftsim -arch loft -pattern case1 -rate 0.6 -fault chaos.plan -audit
 //
 // With -probe the observability layer traces scheduler, switch and frame
 // events and samples link/buffer/table gauges every -probe-sample cycles.
@@ -20,6 +21,15 @@
 // which cmd/lofttrace decomposes and diffs offline. Single-file exports
 // gain a sibling <path>.manifest.json; -audit-out writes the audit
 // conformance snapshot the same way.
+//
+// With -fault the simulator arms a deterministic fault-injection plan —
+// timed link-down windows, flit loss, credit stalls, router stalls and
+// adversarial flows (inline spec or a plan file; syntax in internal/fault and
+// DESIGN.md §16). Degradation is graceful: denied quanta retry via the
+// overdue/emergent path and the run reports faults injected, flits lost and
+// retries. Combined with -audit, quarantined adversarial flows are checked
+// for throttling while victim flows keep their delay bounds. Faulted runs
+// are byte-reproducible for a given (plan, seed) under any -jnode.
 //
 // With -audit the runtime QoS auditor shadows the schedulers: it checks
 // flit/credit conservation and the admission inequality on every grant,
@@ -52,6 +62,7 @@ import (
 	"loft/internal/audit"
 	"loft/internal/config"
 	"loft/internal/core"
+	"loft/internal/fault"
 	"loft/internal/gsf"
 	"loft/internal/loft"
 	"loft/internal/perfmon"
@@ -78,6 +89,7 @@ func main() {
 		verbose     = flag.Bool("v", false, "print per-flow rates")
 		heatmap     = flag.Bool("heatmap", false, "print an ASCII link-utilization heatmap")
 		trace       = flag.String("trace", "", "replay a workload trace file instead of a synthetic pattern")
+		faultSpec   = flag.String("fault", "", "arm a deterministic fault-injection plan: inline spec or a plan file (see DESIGN.md §16); faulted runs stay byte-reproducible per (plan, seed)")
 		genTrace    = flag.Int("gentrace", 0, "emit a synthetic trace with this many packets to stdout and exit")
 		probeOn     = flag.Bool("probe", false, "enable the observability probe layer")
 		probeOut    = flag.String("probe-out", "", "write probe data here: a directory (trailing /) gets all formats + manifest.json, else by extension (.jsonl events, .csv time series, otherwise Chrome trace JSON) with a sibling manifest; implies -probe")
@@ -95,6 +107,31 @@ func main() {
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	var plan *fault.Plan
+	if *faultSpec != "" {
+		p, err := fault.Load(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loftsim:", err)
+			os.Exit(2)
+		}
+		plan = p
+	}
+	jSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "j" {
+			jSet = true
+		}
+	})
+	if err := validateFlags(cliFlags{
+		Arch: *arch, Pattern: *pattern, Trace: *trace, GenTrace: *genTrace,
+		Rate: *rate, Seeds: *seeds, Workers: *workers, JSet: jSet,
+		NodeWorkers: *nodeWorkers,
+		Observed:    *probeOn || *probeOut != "" || *auditOn || *auditOut != "" || *httpAddr != "" || *perfOn,
+		Plan:        plan,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "loftsim:", err)
+		os.Exit(2)
+	}
 	stopProfiles, err := profiles.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -146,6 +183,11 @@ func main() {
 		p = traffic.Transpose(mesh, *rate, lcfg.PacketFlits, lcfg.FrameFlits)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown pattern %q\n", *pattern)
+		os.Exit(2)
+	}
+
+	if err := plan.Validate(mesh.N(), len(p.Flows)); err != nil {
+		fmt.Fprintln(os.Stderr, "loftsim:", err)
 		os.Exit(2)
 	}
 
@@ -210,7 +252,7 @@ func main() {
 		}
 	}
 
-	run := core.RunSpec{Seed: *seed, Warmup: *warmup, Measure: *cycles, Probe: pr, Audit: aud, Workers: *nodeWorkers, Perf: mon, Stop: interrupted.Load}
+	run := core.RunSpec{Seed: *seed, Warmup: *warmup, Measure: *cycles, Probe: pr, Audit: aud, Workers: *nodeWorkers, Perf: mon, Stop: interrupted.Load, Fault: plan}
 	if *seeds > 1 {
 		if err := runSeeds(*arch, lcfg, p, run, *seeds, *workers, *rate, *probeOut, *auditOut, srv, stopCPU); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -251,6 +293,10 @@ func main() {
 			res.SpecForward, res.Resets, res.Drops)
 	} else {
 		fmt.Printf("  source-queue drops: %d\n", res.Drops)
+	}
+	if plan != nil {
+		fmt.Printf("  faults injected   : %d (%d flits lost, %d retried)\n",
+			res.FaultsInjected, res.FlitsLost, res.Retries)
 	}
 	if *heatmap {
 		fmt.Println("link utilization (digits = tenths; right = East link, below = South link):")
@@ -416,6 +462,7 @@ func newManifest(arch, pattern string, lcfg config.LOFT, run core.RunSpec, seeds
 		Seeds:           seeds,
 		WarmupCycles:    run.Warmup,
 		MeasureCycles:   run.Measure,
+		FaultPlan:       run.Fault.String(),
 		MeshK:           lcfg.MeshK,
 		Nodes:           lcfg.Mesh().N(),
 		Config:          &lcfg,

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"fmt"
+
+	"loft/internal/fault"
+)
+
+// knownPatterns lists the synthetic patterns -pattern accepts.
+var knownPatterns = map[string]bool{
+	"uniform":   true,
+	"hotspot":   true,
+	"case1":     true,
+	"case2":     true,
+	"neighbor":  true,
+	"transpose": true,
+}
+
+// cliFlags carries the parsed flag values validateFlags checks. A plain
+// struct (rather than the flag set itself) lets tests cover every conflict
+// without re-parsing argv.
+type cliFlags struct {
+	Arch        string
+	Pattern     string
+	Trace       string // -trace replay file, "" when synthetic
+	GenTrace    int
+	Rate        float64
+	Seeds       int
+	Workers     int  // -j as given
+	JSet        bool // -j appeared on the command line
+	NodeWorkers int
+	Observed    bool // -probe/-audit/-perf, or any flag implying one
+	Plan        *fault.Plan
+}
+
+// validateFlags rejects flag combinations up front that would otherwise fail
+// deep inside the run or be silently ignored: unknown arch/pattern used to
+// surface only after traffic construction, a -fault plan alongside -gentrace
+// was dropped without a word, and an explicit -j on an observed seed sweep
+// was silently forced to one worker. Callers report the error and exit 2.
+func validateFlags(f cliFlags) error {
+	if f.Arch != "loft" && f.Arch != "gsf" {
+		return fmt.Errorf("unknown architecture %q (want loft or gsf)", f.Arch)
+	}
+	if f.Trace == "" && f.GenTrace <= 0 && !knownPatterns[f.Pattern] {
+		return fmt.Errorf("unknown pattern %q (want uniform, hotspot, case1, case2, neighbor or transpose)", f.Pattern)
+	}
+	if f.Rate < 0 {
+		return fmt.Errorf("-rate %g is negative; offered load is in flits/cycle/node", f.Rate)
+	}
+	if f.GenTrace < 0 {
+		return fmt.Errorf("-gentrace %d is negative; give the number of packets to generate", f.GenTrace)
+	}
+	if f.Seeds < 1 {
+		return fmt.Errorf("-seeds %d must be at least 1", f.Seeds)
+	}
+	if f.Workers < 0 {
+		return fmt.Errorf("-j %d is negative; use 0 for one worker per CPU", f.Workers)
+	}
+	if f.NodeWorkers < 0 {
+		return fmt.Errorf("-jnode %d is negative; use 0 or 1 for the sequential engine", f.NodeWorkers)
+	}
+	if f.GenTrace > 0 && f.Trace != "" {
+		return fmt.Errorf("-gentrace and -trace conflict: one writes a trace, the other replays one")
+	}
+	if f.Plan != nil {
+		if f.GenTrace > 0 {
+			return fmt.Errorf("-fault has no effect with -gentrace: trace generation runs no simulation")
+		}
+		if f.Arch == "gsf" && !f.Plan.Adversarial() {
+			return fmt.Errorf("fault plan %q uses link-level faults; GSF supports adversary events only", f.Plan)
+		}
+		if f.Trace != "" && f.Plan.HasAdversary() {
+			return fmt.Errorf("adversary faults cannot rate-scale a -trace replay (injections are fixed by the trace); use a synthetic pattern")
+		}
+	}
+	if f.Seeds > 1 && f.JSet && f.Workers > 1 && f.Observed {
+		return fmt.Errorf("-j %d conflicts with -probe/-audit/-perf: observed seed sweeps share one observer and run sequentially; drop -j or the observer flags", f.Workers)
+	}
+	return nil
+}

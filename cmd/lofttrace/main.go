@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"loft/internal/det"
+	"loft/internal/fault"
 	"loft/internal/perfmon"
 	"loft/internal/probe"
 	"loft/internal/trace"
@@ -127,6 +128,7 @@ func cmdSummary(args []string, stdout io.Writer) (int, error) {
 			return 2, err
 		}
 		printEventSummary(stdout, ev, dropped)
+		printFaultTimeline(stdout, ev)
 	} else if !printedManifest {
 		return 2, fmt.Errorf("%s: no manifest and no events file found", target)
 	}
@@ -159,6 +161,9 @@ func printManifest(w io.Writer, m *trace.Manifest) {
 	if m.NodeWorkers > 1 {
 		fmt.Fprintf(w, "  node workers : %d (parallel cycle engine)\n", m.NodeWorkers)
 	}
+	if m.FaultPlan != "" {
+		fmt.Fprintf(w, "  fault plan   : %s\n", m.FaultPlan)
+	}
 	for _, a := range m.Artifacts {
 		fmt.Fprintf(w, "  artifact     : %-14s %8d bytes  sha256 %.12s…\n", a.Name, a.Bytes, a.SHA256)
 	}
@@ -185,6 +190,62 @@ func printEventSummary(w io.Writer, ev []probe.Event, dropped uint64) {
 	}
 	for _, k := range det.Keys(counts) {
 		fmt.Fprintf(w, "  %-16s %d\n", k, counts[k])
+	}
+}
+
+// printFaultTimeline renders the chaos record of a faulted run: every fault
+// window edge in stream order, then per-node denial/retry totals, so a chaos
+// run decomposes like a clean one. Clean runs print nothing.
+func printFaultTimeline(w io.Writer, ev []probe.Event) {
+	type nodeCounts struct{ denials, flits, retries uint64 }
+	var edges []probe.Event
+	counts := map[int32]*nodeCounts{}
+	at := func(node int32) *nodeCounts {
+		c := counts[node]
+		if c == nil {
+			c = &nodeCounts{}
+			counts[node] = c
+		}
+		return c
+	}
+	for _, e := range ev {
+		switch e.Kind {
+		case probe.KindFaultDown, probe.KindFaultUp:
+			edges = append(edges, e)
+		case probe.KindFaultLoss:
+			c := at(e.Node)
+			c.denials++
+			c.flits += e.Arg
+		case probe.KindFaultRetry:
+			at(e.Node).retries++
+		}
+	}
+	if len(edges) == 0 && len(counts) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "fault timeline: %d window edges\n", len(edges))
+	for _, e := range edges {
+		verb := "down"
+		if e.Kind == probe.KindFaultUp {
+			verb = "up"
+		}
+		target := fmt.Sprintf("node %d", e.Node)
+		if e.Flow >= 0 {
+			target = fmt.Sprintf("flow %d (node %d)", e.Flow, e.Node)
+		}
+		if e.Loc >= 0 {
+			target += " " + fault.DirName(int(e.Loc))
+		}
+		window := "open-ended"
+		if e.Arg > 0 {
+			window = fmt.Sprintf("until %d", e.Arg)
+		}
+		fmt.Fprintf(w, "  @%-8d %-4s %-12s %s (%s)\n", e.Cycle, verb, fault.Kind(e.Seq), target, window)
+	}
+	for _, node := range det.Keys(counts) {
+		c := counts[node]
+		fmt.Fprintf(w, "  node %3d: %d forwards denied (%d flits), %d retried\n",
+			node, c.denials, c.flits, c.retries)
 	}
 }
 

@@ -216,13 +216,15 @@ func (a *Auditor) OnCycle(now uint64) {
 	}
 }
 
-// FinishRun runs a final sweep and publish at the end of a run.
+// FinishRun runs a final sweep, the quarantine throttle checks and a
+// publish at the end of a run.
 func (a *Auditor) FinishRun(now uint64) {
 	if a == nil {
 		return
 	}
 	a.now = now
 	a.sweep()
+	a.checkQuarantines()
 	if a.publish != nil {
 		a.publish()
 	}

@@ -52,6 +52,11 @@ type flowConf struct {
 	hops     int
 	bound    uint64 // 0 = best-effort, no bound
 	hist     stats.Histogram
+	// quarantined marks a flow the fault plan drives adversarially: its
+	// delay-bound check is suspended (it misbehaves on purpose) and
+	// replaced by an end-of-run throttle check against rateCap.
+	quarantined bool
+	rateCap     float64 // flits/cycle the scheduler may grant it
 }
 
 // recorder is the flight-recorder state, reset per run.
@@ -59,6 +64,9 @@ type recorder struct {
 	flows   map[flit.FlowID]*flowConf
 	quanta  map[flit.QuantumID]*quantumRec
 	packets map[pktKey]*pktRec
+	// pktFlits is the architecture's packet size, for converting completed
+	// packet counts into accepted flit rates (quarantine throttle checks).
+	pktFlits int
 
 	bookedQuanta   uint64
 	injectedQuanta uint64
@@ -85,6 +93,7 @@ func (a *Auditor) BeginLOFT(cfg config.LOFT, m topo.Mesh, flows []flit.Flow) {
 		return
 	}
 	a.beginRun("loft")
+	a.rec.pktFlits = cfg.PacketFlits
 	for _, f := range flows {
 		h := analysis.FlowHops(m, f)
 		a.rec.flows[f.ID] = &flowConf{
@@ -102,6 +111,7 @@ func (a *Auditor) BeginGSF(cfg config.GSF, m topo.Mesh, flows []flit.Flow) {
 		return
 	}
 	a.beginRun("gsf")
+	a.rec.pktFlits = cfg.PacketFlits
 	bound := analysis.DelayBoundGSF(cfg)
 	if cfg.BestEffort {
 		bound = 0
@@ -254,6 +264,12 @@ func (a *Auditor) packetDone(flow flit.FlowID, pktSeq, injected, done uint64, p 
 	}
 	lat := done - injected
 	fc.hist.Observe(lat)
+	if fc.quarantined {
+		// An adversarial flow exceeds its reservation on purpose; its
+		// per-packet bound is meaningless. checkQuarantines verdicts its
+		// accepted rate at run end instead.
+		return
+	}
 	if fc.bound > 0 && lat > fc.bound {
 		v := Violation{Kind: "delay-bound-exceeded", Flow: int32(flow), Packet: pktSeq,
 			Latency: lat, Bound: fc.bound,
@@ -269,6 +285,46 @@ func (a *Auditor) packetDone(flow flit.FlowID, pktSeq, injected, done uint64, p 
 			}
 		}
 		a.violate(v)
+	}
+}
+
+// Quarantine marks a flow as deliberately adversarial (fault.Plan): its
+// per-packet delay-bound check is suspended and FinishRun instead asserts
+// the scheduler throttled it to at most maxRate flits/cycle — the QoS
+// isolation claim from the victim's side of the fence. Must be called
+// after Begin* (which resets the per-run flow table).
+func (a *Auditor) Quarantine(flow flit.FlowID, maxRate float64) {
+	if a == nil {
+		return
+	}
+	fc := a.rec.flows[flow]
+	if fc == nil {
+		a.violate(Violation{Kind: "unknown-flow", Flow: int32(flow),
+			Detail: fmt.Sprintf("quarantine for unregistered flow %d", flow)})
+		return
+	}
+	fc.quarantined = true
+	fc.rateCap = maxRate
+}
+
+// checkQuarantines verdicts every quarantined flow's accepted rate against
+// its cap at run end (called by FinishRun, when `now` spans the full run).
+func (a *Auditor) checkQuarantines() {
+	if a.now == 0 {
+		return
+	}
+	for _, id := range det.Keys(a.rec.flows) {
+		fc := a.rec.flows[id]
+		if !fc.quarantined {
+			continue
+		}
+		rate := float64(fc.hist.Count()) * float64(a.rec.pktFlits) / float64(a.now)
+		if rate > fc.rateCap {
+			a.violate(Violation{Kind: "quarantine-throttle-exceeded", Flow: int32(id),
+				Where: fmt.Sprintf("flow %d", id),
+				Detail: fmt.Sprintf("adversarial flow %d accepted %.4f flits/cycle, above its %.4f quarantine cap (%d packets over %d cycles)",
+					id, rate, fc.rateCap, fc.hist.Count(), a.now)})
+		}
 	}
 }
 
@@ -305,6 +361,11 @@ type FlowConformance struct {
 	Mean      float64 `json:"mean_cycles"`
 	MarginPct float64 `json:"worst_pct_of_bound"`
 	Histogram string  `json:"histogram"`
+	// Quarantined flows (adversarial under a fault plan) report their
+	// accepted rate against the throttle cap instead of a bound margin.
+	Quarantined  bool    `json:"quarantined,omitempty"`
+	RateCap      float64 `json:"rate_cap,omitempty"`
+	AcceptedRate float64 `json:"accepted_rate,omitempty"`
 }
 
 // Snapshot is the JSON conformance snapshot served at /audit.
@@ -359,7 +420,13 @@ func (a *Auditor) Snapshot() Snapshot {
 			Packets: fc.hist.Count(), Worst: fc.hist.Max(), Mean: fc.hist.Mean(),
 			Histogram: fc.hist.String(),
 		}
-		if fc.bound > 0 {
+		if fc.quarantined {
+			f.Quarantined = true
+			f.RateCap = fc.rateCap
+			if a.now > 0 {
+				f.AcceptedRate = float64(fc.hist.Count()) * float64(a.rec.pktFlits) / float64(a.now)
+			}
+		} else if fc.bound > 0 {
 			f.MarginPct = 100 * float64(fc.hist.Max()) / float64(fc.bound)
 			if f.MarginPct > s.WorstMarginPct {
 				s.WorstMarginPct = f.MarginPct

@@ -7,6 +7,7 @@ package core
 import (
 	"loft/internal/audit"
 	"loft/internal/config"
+	"loft/internal/fault"
 	"loft/internal/flit"
 	"loft/internal/gsf"
 	"loft/internal/loft"
@@ -55,6 +56,12 @@ type RunSpec struct {
 	// still finishes cleanly (audit FinishRun, stats close), so CLIs use it
 	// to flush final snapshots on SIGINT.
 	Stop func() bool
+	// Fault arms a deterministic fault-injection plan when non-nil: timed
+	// link/router faults and adversarial flows with graceful degradation.
+	// A faulted run is byte-reproducible for a given (plan, seed) under
+	// any worker count (see DESIGN.md §16). GSF accepts adversary-only
+	// plans.
+	Fault *fault.Plan
 }
 
 // Total returns warmup + measure cycles.
@@ -106,6 +113,11 @@ type Result struct {
 	SpecForward   uint64 // LOFT only
 	Resets        uint64 // LOFT only
 	Drops         uint64 // GSF only (source queue overflow)
+	// Fault-injection accounting (zero on clean runs; LOFT only — GSF
+	// plans are adversary-only and inject nothing at the link level).
+	FaultsInjected uint64 // discrete fault applications
+	FlitsLost      uint64 // flits in fault-denied forwards (all retried)
+	Retries        uint64 // fault-denied quanta that later crossed their link
 }
 
 func summarize(arch Arch, lat, latNet *stats.Latency, latFlow *stats.FlowLatency, thr *stats.Throughput, flows []flit.Flow, nodes int) Result {
@@ -136,7 +148,7 @@ func summarize(arch Arch, lat, latNet *stats.Latency, latFlow *stats.FlowLatency
 // RunLOFT builds a LOFT network for cfg and pattern, runs it, and returns
 // the result summary together with the network for further inspection.
 func RunLOFT(cfg config.LOFT, p *traffic.Pattern, spec RunSpec) (Result, *loft.Network, error) {
-	net, err := loft.New(cfg, p, loft.Options{Seed: spec.Seed, Warmup: spec.Warmup, Probe: spec.Probe, Audit: spec.Audit, Workers: spec.Workers, Perf: spec.Perf})
+	net, err := loft.New(cfg, p, loft.Options{Seed: spec.Seed, Warmup: spec.Warmup, Probe: spec.Probe, Audit: spec.Audit, Workers: spec.Workers, Perf: spec.Perf, Fault: spec.Fault})
 	if err != nil {
 		return Result{}, nil, err
 	}
@@ -153,6 +165,9 @@ func RunLOFT(cfg config.LOFT, p *traffic.Pattern, spec RunSpec) (Result, *loft.N
 	res.SpecForward = s.SpecForwards
 	res.Resets = net.ResetCount()
 	res.Drops = s.Drops
+	res.FaultsInjected = s.FaultsInjected
+	res.FlitsLost = s.FlitsLost
+	res.Retries = s.Retries
 	return res, net, nil
 }
 
@@ -160,7 +175,7 @@ func RunLOFT(cfg config.LOFT, p *traffic.Pattern, spec RunSpec) (Result, *loft.N
 // pattern's reservations (expressed against baseFrameFlits) are rescaled to
 // GSF's frame size.
 func RunGSF(cfg config.GSF, p *traffic.Pattern, baseFrameFlits int, spec RunSpec) (Result, *gsf.Network, error) {
-	net, err := gsf.New(cfg, p, gsf.Options{Seed: spec.Seed, Warmup: spec.Warmup, BaseFrameFlits: baseFrameFlits, Probe: spec.Probe, Audit: spec.Audit, Workers: spec.Workers, Perf: spec.Perf})
+	net, err := gsf.New(cfg, p, gsf.Options{Seed: spec.Seed, Warmup: spec.Warmup, BaseFrameFlits: baseFrameFlits, Probe: spec.Probe, Audit: spec.Audit, Workers: spec.Workers, Perf: spec.Perf, Fault: spec.Fault})
 	if err != nil {
 		return Result{}, nil, err
 	}

@@ -1,0 +1,78 @@
+package core
+
+import "testing"
+
+// chunkRecorder captures the chunk sizes runNetwork hands to the network.
+type chunkRecorder struct {
+	chunks []uint64
+	total  uint64
+}
+
+func (c *chunkRecorder) run(n uint64) {
+	c.chunks = append(c.chunks, n)
+	c.total += n
+}
+
+func TestRunNetworkNoStopRunsWholeSpan(t *testing.T) {
+	rec := &chunkRecorder{}
+	runNetwork(rec.run, RunSpec{Warmup: 700, Measure: 4321})
+	if rec.total != 5021 || len(rec.chunks) != 1 {
+		t.Fatalf("want one 5021-cycle call, got %v", rec.chunks)
+	}
+}
+
+func TestRunNetworkChunkAccountingExact(t *testing.T) {
+	// Total deliberately not a multiple of stopChunk: the tail chunk must
+	// carry exactly the remainder so warmup+measure accounting stays exact.
+	spec := RunSpec{Warmup: 100, Measure: 3000, Stop: func() bool { return false }}
+	rec := &chunkRecorder{}
+	runNetwork(rec.run, spec)
+	if rec.total != spec.Total() {
+		t.Fatalf("ran %d cycles, want %d", rec.total, spec.Total())
+	}
+	for i, c := range rec.chunks[:len(rec.chunks)-1] {
+		if c != stopChunk {
+			t.Fatalf("chunk %d = %d, want %d", i, c, stopChunk)
+		}
+	}
+	if tail := rec.chunks[len(rec.chunks)-1]; tail != spec.Total()%stopChunk {
+		t.Fatalf("tail chunk = %d, want %d", tail, spec.Total()%stopChunk)
+	}
+}
+
+func TestRunNetworkStopBeforeStart(t *testing.T) {
+	rec := &chunkRecorder{}
+	runNetwork(rec.run, RunSpec{Warmup: 10, Measure: 10, Stop: func() bool { return true }})
+	if rec.total != 0 {
+		t.Fatalf("stopped run still advanced %d cycles", rec.total)
+	}
+}
+
+func TestRunNetworkStopAtWarmupBoundaryChunk(t *testing.T) {
+	// Warmup 1500 straddles the second chunk: a Stop firing during that
+	// chunk must still let the chunk finish (cycle accounting stays on a
+	// chunk boundary) and then halt before any further measure chunks run.
+	polls := 0
+	spec := RunSpec{Warmup: 1500, Measure: 8192, Stop: func() bool {
+		polls++
+		return polls > 2 // fires after the chunk covering the boundary
+	}}
+	rec := &chunkRecorder{}
+	runNetwork(rec.run, spec)
+	if rec.total != 2*stopChunk {
+		t.Fatalf("ran %d cycles, want %d (two chunks then stop)", rec.total, 2*stopChunk)
+	}
+}
+
+func TestRunNetworkEarlyStopMidMeasure(t *testing.T) {
+	polls := 0
+	spec := RunSpec{Warmup: 0, Measure: 100 * stopChunk, Stop: func() bool {
+		polls++
+		return polls > 5
+	}}
+	rec := &chunkRecorder{}
+	runNetwork(rec.run, spec)
+	if rec.total != 5*stopChunk {
+		t.Fatalf("ran %d cycles, want %d", rec.total, 5*stopChunk)
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"loft/internal/traffic"
+)
+
+// probeNaN walks every float in a Result looking for NaN/Inf: any one of
+// them poisons encoding/json in the runio manifest export.
+func probeNaN(t *testing.T, res Result) {
+	t.Helper()
+	check := func(name string, v float64) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s = %v", name, v)
+		}
+	}
+	check("AvgLatency", res.AvgLatency)
+	check("P50Latency", res.P50Latency)
+	check("P99Latency", res.P99Latency)
+	check("AvgNetLatency", res.AvgNetLatency)
+	check("TotalRate", res.TotalRate)
+	for id, v := range res.FlowLatency {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("FlowLatency[%d] = %v", id, v)
+		}
+	}
+	for id, v := range res.FlowRate {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("FlowRate[%d] = %v", id, v)
+		}
+	}
+	if _, err := json.Marshal(res); err != nil {
+		t.Errorf("json.Marshal(Result): %v", err)
+	}
+}
+
+func TestZeroMeasureRunHasNoNaN(t *testing.T) {
+	cfg := smallLOFT()
+	p := traffic.SingleFlow(cfg.Mesh(), 0, 15, 0.1, cfg.PacketFlits, cfg.FrameFlits)
+	res, _, err := RunLOFT(cfg, p, RunSpec{Seed: 1, Warmup: 0, Measure: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets != 0 {
+		t.Fatalf("zero-cycle run measured %d packets", res.Packets)
+	}
+	probeNaN(t, res)
+}
+
+func TestWarmupOnlyRunHasNoNaN(t *testing.T) {
+	cfg := smallLOFT()
+	p := traffic.SingleFlow(cfg.Mesh(), 0, 15, 0.1, cfg.PacketFlits, cfg.FrameFlits)
+	res, _, err := RunLOFT(cfg, p, RunSpec{Seed: 1, Warmup: 2000, Measure: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets != 0 {
+		t.Fatalf("warmup-only run measured %d packets", res.Packets)
+	}
+	probeNaN(t, res)
+}

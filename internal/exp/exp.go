@@ -10,6 +10,7 @@ import (
 	"loft/internal/audit"
 	"loft/internal/config"
 	"loft/internal/core"
+	"loft/internal/fault"
 	"loft/internal/perfmon"
 	"loft/internal/probe"
 	"loft/internal/sweep"
@@ -51,6 +52,11 @@ type Options struct {
 	// returns true the current run ends early at a chunk boundary (the
 	// cmd-level SIGINT handler lands here).
 	Stop func() bool
+	// Fault arms the same deterministic fault-injection plan on every
+	// simulation the experiment runs (the cmd-level -fault flag lands
+	// here). GSF runs accept adversary-only plans; experiments that mix
+	// architectures must restrict their plans accordingly.
+	Fault *fault.Plan
 	// Progress, when non-nil, is called after every finished simulation
 	// with (done, total) for that experiment's sweep. It must be safe for
 	// concurrent use (parallel sweeps call it from worker goroutines).
@@ -78,9 +84,9 @@ func (o Options) sweepOpts() []sweep.Option {
 // runSpec returns the RunSpec for the chosen fidelity.
 func (o Options) runSpec() core.RunSpec {
 	if o.Quick {
-		return core.RunSpec{Seed: o.Seed, Warmup: 2000, Measure: 6000, Probe: o.Probe, Audit: o.Audit, Workers: o.NodeWorkers, Perf: o.Perf, Stop: o.Stop}
+		return core.RunSpec{Seed: o.Seed, Warmup: 2000, Measure: 6000, Probe: o.Probe, Audit: o.Audit, Workers: o.NodeWorkers, Perf: o.Perf, Stop: o.Stop, Fault: o.Fault}
 	}
-	return core.RunSpec{Seed: o.Seed, Warmup: 5000, Measure: 20000, Probe: o.Probe, Audit: o.Audit, Workers: o.NodeWorkers, Perf: o.Perf, Stop: o.Stop}
+	return core.RunSpec{Seed: o.Seed, Warmup: 5000, Measure: 20000, Probe: o.Probe, Audit: o.Audit, Workers: o.NodeWorkers, Perf: o.Perf, Stop: o.Stop, Fault: o.Fault}
 }
 
 // loftCfg returns the paper LOFT configuration with the given speculative

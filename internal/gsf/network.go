@@ -6,6 +6,8 @@ import (
 	"loft/internal/audit"
 	"loft/internal/config"
 	"loft/internal/det"
+	"loft/internal/fault"
+	"loft/internal/flit"
 	"loft/internal/perfmon"
 	"loft/internal/probe"
 	"loft/internal/sim"
@@ -29,6 +31,8 @@ type Network struct {
 	// network-owned stage timer for the frame census and serial commit.
 	perf  *perfmon.Monitor
 	perfT *perfmon.Timer
+	// fault is the armed (adversary-only) fault plan, nil on clean runs.
+	fault *fault.Plan
 
 	injectors []*traffic.Injector
 
@@ -76,6 +80,10 @@ type Options struct {
 	// engine telemetry, occupancy gauges). Profiling never changes
 	// simulation results; see DESIGN.md §14.
 	Perf *perfmon.Monitor
+	// Fault arms a fault-injection plan when non-nil. GSF models no
+	// link-level fault surfaces, so only adversary events are accepted —
+	// New rejects plans with any other kind; see DESIGN.md §16.
+	Fault *fault.Plan
 }
 
 // New builds a GSF network for the given pattern.
@@ -119,6 +127,24 @@ func New(cfg config.GSF, pattern *traffic.Pattern, opts Options) (*Network, erro
 	for i := 0; i < mesh.N(); i++ {
 		net.nodes = append(net.nodes, newNode(topo.NodeID(i), cfg, net))
 		net.injectors = append(net.injectors, traffic.NewInjector(pattern, topo.NodeID(i), opts.Seed))
+	}
+	if opts.Fault != nil {
+		if !opts.Fault.Adversarial() {
+			return nil, fmt.Errorf("gsf: fault plan %q uses link-level faults; GSF supports adversary events only", opts.Fault)
+		}
+		if err := opts.Fault.Validate(mesh.N(), len(pattern.Flows)); err != nil {
+			return nil, err
+		}
+		net.fault = opts.Fault
+		if opts.Fault.HasAdversary() {
+			plan := opts.Fault
+			scale := func(id flit.FlowID, now uint64) float64 {
+				return plan.RateScale(int(id), now)
+			}
+			for _, in := range net.injectors {
+				in.SetRateScale(scale)
+			}
+		}
 	}
 	// Install per-flow injection budgets at the sources, rescaled from the
 	// pattern's base frame to GSF's frame size. Best-effort mode carries no
@@ -165,6 +191,11 @@ func (net *Network) bindAudit() {
 		return
 	}
 	aud.BeginGSF(net.cfg, net.mesh, net.pattern.Flows)
+	// Adversarial flows trade their delay-bound check for a throttle
+	// check, exactly as under LOFT (see loft.Network.bindAudit).
+	for _, q := range net.fault.Quarantines() {
+		aud.Quarantine(flit.FlowID(q.Flow), q.Cap)
+	}
 	aud.SetHeatmap(net.Heatmap)
 	aud.RegisterCheck("gsf.frame-count", func() error {
 		for _, frame := range det.Keys(net.frameCount) {

@@ -78,6 +78,20 @@ func (n *node) commit(now uint64) {
 	n.probe.Emit(now, probe.KindReserveGrant, 0, 0, 0, 0)
 }
 
+// faultGate is the fault-layer shape done wrong: probe events emitted on the
+// shared (serial-only) probe instead of the per-node stage, and a global
+// fault tally mutated during compute.
+type faultGate struct {
+	probe *probe.Probe
+	net   *fabric
+}
+
+//loft:computephase
+func (g *faultGate) Tick(now uint64) {
+	g.probe.EmitSeq(now, probe.KindReserveGrant, 0, 0, 0, 0, 0) // want `serial-only sink probe\.Probe\.EmitSeq called in the parallel compute phase \(reachable from compute-phase entry Tick\)`
+	g.net.head++                                                // want `write to //loft:commitonly field head in the parallel compute phase`
+}
+
 // comp is seeded without any annotation: wire registers it on the parallel
 // kernel, so both its Tick and its Update run in the compute phase.
 type comp struct {

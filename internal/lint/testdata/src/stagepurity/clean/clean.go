@@ -65,6 +65,32 @@ func (n *node) commit(now uint64) {
 	n.net.head = int(now)
 }
 
+// faultGate mirrors the fault-injection layer: a per-node seeded RNG, a
+// pre-compiled event timeline walked by a forward-only cursor, and a
+// deferred-credit queue that recycles its backing array. All of it is
+// node-local, so none of it may be flagged in the compute phase.
+type faultGate struct {
+	rng      *sim.RNG
+	next     int
+	edges    []uint64
+	deferred []uint64
+	stage    *probe.Stage
+}
+
+//loft:computephase
+func (g *faultGate) Tick(now uint64) {
+	for g.next < len(g.edges) && g.edges[g.next] <= now {
+		g.stage.EmitSeq(now, probe.KindReserveGrant, 0, 0, 0, 0, g.edges[g.next])
+		g.next++
+	}
+	if g.rng.Bernoulli(0.5) { // per-node stream: draws stay in node order
+		g.deferred = append(g.deferred, now)
+	}
+	if now%64 == 0 {
+		g.deferred = g.deferred[:0] // recycling node-local state is fine
+	}
+}
+
 // comp is auto-seeded via AddTicker but only touches staged surfaces.
 type comp struct {
 	stage *probe.Stage

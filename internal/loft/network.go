@@ -6,6 +6,7 @@ import (
 	"loft/internal/audit"
 	"loft/internal/config"
 	"loft/internal/det"
+	"loft/internal/fault"
 	"loft/internal/flit"
 	"loft/internal/lsf"
 	"loft/internal/perfmon"
@@ -33,6 +34,8 @@ type Network struct {
 	// network-owned stage timer for serial-commit work.
 	perf  *perfmon.Monitor
 	perfT *perfmon.Timer
+	// fault is the armed fault plan (nil = clean run).
+	fault *fault.Plan
 
 	lat     *stats.Latency // total latency (generation → delivery)
 	latNet  *stats.Latency // network latency (injection → delivery)
@@ -64,6 +67,11 @@ type Options struct {
 	// kernel, and occupancy gauges. Profiling never changes simulation
 	// results; see DESIGN.md §14.
 	Perf *perfmon.Monitor
+	// Fault arms a deterministic fault-injection plan when non-nil: timed
+	// link-down windows, flit loss, credit stalls, router stalls and
+	// adversarial flows. Faulted runs stay byte-reproducible for a given
+	// (plan, seed) under any worker count; see DESIGN.md §16.
+	Fault *fault.Plan
 }
 
 // New builds a LOFT network for the given configuration and traffic
@@ -113,6 +121,9 @@ func New(cfg config.LOFT, pattern *traffic.Pattern, opts Options) (*Network, err
 	for i, n := range net.nodes {
 		n.ni.setInjector(traffic.NewInjector(pattern, topo.NodeID(i), opts.Seed))
 	}
+	if err := net.armFault(opts.Fault, opts.Seed); err != nil {
+		return nil, err
+	}
 	net.registerGauges()
 	net.registerPerfGauges()
 	net.bindAudit()
@@ -138,6 +149,36 @@ func New(cfg config.LOFT, pattern *traffic.Pattern, opts Options) (*Network, err
 // stays usable: a later Run restarts the pool transparently.
 func (net *Network) Close() { net.engine.Close() }
 
+// armFault validates and compiles the fault plan: each node gets its own
+// runtime (nil when untargeted, preserving the clean fast path), adversary
+// events hook every injector's rate scale, and quarantines bind later in
+// bindAudit. No-op when no plan is given.
+func (net *Network) armFault(plan *fault.Plan, seed uint64) error {
+	if plan == nil {
+		return nil
+	}
+	if err := plan.Validate(net.mesh.N(), len(net.pattern.Flows)); err != nil {
+		return err
+	}
+	net.fault = plan
+	srcFlows := make([][]int, net.mesh.N())
+	for _, f := range net.pattern.Flows {
+		srcFlows[f.Src] = append(srcFlows[f.Src], int(f.ID))
+	}
+	for i, n := range net.nodes {
+		n.fault = plan.Node(i, srcFlows[i], seed)
+	}
+	if plan.HasAdversary() {
+		scale := func(id flit.FlowID, now uint64) float64 {
+			return plan.RateScale(int(id), now)
+		}
+		for _, n := range net.nodes {
+			n.ni.injector.SetRateScale(scale)
+		}
+	}
+	return nil
+}
+
 // bindAudit arms the runtime QoS auditor for this run: per-flow delay
 // bounds from the pattern, invariant taps on every reservation table
 // (injection, mesh output and ejection links), the cross-layer quantum
@@ -149,6 +190,13 @@ func (net *Network) bindAudit() {
 		return
 	}
 	aud.BeginLOFT(net.cfg, net.mesh, net.pattern.Flows)
+	// Quarantine the plan's adversarial flows: their delay-bound check is
+	// meaningless (they exceed their reservation on purpose), so the
+	// auditor instead asserts they are throttled to their cap — and every
+	// victim flow keeps its full per-packet bound conformance.
+	for _, q := range net.fault.Quarantines() {
+		aud.Quarantine(flit.FlowID(q.Flow), q.Cap)
+	}
 	for _, n := range net.nodes {
 		// Watch through the node's hook so tap violations stage with the
 		// rest of the node's audit traffic under the parallel engine.
@@ -245,6 +293,11 @@ func (net *Network) registerPerfGauges() {
 		}
 		return float64(total)
 	})
+	if net.fault != nil {
+		net.perf.Gauge("loft.fault.active", func() float64 {
+			return float64(net.fault.ActiveAt(net.engine.Now()))
+		})
+	}
 	net.perf.Gauge("loft.table.occupancy", func() float64 {
 		var sum float64
 		var k int
@@ -454,6 +507,9 @@ func (net *Network) TotalStats() NodeStats {
 		total.EmergentDenied += s.EmergentDenied
 		total.SpecForwards += s.SpecForwards
 		total.SchedForwards += s.SchedForwards
+		total.FaultsInjected += s.FaultsInjected
+		total.FlitsLost += s.FlitsLost
+		total.Retries += s.Retries
 	}
 	return total
 }

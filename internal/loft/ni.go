@@ -1,6 +1,7 @@
 package loft
 
 import (
+	"loft/internal/fault"
 	"loft/internal/flit"
 	"loft/internal/probe"
 	"loft/internal/topo"
@@ -14,6 +15,9 @@ type pendQuantum struct {
 	q          Quantum
 	booked     bool
 	departSlot uint64
+	// faultDenied marks a quantum whose injection-link forward was denied
+	// by an active fault; its eventual crossing counts as a retry.
+	faultDenied bool
 }
 
 // flowQ is the per-flow source queue. LOFT needs no large source buffers
@@ -217,6 +221,18 @@ func (ni *netIface) forward(slot, now uint64) {
 		}
 		return
 	}
+	if n.fault != nil && n.fault.DenyForward(fault.DirInject, now) {
+		// The injection link eats the transmission before any state
+		// changed: the booking stays live, the quantum stays queued, and
+		// once its slot passes the emergent path retries it.
+		best.faultDenied = true
+		n.stats.FaultsInjected++
+		n.stats.FlitsLost += uint64(best.q.Flits)
+		if n.probe != nil {
+			n.probe.EmitSeq(now, probe.KindFaultLoss, int32(n.id), int32(topo.NumDirs), int32(best.q.ID.Flow), best.q.ID.Seq, uint64(best.q.Flits))
+		}
+		return
+	}
 	if best.departSlot >= n.injTable.NowSlot() {
 		if owner, busy := n.injTable.BusyAt(best.departSlot); busy && owner.Flow == best.q.ID.Flow && owner.Quantum == best.q.ID.Seq {
 			n.injTable.ClearBusy(best.departSlot)
@@ -226,6 +242,13 @@ func (ni *netIface) forward(slot, now uint64) {
 		n.niCredSpec.Consume()
 	} else {
 		n.niCredNonSpec.Consume()
+	}
+	if best.faultDenied {
+		best.faultDenied = false
+		n.stats.Retries++
+		if n.probe != nil {
+			n.probe.EmitSeq(now, probe.KindFaultRetry, int32(n.id), int32(topo.NumDirs), int32(best.q.ID.Flow), best.q.ID.Seq, best.departSlot*uint64(n.cfg.QuantumFlits))
+		}
 	}
 	// Pop by copying down instead of re-slicing off the front: the queue
 	// keeps its backing array, so steady-state generate/forward cycles stop
@@ -259,8 +282,16 @@ type pktProgress struct {
 }
 
 // applyReturns flushes deferred ejection-table credit returns whose tags
-// now fall inside the live slot window.
-func (s *sinkState) applyReturns() {
+// now fall inside the live slot window. An active eject credit-stall
+// window withholds the whole queue; the existing deferral mechanism then
+// replays it exactly once the window passes.
+func (s *sinkState) applyReturns(now uint64) {
+	if f := s.n.fault; f != nil && f.StallCredits(fault.DirEject, now) {
+		if len(s.pendVcred) > 0 {
+			s.n.stats.FaultsInjected++
+		}
+		return
+	}
 	t := s.n.outTables[topo.Local]
 	limit := t.NowSlot() + uint64(t.WindowSlots())
 	kept := s.pendVcred[:0]
@@ -309,7 +340,7 @@ func (s *sinkState) receive(q Quantum, spec bool, slot, departSlot, now uint64) 
 	// slot; the return is then deferred — applying a future-tagged return
 	// later is exact because increments address absolute slots.
 	s.pendVcred = append(s.pendVcred, departSlot+1)
-	s.applyReturns()
+	s.applyReturns(now)
 	if n.net != nil {
 		n.observeFlits(q, now)
 	}

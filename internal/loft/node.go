@@ -7,6 +7,7 @@ import (
 	"loft/internal/audit"
 	"loft/internal/buffers"
 	"loft/internal/config"
+	"loft/internal/fault"
 	"loft/internal/flit"
 	"loft/internal/lsf"
 	"loft/internal/perfmon"
@@ -31,6 +32,9 @@ type inEntry struct {
 	departSlot uint64
 	arrived    bool
 	inSpec     bool // resides in this node's speculative buffer
+	// faultDenied marks a quantum whose forward was denied by an active
+	// fault; its eventual successful forward counts as a retry.
+	faultDenied bool
 }
 
 // inputPort is one data-network input port: the input reservation table plus
@@ -157,6 +161,15 @@ type NodeStats struct {
 	EmergentDenied uint64
 	SpecForwards   uint64 // quanta forwarded ahead of schedule
 	SchedForwards  uint64 // quanta forwarded at their booked slot
+	// FaultsInjected counts discrete fault applications on this node:
+	// forward denials, withheld credit batches and stalled router slots.
+	FaultsInjected uint64
+	// FlitsLost counts flits in fault-denied forwards. Denied quanta are
+	// never silently dropped — they retry — so this measures lost link
+	// transmissions, not lost payload.
+	FlitsLost uint64
+	// Retries counts fault-denied quanta that later crossed their link.
+	Retries uint64
 }
 
 // Node is one LOFT mesh node: data router, look-ahead router, network
@@ -230,6 +243,12 @@ type Node struct {
 	// perf is this node's stage timer (nil when profiling is off). It is
 	// owner-local state, so it stays shard-local under the parallel engine.
 	perf *perfmon.Timer
+
+	// fault is this node's compiled fault-injection runtime (nil when no
+	// plan is armed or the plan does not target this node). All its state
+	// is node-local, so fault decisions are compute-phase pure and
+	// worker-count independent.
+	fault *fault.Node
 
 	stats NodeStats
 }
@@ -320,6 +339,9 @@ func (n *Node) Tick(now uint64) {
 	if n.perf != nil {
 		n.perf.Begin(now)
 	}
+	if n.fault != nil {
+		n.faultTick(now)
+	}
 	n.drain(now)
 	if n.perf != nil {
 		n.perf.Lap(perfmon.StageDrain)
@@ -330,8 +352,15 @@ func (n *Node) Tick(now uint64) {
 			n.perf.Lap(perfmon.StageFrame)
 		}
 		slot := n.slotOf(now)
-		n.forwardData(slot, now)
-		n.ni.forward(slot, now)
+		if n.fault != nil && n.fault.RouterStalled(now) {
+			// The switch pass freezes for this slot; bookings and
+			// look-ahead routing continue, so frozen quanta go overdue
+			// and forward as emergent once the stall lifts.
+			n.stats.FaultsInjected++
+		} else {
+			n.forwardData(slot, now)
+			n.ni.forward(slot, now)
+		}
 		if n.perf != nil {
 			n.perf.Lap(perfmon.StageSwitch)
 		}
@@ -351,6 +380,32 @@ func (n *Node) Tick(now uint64) {
 	}
 }
 
+// faultTick replays the armed plan's window boundaries crossing this cycle
+// as probe timeline events, so a chaos run's trace shows exactly when each
+// fault armed and lifted. The edge cursor must advance every cycle even
+// with probing off, hence the single guarded emission inside the loop.
+//
+//loft:hotpath
+func (n *Node) faultTick(now uint64) {
+	for _, e := range n.fault.Edges(now) {
+		if n.probe == nil {
+			continue
+		}
+		kind := probe.KindFaultDown
+		if e.Up {
+			kind = probe.KindFaultUp
+		}
+		dir, flow := int32(-1), int32(-1)
+		if e.Ev.Kind != fault.RouterStall && e.Ev.Kind != fault.Adversary {
+			dir = int32(e.Ev.Dir)
+		}
+		if e.Ev.Kind == fault.Adversary {
+			flow = int32(e.Ev.Flow)
+		}
+		n.probe.EmitSeq(now, kind, int32(n.id), dir, flow, uint64(e.Ev.Kind), e.Ev.To)
+	}
+}
+
 // frameTick is the per-slot reservation-table maintenance that precedes the
 // slot's switch pass: table ticks, deferred ejection credit returns, local
 // status resets and (in debug runs) ledger verification.
@@ -364,7 +419,7 @@ func (n *Node) frameTick(now uint64) {
 				n.outTables[d].Tick()
 			}
 		}
-		n.sink.applyReturns()
+		n.sink.applyReturns(now)
 	}
 	if n.cfg.LocalStatusReset {
 		n.maybeReset()
@@ -417,9 +472,22 @@ func (n *Node) drain(now uint64) {
 			}
 		}
 		if n.vcredIn[d] != nil {
-			if msg, ok := n.vcredIn[d].Take(); ok {
-				for _, tag := range msg.Tags {
+			if n.fault != nil {
+				// Credits withheld by a passed stall window replay first:
+				// they are older than anything arriving this cycle, and a
+				// stale tag applies exactly (whole-window increment).
+				for _, tag := range n.fault.ReleaseCredits(d, now) {
 					n.outTables[d].ReturnCredit(tag)
+				}
+			}
+			if msg, ok := n.vcredIn[d].Take(); ok {
+				if n.fault != nil && n.fault.StallCredits(d, now) {
+					n.fault.DeferCredits(d, msg.Tags)
+					n.stats.FaultsInjected++
+				} else {
+					for _, tag := range msg.Tags {
+						n.outTables[d].ReturnCredit(tag)
+					}
 				}
 			}
 		}
@@ -581,6 +649,16 @@ func (n *Node) forwardData(slot, now uint64) {
 			n.stats.EmergentDenied++
 			continue
 		}
+		if n.fault != nil && n.fault.DenyForward(int(o), now) {
+			// The link eats the transmission. Nothing was mutated yet:
+			// the entry stays live (booked, arrived, in avail), so once
+			// its departure slot passes it is overdue and the emergent
+			// pass retries it — the same path a full downstream buffer
+			// exercises.
+			n.faultDeny(winner, o, now)
+			cands[winnerIn] = nil
+			continue
+		}
 		n.forward(o, winnerIn, winner, slot, now)
 		cands[winnerIn] = nil // one forward per input per slot
 	}
@@ -610,6 +688,14 @@ func (n *Node) canForward(o topo.Dir, e *inEntry) bool {
 // credit for the buffer it vacated, and either deliver to the sink (Local)
 // or put it on the link.
 func (n *Node) forward(o, in topo.Dir, e *inEntry, slot, now uint64) {
+	if e.faultDenied {
+		// A fault denied this quantum earlier; this crossing is its retry.
+		e.faultDenied = false
+		n.stats.Retries++
+		if n.probe != nil {
+			n.probe.EmitSeq(now, probe.KindFaultRetry, int32(n.id), int32(o), int32(e.q.ID.Flow), e.q.ID.Seq, e.departSlot*uint64(n.cfg.QuantumFlits))
+		}
+	}
 	spec := n.classify(o, e, slot)
 	t := n.outTables[o]
 	// Clear the booked slot unless it already expired (overdue case).
@@ -695,6 +781,20 @@ func (n *Node) flush(uint64) {
 	}
 }
 
+// faultDeny records a fault-denied forward through output o: the quantum
+// keeps its buffer slot and reservation entry, so the overdue/emergent path
+// retries it on a later slot; the lost transmission is accounted.
+//
+//loft:hotpath
+func (n *Node) faultDeny(e *inEntry, o topo.Dir, now uint64) {
+	e.faultDenied = true
+	n.stats.FaultsInjected++
+	n.stats.FlitsLost += uint64(e.q.Flits)
+	if n.probe != nil {
+		n.probe.EmitSeq(now, probe.KindFaultLoss, int32(n.id), int32(o), int32(e.q.ID.Flow), e.q.ID.Seq, uint64(e.q.Flits))
+	}
+}
+
 // observeFlits records ejection throughput, deferring to the cycle barrier
 // (the stats collectors are shared state the compute phase must not touch).
 func (n *Node) observeFlits(q Quantum, now uint64) {
@@ -734,6 +834,20 @@ func (n *Node) flushStaged() {
 
 // Stats returns the node's counters.
 func (n *Node) Stats() NodeStats { return n.stats }
+
+// InjectTableFault corrupts one of the node's reservation tables (test
+// hook; see lsf.Fault). d selects a mesh output or the ejection link;
+// d == topo.NumDirs targets the injection table. No-op on a missing table
+// (mesh edge).
+func (n *Node) InjectTableFault(d topo.Dir, f lsf.Fault) {
+	if d == topo.NumDirs {
+		n.injTable.InjectFault(f)
+		return
+	}
+	if n.outTables[d] != nil {
+		n.outTables[d].InjectFault(f)
+	}
+}
 
 // ID returns the node id.
 func (n *Node) ID() topo.NodeID { return n.id }

@@ -76,6 +76,21 @@ const (
 	// quantum sequence, Arg = booked departure cycle on that link — a
 	// forward with Cycle < Arg was speculative (ahead of schedule).
 	KindDataForward
+	// KindFaultDown: a fault.Plan window armed on this node. Loc = target
+	// direction (-1 for router stalls and adversary flows), Flow = target
+	// flow (-1 unless adversary), Seq = fault.Kind, Arg = the cycle the
+	// window lifts (0 = open-ended).
+	KindFaultDown
+	// KindFaultUp: a fault window lifted. Encoded like KindFaultDown.
+	KindFaultUp
+	// KindFaultLoss: a forward was denied by an active fault (link-down or
+	// flit-loss). Loc = output direction (topo.NumDirs = injection link),
+	// Arg = flits in the denied quantum. The quantum retries via the
+	// overdue/emergent path.
+	KindFaultLoss
+	// KindFaultRetry: a previously fault-denied quantum finally crossed
+	// its link. Loc = output direction, Arg = booked departure cycle.
+	KindFaultRetry
 
 	numKinds
 )
@@ -96,6 +111,10 @@ var kindNames = [numKinds]string{
 	KindGSFThrottle:  "gsf-throttle",
 	KindDataInject:   "data-inject",
 	KindDataForward:  "data-forward",
+	KindFaultDown:    "fault-down",
+	KindFaultUp:      "fault-up",
+	KindFaultLoss:    "fault-loss",
+	KindFaultRetry:   "fault-retry",
 }
 
 // kindByName inverts kindNames for the decoders (internal/trace): the wire

@@ -192,6 +192,11 @@ func Metrics(res *core.Result, pr *probe.Probe, aud *audit.Auditor, mon *perfmon
 		m["spec_forwards"] = float64(res.SpecForward)
 		m["drops"] = float64(res.Drops)
 		m["resets"] = float64(res.Resets)
+		if res.FaultsInjected > 0 || res.FlitsLost > 0 || res.Retries > 0 {
+			m["faults_injected"] = float64(res.FaultsInjected)
+			m["flits_lost"] = float64(res.FlitsLost)
+			m["fault_retries"] = float64(res.Retries)
+		}
 	}
 	if pr != nil {
 		tr := pr.Tracer()

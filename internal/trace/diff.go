@@ -180,6 +180,7 @@ func configChanges(a, b *Manifest) ([]string, error) {
 	add("HostCPUs", a.HostCPUs, b.HostCPUs)
 	add("HostGoMaxProcs", a.HostGoMaxProcs, b.HostGoMaxProcs)
 	add("NodeWorkers", a.NodeWorkers, b.NodeWorkers)
+	add("FaultPlan", a.FaultPlan, b.FaultPlan)
 	am, err := configMap(a)
 	if err != nil {
 		return nil, err

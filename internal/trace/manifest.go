@@ -55,6 +55,11 @@ type Manifest struct {
 	MeasureCycles uint64   `json:"measure_cycles,omitempty"`
 	MeshK         int      `json:"mesh_k,omitempty"`
 	Nodes         int      `json:"nodes,omitempty"`
+	// FaultPlan is the canonical rendering of the armed fault-injection
+	// plan (fault.Plan.String), empty for clean runs. Together with Seeds
+	// it pins a chaos run: the same plan + seed reproduces the run
+	// byte-for-byte.
+	FaultPlan string `json:"fault_plan,omitempty"`
 
 	Config *config.LOFT `json:"config,omitempty"`
 

@@ -142,6 +142,12 @@ type Injector struct {
 	// before the next call, so reusing the array keeps the per-cycle
 	// injection path allocation-free.
 	scratch []flit.Packet
+	// rateScale, when non-nil, multiplies each rate generator's packet
+	// probability (the fault layer's adversary hook). It must be a pure
+	// function of (flow, cycle): scaling moves the Bernoulli threshold but
+	// never the draw count, so the RNG stream — and with it every clean
+	// flow's injection sequence — is untouched.
+	rateScale func(flit.FlowID, uint64) float64
 	// trace replay state: remaining events for this node, cycle-sorted.
 	trace []TraceEvent
 }
@@ -160,6 +166,12 @@ func NewInjector(p *Pattern, n topo.NodeID, seed uint64) *Injector {
 		on:   make([]bool, len(p.Gens[n])),
 	}
 }
+
+// SetRateScale installs a multiplier on every rate generator's injection
+// probability, keyed by (flow, cycle). Applies to Bernoulli-rate
+// generators only (on/off burst generators pace by state, not rate); trace
+// replay ignores it.
+func (in *Injector) SetRateScale(f func(flit.FlowID, uint64) float64) { in.rateScale = f }
 
 // nextSeq returns flow id's next packet sequence number and advances it.
 func (in *Injector) nextSeq(id flit.FlowID) uint64 {
@@ -208,6 +220,9 @@ func (in *Injector) Next(now uint64) []flit.Packet {
 			// Burst state: one packet per packet-time (full link rate).
 		} else {
 			pPkt := g.Rate / float64(in.p.PacketFlits)
+			if in.rateScale != nil {
+				pPkt *= in.rateScale(g.Flow, now)
+			}
 			if pPkt <= 0 || !in.rng.Bernoulli(min(pPkt, 1)) {
 				continue
 			}

@@ -15,9 +15,12 @@ import (
 	"loft/internal/audit"
 	"loft/internal/config"
 	"loft/internal/core"
+	"loft/internal/fault"
 	loftnet "loft/internal/loft"
+	"loft/internal/lsf"
 	"loft/internal/perfmon"
 	"loft/internal/probe"
+	"loft/internal/topo"
 )
 
 // observedRun is everything externally visible from one simulation run.
@@ -28,19 +31,24 @@ type observedRun struct {
 }
 
 func runObserved(t *testing.T, arch core.Arch, seed uint64, workers int) observedRun {
-	return runObservedPerf(t, arch, seed, workers, nil)
+	return runObservedFault(t, arch, seed, workers, nil, nil)
 }
 
 // runObservedPerf is runObserved with an optional perfmon monitor attached;
 // the perf snapshot itself holds wall times and is deliberately NOT part of
 // observedRun — byte-identity is asserted over the simulation outputs only.
 func runObservedPerf(t *testing.T, arch core.Arch, seed uint64, workers int, mon *perfmon.Monitor) observedRun {
+	return runObservedFault(t, arch, seed, workers, mon, nil)
+}
+
+// runObservedFault additionally arms a fault-injection plan on the run.
+func runObservedFault(t *testing.T, arch core.Arch, seed uint64, workers int, mon *perfmon.Monitor, plan *fault.Plan) observedRun {
 	t.Helper()
 	cfg := config.PaperLOFT()
 	p := trafficUniform(cfg, 0.2)
 	pr := probe.New(probe.Config{SampleEvery: 256})
 	aud := audit.New(audit.Config{})
-	spec := core.RunSpec{Seed: seed, Warmup: 200, Measure: 1500, Probe: pr, Audit: aud, Workers: workers, Perf: mon}
+	spec := core.RunSpec{Seed: seed, Warmup: 200, Measure: 1500, Probe: pr, Audit: aud, Workers: workers, Perf: mon, Fault: plan}
 	var (
 		res core.Result
 		err error
@@ -135,6 +143,108 @@ func TestPerfmonByteIdentity(t *testing.T) {
 				t.Errorf("%s workers=%d: no parallel-engine telemetry", arch, workers)
 			}
 		}
+	}
+}
+
+// chaosPlan covers every fault kind at once on nodes that carry uniform
+// traffic: a link-down window, sustained flit loss, a credit stall, a router
+// stall and a misbehaving flow, all inside the 200+1500-cycle test horizon.
+const chaosPlan = `
+link-down    node=7  dir=south from=300 to=400
+flit-loss    node=3  dir=east  rate=0.4 from=250 to=1200
+credit-stall node=15 dir=west  from=500 to=560
+router-stall node=9  from=600 to=608
+adversary    flow=1  factor=3 cap=1 from=400
+`
+
+// TestChaosPlanParallelDeterminism is the fault-layer determinism golden: a
+// run with every fault kind armed must be byte-identical — result summary,
+// probe JSONL, audit snapshot — across worker counts, with faults actually
+// firing and denied quanta actually retrying.
+func TestChaosPlanParallelDeterminism(t *testing.T) {
+	plan, err := fault.Parse(chaosPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []uint64{1, 2} {
+		seq := runObservedFault(t, core.ArchLOFT, seed, 1, nil, plan)
+		if seq.res.Packets == 0 {
+			t.Fatalf("seed %d: chaos run delivered no packets", seed)
+		}
+		if seq.res.FaultsInjected == 0 || seq.res.FlitsLost == 0 {
+			t.Fatalf("seed %d: chaos plan armed but no faults fired: %+v", seed, seq.res)
+		}
+		if seq.res.Retries == 0 {
+			t.Fatalf("seed %d: flits were lost but nothing retried", seed)
+		}
+		for _, workers := range []int{2, 4} {
+			par := runObservedFault(t, core.ArchLOFT, seed, workers, nil, plan)
+			checkIdentical(t, core.ArchLOFT, seed, workers, seq, par)
+		}
+	}
+}
+
+// runCorrupted runs a LOFT network with a deliberate lsf corruption armed on
+// every reservation table and returns the externally visible outputs plus
+// the auditor's violation count. Corrupting everywhere guarantees the
+// fault's trigger pattern (frame abandonment, credit return) occurs within
+// the short test horizon.
+func runCorrupted(t *testing.T, f lsf.Fault, workers int) (observedRun, int) {
+	t.Helper()
+	cfg := config.PaperLOFT()
+	p := trafficUniform(cfg, 0.2)
+	pr := probe.New(probe.Config{SampleEvery: 256})
+	aud := audit.New(audit.Config{})
+	net, err := loftnet.New(cfg, p, loftnet.Options{Seed: 1, Warmup: 200, Probe: pr, Audit: aud, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.Mesh().N(); i++ {
+		for d := topo.Dir(0); d <= topo.NumDirs; d++ {
+			net.Node(topo.NodeID(i)).InjectTableFault(d, f)
+		}
+	}
+	const total = 1700
+	aud.StartRun(total)
+	net.Run(total)
+	aud.FinishRun(net.Now())
+	net.Close()
+	var evBuf bytes.Buffer
+	if err := probe.WriteEventsJSONL(&evBuf, pr.Events(), pr.Tracer().Dropped()); err != nil {
+		t.Fatalf("export events: %v", err)
+	}
+	audJSON, err := json.Marshal(aud.Snapshot())
+	if err != nil {
+		t.Fatalf("marshal audit snapshot: %v", err)
+	}
+	return observedRun{events: evBuf.Bytes(), audit: audJSON}, len(aud.Violations())
+}
+
+// TestInjectFaultParallelDeterminism extends the lsf.InjectFault coverage to
+// the parallel engine: for each deliberate scheduler corruption, the auditor
+// must catch it AND the corrupted run must stay byte-identical between the
+// sequential and sharded engines — a broken scheduler is still deterministic.
+func TestInjectFaultParallelDeterminism(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    lsf.Fault
+	}{
+		{"drop-skipped", lsf.FaultDropSkipped},
+		{"leak-credit", lsf.FaultLeakCredit},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			seq, seqViol := runCorrupted(t, tc.f, 1)
+			if seqViol == 0 {
+				t.Fatalf("auditor missed the %s corruption", tc.name)
+			}
+			for _, workers := range []int{4} {
+				par, parViol := runCorrupted(t, tc.f, workers)
+				if parViol != seqViol {
+					t.Errorf("workers=%d: %d violations, sequential saw %d", workers, parViol, seqViol)
+				}
+				checkIdentical(t, core.ArchLOFT, 1, workers, seq, par)
+			}
+		})
 	}
 }
 

@@ -13,7 +13,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_$(date +%Y-%m).json}"
-bench="${BENCH:-BenchmarkSimulatorSpeed|BenchmarkProbeOverhead|BenchmarkAuditOverhead|BenchmarkPerfmonOverhead|BenchmarkParallelSpeed|BenchmarkSteadyStateAllocs}"
+bench="${BENCH:-BenchmarkSimulatorSpeed|BenchmarkProbeOverhead|BenchmarkAuditOverhead|BenchmarkPerfmonOverhead|BenchmarkFaultOverhead|BenchmarkParallelSpeed|BenchmarkSteadyStateAllocs}"
 benchtime="${BENCHTIME:-10x}"
 count="${COUNT:-3}"
 
@@ -82,6 +82,8 @@ awk -F'[:,]' '
 /"BenchmarkAuditOverhead\/on"/  { aon  = $2 + 0 }
 /"BenchmarkPerfmonOverhead\/off"/ { foff = $2 + 0 }
 /"BenchmarkPerfmonOverhead\/on"/  { fon  = $2 + 0 }
+/"BenchmarkFaultOverhead\/off"/ { xoff = $2 + 0 }
+/"BenchmarkFaultOverhead\/on"/  { xon  = $2 + 0 }
 END {
     if (poff > 0 && pon > poff * 1.02)
         printf "bench.sh: WARNING: inverted overhead pair: ProbeOverhead/on (%g) > off (%g); noisy measurement, consider re-running\n", pon, poff > "/dev/stderr"
@@ -89,5 +91,7 @@ END {
         printf "bench.sh: WARNING: inverted overhead pair: AuditOverhead/on (%g) > off (%g); noisy measurement, consider re-running\n", aon, aoff > "/dev/stderr"
     if (foff > 0 && fon > foff * 1.02)
         printf "bench.sh: WARNING: inverted overhead pair: PerfmonOverhead/on (%g) > off (%g); noisy measurement, consider re-running\n", fon, foff > "/dev/stderr"
+    if (xoff > 0 && xon > xoff * 1.02)
+        printf "bench.sh: WARNING: inverted overhead pair: FaultOverhead/on (%g) > off (%g); noisy measurement, consider re-running\n", xon, xoff > "/dev/stderr"
 }
 ' "$out"
